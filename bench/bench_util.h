@@ -1,0 +1,95 @@
+// Shared helpers for the figure/table reproduction benches: single-run and
+// repeated cold-start measurement on a chosen topology, with exact or noisy
+// profiling. Every bench prints the paper's rows through util::Table.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deepplan.h"
+
+namespace deepplan {
+namespace bench {
+
+struct ColdMeasurement {
+  InferenceResult result;
+  ExecutionPlan plan;
+};
+
+// Profiles `model` on `perf` with measurement noise disabled (benches report
+// the model's deterministic ground truth; the profiler's noise handling is
+// exercised in tests and Table 5).
+inline ModelProfile ExactProfile(const PerfModel& perf, const Model& model,
+                                 int batch = 1) {
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.batch = batch;
+  return Profiler(&perf, opts).Profile(model);
+}
+
+// Runs one cold start of `strategy` for `model` on a fresh simulator/fabric.
+inline ColdMeasurement RunColdOnce(const Topology& topology, const PerfModel& perf,
+                                   const Model& model, Strategy strategy,
+                                   int batch = 1) {
+  const ModelProfile profile = ExactProfile(perf, model, batch);
+  const int degree = StrategyDegree(strategy, topology, /*primary=*/0);
+  PipelineOptions pipeline;
+  pipeline.nvlink = topology.nvlink();
+  ColdMeasurement m{{}, MakeStrategyPlan(strategy, profile, degree, pipeline)};
+  Simulator sim;
+  ServerFabric fabric(&sim, &topology);
+  Engine engine(&sim, &fabric, &perf);
+  engine.RunCold(model, m.plan, /*primary=*/0,
+                 TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                 MakeColdRunOptions(strategy, batch),
+                 [&m](const InferenceResult& r) { m.result = r; });
+  sim.Run();
+  return m;
+}
+
+// Mean cold latency over `runs` independent repetitions with profiling noise
+// re-sampled per run (mirrors the paper's "averaged on 100 runs").
+inline double MeanColdLatencyMs(const Topology& topology, const PerfModel& perf,
+                                const Model& model, Strategy strategy, int runs,
+                                int batch = 1) {
+  StreamingStats stats;
+  for (int r = 0; r < runs; ++r) {
+    ProfilerOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(r);
+    opts.batch = batch;
+    const ModelProfile profile = Profiler(&perf, opts).Profile(model);
+    const int degree = StrategyDegree(strategy, topology, 0);
+    PipelineOptions pipeline;
+    pipeline.nvlink = topology.nvlink();
+    const ExecutionPlan plan = MakeStrategyPlan(strategy, profile, degree, pipeline);
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+    InferenceResult result;
+    engine.RunCold(model, plan, 0,
+                   TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                   MakeColdRunOptions(strategy, batch),
+                   [&](const InferenceResult& r) { result = r; });
+    sim.Run();
+    stats.Add(ToMillis(result.latency));
+  }
+  return stats.mean();
+}
+
+inline std::string PrettyModelName(const std::string& zoo_name) {
+  if (zoo_name == "resnet50") return "ResNet-50";
+  if (zoo_name == "resnet101") return "ResNet-101";
+  if (zoo_name == "bert_base") return "BERT-Base";
+  if (zoo_name == "bert_large") return "BERT-Large";
+  if (zoo_name == "roberta_base") return "RoBERTa-Base";
+  if (zoo_name == "roberta_large") return "RoBERTa-Large";
+  if (zoo_name == "gpt2") return "GPT-2";
+  if (zoo_name == "gpt2_medium") return "GPT-2 Medium";
+  return zoo_name;
+}
+
+}  // namespace bench
+}  // namespace deepplan
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+// Figure 2: decomposition of cold-inference latency under the pipelining
+// approach (PipeSwitch) into GPU execution time and pipeline-stall time,
+// batch size 1, for all eight models.
+//
+// Paper shape: BERT/RoBERTa stall 73-75%; ResNet and GPT-2 roughly 25-45%.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace deepplan;
+  using namespace deepplan::bench;
+
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+
+  std::cout << "Figure 2: inference latency decomposition under PipeSwitch "
+               "(batch 1, V100 / PCIe 3.0)\n\n";
+  Table table({"model", "total", "exec", "stall", "stall share"});
+  for (const Model& model : ModelZoo::PaperModels()) {
+    const ColdMeasurement m =
+        RunColdOnce(topology, perf, model, Strategy::kPipeSwitch);
+    const double share = static_cast<double>(m.result.stall) /
+                         static_cast<double>(m.result.latency);
+    table.AddRow({PrettyModelName(model.name()), FormatDuration(m.result.latency),
+                  FormatDuration(m.result.exec_busy), FormatDuration(m.result.stall),
+                  Table::Pct(share)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: BERT/RoBERTa ~73-75% stall; "
+               "ResNet/GPT-2 ~27-37% stall.\n";
+  return 0;
+}

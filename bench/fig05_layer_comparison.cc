@@ -1,0 +1,67 @@
+// Figure 5: per-layer execution time, load-then-execute vs direct-host-access
+// for (a) embedding layers from BERT-Base, (b) convolutional layers from
+// ResNet-50, (c) fully connected layers from BERT-Base. Batch size 1.
+//
+// Paper shape: DHA wins for embeddings (hugely for the 89 MiB one), ties for
+// small/medium convs and loses for large convs, and loses badly for FCs.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void PrintGroup(const deepplan::PerfModel& perf, const char* title,
+                const std::vector<std::pair<std::string, deepplan::Layer>>& layers) {
+  using deepplan::FormatBytes;
+  using deepplan::FormatDuration;
+  using deepplan::Table;
+  std::cout << title << "\n";
+  Table table({"layer", "size", "load", "exec(in-mem)", "load+exec", "DHA",
+               "DHA/load+exec"});
+  for (const auto& [label, layer] : layers) {
+    const auto load = perf.LoadTime(layer);
+    const auto exec = perf.ExecInMemory(layer);
+    const auto dha = perf.ExecDha(layer);
+    table.AddRow({label, FormatBytes(layer.param_bytes), FormatDuration(load),
+                  FormatDuration(exec), FormatDuration(load + exec),
+                  FormatDuration(dha),
+                  Table::Num(static_cast<double>(dha) /
+                                 static_cast<double>(load + exec),
+                             2) +
+                      "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace deepplan;
+  const PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+
+  std::cout << "Figure 5: load-then-execute vs direct-host-access per layer "
+               "(batch 1, V100 / PCIe 3.0)\n\n";
+
+  PrintGroup(perf, "(a) Embedding layers (BERT-Base, seq 384)",
+             {{"Medium (1.50MiB)", Layer::Embedding("pos", 512, 768, 384)},
+              {"Large (89.42MiB)", Layer::Embedding("word", 30522, 768, 384)}});
+
+  PrintGroup(perf, "(b) Convolutional layers (ResNet-50)",
+             {{"Small (0.14MiB)", Layer::Conv2d("c1", 64, 64, 3, 56, 56)},
+              {"Medium (2.25MiB)", Layer::Conv2d("c2", 256, 256, 3, 14, 14)},
+              {"Large (9.00MiB)", Layer::Conv2d("c3", 512, 512, 3, 7, 7)}});
+
+  PrintGroup(perf, "(c) Fully connected layers (BERT-Base, seq 384)",
+             {{"Small (2.25MiB)", Layer::Linear("qkv", 768, 768, 384, false)},
+              {"Large (9.01MiB)", Layer::Linear("ffn", 768, 3072, 384)}});
+
+  std::cout << "(d) Other layers (Section 3.1)\n";
+  PrintGroup(perf, "",
+             {{"BatchNorm (256ch)", Layer::BatchNorm("bn", 256, 14 * 14)},
+              {"LayerNorm (768d)", Layer::LayerNorm("ln", 768, 384)}});
+
+  std::cout << "Paper reference: DHA preferable for embeddings and BatchNorm; "
+               "load-then-execute wins for FC, large conv, and LayerNorm.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 13: serving BERT-Base on 4x V100 at 100 requests/s (Poisson) while
+// increasing the number of model instances (concurrency) beyond GPU memory:
+// 99% latency (top), goodput at SLO 100 ms (middle), cold-start rate
+// (bottom), for PipeSwitch, DeepPlan (DHA) and DeepPlan (PT+DHA).
+//
+// Paper shape: PipeSwitch p99 blows past the SLO at ~120 instances; DHA is
+// stable to ~160; PT+DHA serves ~180. Capacity: 100 resident instances for
+// PipeSwitch, 124 for DeepPlan.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace deepplan;
+
+struct Point {
+  double p99_ms;
+  double goodput;
+  double goodput_tight;  // against a 50 ms SLO
+  double cold_rate;
+  int capacity;
+};
+
+Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
+               std::uint64_t seed) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ServerOptions options;
+  options.strategy = strategy;
+  options.slo = Millis(100);
+  Server server(topology, perf, options);
+  const int type = server.RegisterModelType(ModelZoo::BertBase());
+  server.AddInstances(type, concurrency);
+
+  PoissonOptions w;
+  w.rate_per_sec = rate;
+  w.num_instances = concurrency;
+  w.duration = Seconds(static_cast<double>(requests) / rate);
+  w.seed = seed;
+  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+  return Point{m.LatencyPercentileMs(99), m.Goodput(Millis(100)),
+               m.Goodput(Millis(50)), m.ColdStartRate(), server.WarmCapacity()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("requests", 1000, "requests per concurrency point");
+  flags.DefineDouble("rate", 100.0, "offered load (requests/second)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const int requests = static_cast<int>(flags.GetInt("requests"));
+  const double rate = flags.GetDouble("rate");
+
+  std::cout << "Figure 13: BERT-Base serving, " << rate
+            << " rps Poisson, SLO 100 ms, 4x V100 (" << requests
+            << " requests per point)\n\n";
+  Table table({"instances", "strategy", "p99 (ms)", "goodput", "cold-start rate",
+               "resident"});
+  for (int concurrency = 20; concurrency <= 200; concurrency += 20) {
+    for (const Strategy strategy :
+         {Strategy::kPipeSwitch, Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
+      const Point p = RunPoint(strategy, concurrency, requests, rate, 42);
+      table.AddRow({std::to_string(concurrency), StrategyName(strategy),
+                    Table::Num(p.p99_ms, 1), Table::Pct(p.goodput),
+                    Table::Pct(p.cold_rate), std::to_string(p.capacity)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: PipeSwitch keeps 100 instances resident "
+               "(DeepPlan 124); p99 knees at ~120 (PipeSwitch), ~160 (DHA), "
+               "~180 (PT+DHA); PT+DHA goodput 1.84x PipeSwitch at 180.\n";
+
+  // The paper's tight-SLO observation: "When having a relatively tight
+  // target SLO such as 50ms, at concurrency 120, PipeSwitch starts violating
+  // the SLO... DeepPlan (PT+DHA) shows that it can handle requests within
+  // 35ms even at concurrency 140."
+  std::cout << "\nTight SLO (50 ms):\n";
+  Table tight({"instances", "strategy", "p99 (ms)", "goodput @50ms"});
+  for (const int concurrency : {120, 140}) {
+    for (const Strategy strategy :
+         {Strategy::kPipeSwitch, Strategy::kDeepPlanPtDha}) {
+      const Point p = RunPoint(strategy, concurrency, requests, rate, 42);
+      tight.AddRow({std::to_string(concurrency), StrategyName(strategy),
+                    Table::Num(p.p99_ms, 1),
+                    Table::Pct(p.goodput_tight)});
+    }
+  }
+  tight.Print(std::cout);
+  std::cout << "\nPaper reference: PipeSwitch p99 ~94 ms at 120; PT+DHA "
+               "within ~35 ms even at 140.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 15: replaying a Microsoft-Azure-Functions-like trace (scaled to the
+// 4-GPU server, 150 rps) against BERT-Base : RoBERTa-Base : GPT-2 instances
+// at a 4:4:1 ratio; per-minute offered load, 99% latency, goodput (SLO
+// 100 ms), and cold starts, for PipeSwitch, DeepPlan (DHA), and (PT+DHA).
+//
+// Paper shape: DeepPlan variants sustain 98-99% goodput where PipeSwitch dips
+// to ~81-98%; DeepPlan p99 stays near/below 100 ms vs PipeSwitch >150 ms.
+// (The paper replays 3 hours; the default here replays a scaled-down slice —
+// raise --minutes to lengthen it.)
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace deepplan;
+
+struct Outcome {
+  ServingMetrics metrics;
+  MinuteSeries series;
+};
+
+Outcome Replay(Strategy strategy, const Trace& trace, int instances) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ServerOptions options;
+  options.strategy = strategy;
+  options.slo = Millis(100);
+  Server server(topology, perf, options);
+  const int bert = server.RegisterModelType(ModelZoo::BertBase());
+  const int roberta = server.RegisterModelType(ModelZoo::RobertaBase());
+  const int gpt2 = server.RegisterModelType(ModelZoo::Gpt2());
+  // 4:4:1 instance mix (Section 5.3.2).
+  const int unit = instances / 9;
+  server.AddInstances(bert, 4 * unit);
+  server.AddInstances(roberta, 4 * unit);
+  server.AddInstances(gpt2, instances - 8 * unit);
+  Outcome out{server.Run(trace), {}};
+  out.series = out.metrics.PerMinute(Millis(100));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("minutes", 6, "trace length to replay (paper: 180)");
+  // The paper stresses its server at 150 rps; this simulation's model mix has
+  // a slightly heavier mean warm latency (GPT-2 at seq 1024), so 120 rps is
+  // the equivalent stress point. Pass --rate=150 for the paper's raw number.
+  flags.DefineDouble("rate", 120.0, "offered load (requests/second)");
+  // 135 instances exceed the 4-GPU capacity (PipeSwitch holds ~93, DeepPlan
+  // ~115 of this mix), so the replay exercises eviction and cold starts as in
+  // the paper's over-committed deployment.
+  flags.DefineInt("instances", 135, "total model instances (4:4:1 mix)");
+  flags.DefineString("trace", "", "optional MAF-derived CSV to replay instead");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  const int instances = static_cast<int>(flags.GetInt("instances"));
+
+  Trace trace;
+  if (!flags.GetString("trace").empty()) {
+    auto loaded = Trace::LoadFrom(flags.GetString("trace"));
+    if (!loaded.has_value()) {
+      std::cerr << "cannot load trace: " << flags.GetString("trace") << "\n";
+      return 1;
+    }
+    trace = loaded->ScaledToRate(flags.GetDouble("rate"));
+  } else {
+    AzureTraceOptions w;
+    w.num_instances = instances;
+    w.duration = Seconds(60.0 * static_cast<double>(flags.GetInt("minutes")));
+    w.target_rate_per_sec = flags.GetDouble("rate");
+    trace = GenerateAzureTrace(w);
+  }
+
+  std::cout << "Figure 15: MAF-like trace replay (" << trace.size() << " requests, "
+            << Table::Num(ToSeconds(trace.duration()) / 60.0, 1) << " min, mean "
+            << Table::Num(trace.MeanRate(), 1) << " rps), "
+            << "BERT:RoBERTa:GPT-2 = 4:4:1, SLO 100 ms\n\n";
+
+  // Offered load per minute (top panel).
+  {
+    Table table({"minute", "offered load (req)"});
+    const auto counts = trace.PerMinuteCounts();
+    for (std::size_t minute = 0; minute < counts.size(); ++minute) {
+      table.AddRow({std::to_string(minute), std::to_string(counts[minute])});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  for (const Strategy strategy :
+       {Strategy::kPipeSwitch, Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
+    const Outcome out = Replay(strategy, trace, instances);
+    std::cout << StrategyName(strategy) << ": overall p99 "
+              << Table::Num(out.metrics.LatencyPercentileMs(99), 1) << " ms, goodput "
+              << Table::Pct(out.metrics.Goodput(Millis(100))) << ", cold-starts "
+              << out.metrics.ColdStartCount() << "\n";
+    Table table({"minute", "p99 (ms)", "goodput", "cold starts"});
+    for (std::size_t minute = 0; minute < out.series.requests.size(); ++minute) {
+      table.AddRow({std::to_string(minute), Table::Num(out.series.p99_ms[minute], 1),
+                    Table::Pct(out.series.goodput[minute]),
+                    std::to_string(out.series.cold_starts[minute])});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Paper reference: DeepPlan variants hold 98-99% goodput; "
+               "PipeSwitch drops to ~81% in loaded minutes.\n";
+  return 0;
+}

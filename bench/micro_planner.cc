@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks for DeepPlan's offline path: profiling,
+// Algorithm 1 plan generation, partitioning, and plan serialization. These
+// bound the one-time per-model cost of the planner itself (not the simulated
+// profiling time of Table 5 — the real CPU time of the algorithms).
+#include <benchmark/benchmark.h>
+
+#include "src/deepplan.h"
+
+namespace deepplan {
+namespace {
+
+const Model& ModelFor(int index) {
+  static const std::vector<Model> models = ModelZoo::PaperModels();
+  return models[static_cast<std::size_t>(index) % models.size()];
+}
+
+ModelProfile ProfileFor(int index) {
+  static PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  return Profiler(&perf, opts).Profile(ModelFor(index));
+}
+
+void BM_Profile(benchmark::State& state) {
+  const Model& model = ModelFor(static_cast<int>(state.range(0)));
+  PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  Profiler profiler(&perf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.Profile(model));
+  }
+  state.SetLabel(model.name());
+}
+BENCHMARK(BM_Profile)->DenseRange(0, 7);
+
+void BM_GeneratePlanDha(benchmark::State& state) {
+  const ModelProfile profile = ProfileFor(static_cast<int>(state.range(0)));
+  Planner planner(&profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.GeneratePlan());
+  }
+  state.SetLabel(profile.model_name);
+}
+BENCHMARK(BM_GeneratePlanDha)->DenseRange(0, 7);
+
+void BM_GeneratePlanPtDha(benchmark::State& state) {
+  const ModelProfile profile = ProfileFor(static_cast<int>(state.range(0)));
+  Planner planner(&profile);
+  PlannerOptions options;
+  options.num_partitions = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.GeneratePlan(options));
+  }
+  state.SetLabel(profile.model_name);
+}
+BENCHMARK(BM_GeneratePlanPtDha)->DenseRange(0, 7);
+
+void BM_SimulatePipeline(benchmark::State& state) {
+  const ModelProfile profile = ProfileFor(static_cast<int>(state.range(0)));
+  const ExecutionPlan plan(profile.model_name, profile.num_layers());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulatePipeline(profile, plan));
+  }
+  state.SetLabel(profile.model_name);
+}
+BENCHMARK(BM_SimulatePipeline)->DenseRange(0, 7);
+
+void BM_PlanSerializeParse(benchmark::State& state) {
+  const ModelProfile profile = ProfileFor(2);  // bert_base
+  const ExecutionPlan plan = Planner(&profile).GeneratePlan();
+  for (auto _ : state) {
+    const std::string text = plan.Serialize();
+    benchmark::DoNotOptimize(ExecutionPlan::Parse(text));
+  }
+}
+BENCHMARK(BM_PlanSerializeParse);
+
+}  // namespace
+}  // namespace deepplan

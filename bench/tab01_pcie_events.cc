@@ -1,0 +1,40 @@
+// Table 1: number of PCIe read events (64 B payloads, PCIeRdCur counter
+// methodology) for loading a layer vs executing it with direct-host-access,
+// for the Figure 5 layers.
+//
+// Paper reference values: embedding medium 24,580/18,267; embedding large
+// 1,465,112/18,459; conv medium 36,869/65,891; conv large 147,465/273,487;
+// FC small 36,920/446,276; FC large 147,660/1,765,787.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace deepplan;
+  const PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  const PcieEventCounter counter(&perf);
+
+  std::cout << "Table 1: PCIe read events, load vs direct-host-access "
+               "(batch 1)\n\n";
+  Table table({"layer", "size", "Load events", "DHA events", "DHA/Load"});
+
+  const std::vector<std::pair<std::string, Layer>> layers = {
+      {"(a) Embedding Medium", Layer::Embedding("pos", 512, 768, 384)},
+      {"(a) Embedding Large", Layer::Embedding("word", 30522, 768, 384)},
+      {"(b) Conv Medium", Layer::Conv2d("c2", 256, 256, 3, 14, 14)},
+      {"(b) Conv Large", Layer::Conv2d("c3", 512, 512, 3, 7, 7)},
+      {"(c) FC Small", Layer::Linear("qkv", 768, 768, 384, false)},
+      {"(c) FC Large", Layer::Linear("ffn", 768, 3072, 384, false)},
+  };
+  for (const auto& [label, layer] : layers) {
+    const auto load = counter.LoadEvents(layer);
+    const auto dha = counter.DhaEvents(layer);
+    table.AddRow({label, FormatBytes(layer.param_bytes), std::to_string(load),
+                  std::to_string(dha),
+                  Table::Num(static_cast<double>(dha) / static_cast<double>(load), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference ratios: embeddings <<1 (large), conv ~1.8, "
+               "FC ~12.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3: excerpts of generated execution plans, comparing the "initial
+// approach" (greedy per-layer load-vs-DHA comparison) against DeepPlan's
+// pipeline-aware Algorithm 1: (a) a middle slice of ResNet-101, (b) the first
+// five layers of GPT-2. O = load, X = direct-host-access.
+//
+// Paper shape: the two rows differ — Algorithm 1 keeps loading layers whose
+// transfer pipelining already hides, and spends DHA where it shortens stalls.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace deepplan;
+
+void PrintExcerpt(const char* title, const Model& model, const ModelProfile& profile,
+                  const ExecutionPlan& greedy, const ExecutionPlan& tuned,
+                  std::size_t first, std::size_t count) {
+  std::cout << title << "\n";
+  Table table({"layer #", "kind", "name", "Initial approach", "DeepPlan (DHA)"});
+  for (std::size_t i = first; i < std::min(first + count, model.num_layers()); ++i) {
+    if (!profile.layers[i].has_params()) {
+      continue;  // parameter-free layers have no load/DHA decision
+    }
+    const auto mark = [](ExecMethod m) {
+      return m == ExecMethod::kDirectHostAccess ? "X" : "O";
+    };
+    table.AddRow({std::to_string(i), LayerKindName(model.layer(i).kind),
+                  model.layer(i).name, mark(greedy.method(i)),
+                  mark(tuned.method(i))});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+
+  std::cout << "Table 3: generated execution plans — greedy vs Algorithm 1 "
+               "(O: load, X: direct-host-access)\n\n";
+
+  {
+    const Model model = ModelZoo::ResNet101();
+    const ModelProfile profile = bench::ExactProfile(perf, model);
+    Planner planner(&profile);
+    const ExecutionPlan greedy = planner.GreedyDhaPlan();
+    const ExecutionPlan tuned = planner.GeneratePlan();
+    int diffs = 0;
+    std::size_t first_diff = 160;  // default middle slice if plans coincide
+    for (std::size_t i = 0; i < model.num_layers(); ++i) {
+      if (greedy.method(i) != tuned.method(i)) {
+        if (diffs == 0) {
+          first_diff = i >= 4 ? i - 4 : 0;
+        }
+        ++diffs;
+      }
+    }
+    PrintExcerpt("(a) ResNet-101: layers of a middle part", model, profile, greedy,
+                 tuned, first_diff, /*count=*/14);
+    std::cout << "decisions flipped by pipeline awareness across the model: "
+              << diffs << "\n\n";
+  }
+  {
+    const Model model = ModelZoo::Gpt2();
+    const ModelProfile profile = bench::ExactProfile(perf, model);
+    Planner planner(&profile);
+    PrintExcerpt("(b) GPT-2: front layers", model, profile, planner.GreedyDhaPlan(),
+                 planner.GeneratePlan(), /*first=*/0, /*count=*/8);
+  }
+  std::cout << "Paper reference: greedy and DeepPlan rows differ (e.g. "
+               "DeepPlan loads a conv whose transfer pipelining hides).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Capacity planner: for each strategy, find the maximum number of model
+// instances the server sustains at a target goodput — the operator-facing
+// inverse of Figure 13, and a direct measure of DeepPlan's consolidation
+// benefit ("fewer GPU servers" from the paper's introduction).
+//
+//   ./build/examples/capacity_planner --model=bert_base --rate=100
+//       --slo_ms=100 --target=0.99
+#include <iostream>
+
+#include "src/deepplan.h"
+#include "src/serving/capacity.h"
+
+int main(int argc, char** argv) {
+  using namespace deepplan;
+
+  Flags flags;
+  flags.DefineString("model", "bert_base", "zoo model name");
+  flags.DefineDouble("rate", 100.0, "offered load (requests/second)");
+  flags.DefineDouble("slo_ms", 100.0, "latency SLO (ms)");
+  flags.DefineDouble("target", 0.99, "goodput target (fraction)");
+  flags.DefineInt("probe_requests", 600, "requests per binary-search probe");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model model = ModelZoo::ByName(flags.GetString("model"));
+
+  std::cout << "Capacity planning: " << model.name() << " on " << topology.name()
+            << " at " << flags.GetDouble("rate") << " rps, SLO "
+            << flags.GetDouble("slo_ms") << " ms, goodput >= "
+            << Table::Pct(flags.GetDouble("target")) << "\n\n";
+
+  Table table({"strategy", "max instances", "goodput", "p99 (ms)",
+               "cold-start rate", "probes"});
+  int pipeswitch_max = 0;
+  int best_max = 0;
+  for (const Strategy strategy :
+       {Strategy::kPipeSwitch, Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
+    CapacityQuery query;
+    query.strategy = strategy;
+    query.rate_per_sec = flags.GetDouble("rate");
+    query.slo = Millis(flags.GetDouble("slo_ms"));
+    query.target_goodput = flags.GetDouble("target");
+    query.requests_per_probe = static_cast<int>(flags.GetInt("probe_requests"));
+    const CapacityReport report = FindMaxConcurrency(topology, perf, model, query);
+    if (strategy == Strategy::kPipeSwitch) {
+      pipeswitch_max = report.max_instances;
+    }
+    best_max = std::max(best_max, report.max_instances);
+    table.AddRow({StrategyName(strategy), std::to_string(report.max_instances),
+                  Table::Pct(report.goodput), Table::Num(report.p99_ms, 1),
+                  Table::Pct(report.cold_start_rate),
+                  std::to_string(report.probes)});
+  }
+  table.Print(std::cout);
+  if (pipeswitch_max > 0) {
+    std::cout << "\nDeepPlan consolidates "
+              << Table::Num(static_cast<double>(best_max) / pipeswitch_max, 2)
+              << "x the instances of PipeSwitch on the same hardware.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+// deepplan_cli: the deployment workflow as one binary with subcommands —
+// mirrors the paper's Figure 10 pipeline end to end on custom models.
+//
+//   deepplan_cli profile --model=bert_base            # per-layer pre-run table
+//   deepplan_cli plan --model=bert_base --out=x.plan  # generate + save a plan
+//   deepplan_cli run --model=bert_base --plan=x.plan  # cold-start the plan
+//   deepplan_cli spec --model=bert_base --out=m.model # dump model description
+//   deepplan_cli serve --model=bert_base --instances=140 --rate=100
+//
+// Every subcommand accepts --model_file=<path> (a text model spec, see
+// src/model/model_spec.h) instead of --model, and --topology=p3|a5000|dgx1.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/plan_repository.h"
+#include "src/deepplan.h"
+#include "src/model/model_spec.h"
+
+namespace {
+
+using namespace deepplan;
+
+Topology TopologyByName(const std::string& name) {
+  if (name == "a5000") {
+    return Topology::A5000Box();
+  }
+  if (name == "dgx1") {
+    return Topology::Dgx1();
+  }
+  return Topology::P3_8xlarge();
+}
+
+std::optional<Model> ResolveModel(const Flags& flags) {
+  if (!flags.GetString("model_file").empty()) {
+    std::string error;
+    auto model = LoadModelSpec(flags.GetString("model_file"), &error);
+    if (!model.has_value()) {
+      std::cerr << "model_file: " << error << "\n";
+    }
+    return model;
+  }
+  return ModelZoo::ByName(flags.GetString("model"));
+}
+
+int CmdProfile(const Flags& flags, const Model& model, const Topology& topology) {
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const ModelProfile profile = Profiler(&perf).Profile(model);
+  Table table({"#", "kind", "name", "bytes", "load", "exec(mem)", "exec(DHA)"});
+  for (std::size_t i = 0; i < profile.num_layers(); ++i) {
+    const LayerProfile& lp = profile.layers[i];
+    table.AddRow({std::to_string(i), LayerKindName(lp.kind), lp.name,
+                  FormatBytes(lp.param_bytes), FormatDuration(lp.load),
+                  FormatDuration(lp.exec_in_mem), FormatDuration(lp.exec_dha)});
+  }
+  table.Print(std::cout);
+  (void)flags;
+  return 0;
+}
+
+int CmdPlan(const Flags& flags, const Model& model, const Topology& topology) {
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const ModelProfile profile = Profiler(&perf).Profile(model);
+  Planner planner(&profile);
+  PlannerOptions options;
+  options.num_partitions = TransmissionPlanner::ChooseDegree(topology, 0);
+  options.pipeline.nvlink = topology.nvlink();
+  const ExecutionPlan plan = planner.GeneratePlan(options);
+  const PipelineResult timeline = SimulatePipeline(profile, plan, options.pipeline);
+  std::cout << "plan: " << plan.CountDha() << " DHA layers, " << plan.num_partitions()
+            << " partition(s), projected cold latency "
+            << FormatDuration(timeline.total) << "\n";
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "cannot write " << out << "\n";
+      return 1;
+    }
+    file << plan.Serialize();
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags, const Model& model, const Topology& topology) {
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const ModelProfile profile = Profiler(&perf).Profile(model);
+  ExecutionPlan plan;
+  if (!flags.GetString("plan").empty()) {
+    std::ifstream in(flags.GetString("plan"));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ExecutionPlan::Parse(buffer.str());
+    if (!parsed.has_value()) {
+      std::cerr << "cannot parse plan file " << flags.GetString("plan") << "\n";
+      return 1;
+    }
+    plan = std::move(*parsed);
+    if (const auto error = plan.Validate(profile)) {
+      std::cerr << "plan does not fit this model: " << *error << "\n";
+      return 1;
+    }
+  } else {
+    PlannerOptions options;
+    options.num_partitions = TransmissionPlanner::ChooseDegree(topology, 0);
+    plan = Planner(&profile).GeneratePlan(options);
+  }
+  Simulator sim;
+  ServerFabric fabric(&sim, &topology);
+  Engine engine(&sim, &fabric, &perf);
+  InferenceResult result;
+  engine.RunCold(model, plan, 0,
+                 TransmissionPlanner::ChooseSecondaries(topology, 0,
+                                                        plan.num_partitions()),
+                 ColdRunOptions{}, [&](const InferenceResult& r) { result = r; });
+  sim.Run();
+  std::cout << "cold latency " << FormatDuration(result.latency) << " (exec "
+            << FormatDuration(result.exec_busy) << ", stall "
+            << FormatDuration(result.stall) << ", load done "
+            << FormatDuration(result.load_done) << ")\n";
+  return 0;
+}
+
+int CmdServe(const Flags& flags, const Model& model, const Topology& topology) {
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ServerOptions options;
+  options.slo = Millis(flags.GetDouble("slo_ms"));
+  Server server(topology, perf, options);
+  const int type = server.RegisterModelType(model);
+  server.AddInstances(type, static_cast<int>(flags.GetInt("instances")));
+  PoissonOptions w;
+  w.rate_per_sec = flags.GetDouble("rate");
+  w.num_instances = static_cast<int>(flags.GetInt("instances"));
+  w.duration = Seconds(flags.GetDouble("seconds"));
+  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+  std::cout << m.count() << " requests: p99 "
+            << Table::Num(m.LatencyPercentileMs(99), 1) << " ms, goodput "
+            << Table::Pct(m.Goodput(options.slo)) << ", cold-starts "
+            << m.ColdStartCount() << " (" << server.WarmCapacity() << "/"
+            << server.num_instances() << " resident after warmup)\n";
+  return 0;
+}
+
+int CmdSpec(const Flags& flags, const Model& model) {
+  const std::string text = ModelToSpec(model);
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream file(out);
+    file << text;
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("model", "bert_base", "zoo model name");
+  flags.DefineString("model_file", "", "text model spec path (overrides --model)");
+  flags.DefineString("topology", "p3", "p3|a5000|dgx1");
+  flags.DefineString("out", "", "output file (plan/spec)");
+  flags.DefineString("plan", "", "plan file to run (run subcommand)");
+  flags.DefineInt("instances", 140, "serve: model instances");
+  flags.DefineDouble("rate", 100.0, "serve: requests/second");
+  flags.DefineDouble("seconds", 10.0, "serve: workload duration");
+  flags.DefineDouble("slo_ms", 100.0, "serve: latency SLO (ms)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: deepplan_cli <profile|plan|run|spec|serve> [--flags]\n";
+    return 1;
+  }
+  const std::string command = flags.positional()[0];
+  const auto model = ResolveModel(flags);
+  if (!model.has_value()) {
+    return 1;
+  }
+  const Topology topology = TopologyByName(flags.GetString("topology"));
+  if (command == "profile") {
+    return CmdProfile(flags, *model, topology);
+  }
+  if (command == "plan") {
+    return CmdPlan(flags, *model, topology);
+  }
+  if (command == "run") {
+    return CmdRun(flags, *model, topology);
+  }
+  if (command == "spec") {
+    return CmdSpec(flags, *model);
+  }
+  if (command == "serve") {
+    return CmdServe(flags, *model, topology);
+  }
+  std::cerr << "unknown subcommand '" << command << "'\n";
+  return 1;
+}

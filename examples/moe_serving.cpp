@@ -1,0 +1,80 @@
+// Future work, Section 7: Mixture-of-Experts provisioning. In MoE models only
+// one expert per layer runs for a given input; once the router's choice is
+// known, DeepPlan can provision just the active expert's weights and leave
+// the inactive experts host-side — "effectively reduce the time spent of
+// transferring models".
+//
+// This example compares cold-start latency of (1) a dense plan that loads
+// every expert, (2) an expert-aware plan that loads only the active expert
+// and keeps the rest host-resident (DHA, never touched), and (3) Algorithm 1
+// run on the same profile, which discovers the inactive experts by itself
+// because their DHA execution time is ~0.
+//
+//   ./build/examples/moe_serving [--experts=8] [--layers=12]
+#include <iostream>
+
+#include "src/deepplan.h"
+
+int main(int argc, char** argv) {
+  using namespace deepplan;
+
+  Flags flags;
+  flags.DefineInt("experts", 8, "experts per MoE layer (1 active)");
+  flags.DefineInt("layers", 12, "transformer blocks");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model moe = ModelZoo::MoeSparse("moe", 768, flags.GetInt("layers"),
+                                        flags.GetInt("experts"), 384);
+  std::cout << "MoE model: " << moe.num_layers() << " layers, "
+            << FormatBytes(moe.total_param_bytes()) << " parameters, "
+            << flags.GetInt("experts") << " experts/block (1 active)\n\n";
+
+  Profiler profiler(&perf);
+  const ModelProfile profile = profiler.Profile(moe);
+
+  // (1) Dense: load everything.
+  const ExecutionPlan dense(moe.name(), moe.num_layers());
+  // (2) Expert-aware: inactive experts (zero FLOPs in the reference forward
+  // pass) stay host-side.
+  ExecutionPlan expert_aware(moe.name(), moe.num_layers());
+  for (std::size_t i = 0; i < moe.num_layers(); ++i) {
+    if (moe.layer(i).has_params() && moe.layer(i).flops == 0) {
+      expert_aware.set_method(i, ExecMethod::kDirectHostAccess);
+    }
+  }
+  // (3) Algorithm 1 discovers the same structure from the profile.
+  const ExecutionPlan discovered = Planner(&profile).GeneratePlan();
+
+  auto run_cold = [&](const ExecutionPlan& plan) {
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+    InferenceResult result;
+    engine.RunCold(moe, plan, 0, {}, ColdRunOptions{},
+                   [&](const InferenceResult& r) { result = r; });
+    sim.Run();
+    return result;
+  };
+
+  Table table({"plan", "GPU-resident", "host-resident", "cold latency", "stall"});
+  const struct {
+    const char* name;
+    const ExecutionPlan* plan;
+  } rows[] = {{"dense (load all experts)", &dense},
+              {"expert-aware (active only)", &expert_aware},
+              {"Algorithm 1 (discovered)", &discovered}};
+  for (const auto& row : rows) {
+    const InferenceResult r = run_cold(*row.plan);
+    table.AddRow({row.name, FormatBytes(row.plan->GpuResidentBytes(profile)),
+                  FormatBytes(row.plan->HostResidentBytes(profile)),
+                  FormatDuration(r.latency), FormatDuration(r.stall)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpert-aware provisioning skips the inactive experts' "
+               "transfer entirely — the Section 7 claim.\n";
+  return 0;
+}

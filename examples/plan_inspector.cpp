@@ -1,0 +1,76 @@
+// Plan inspector: profile a model, generate the DeepPlan execution plan, and
+// dump every per-layer decision with the numbers behind it (load time,
+// in-memory vs DHA execution, PerfDiff) plus the projected timeline — the
+// tool an ML practitioner would use to understand *why* a layer stays
+// host-side (Table 3 of the paper, but for the whole model).
+//
+//   ./build/examples/plan_inspector --model=gpt2 --partitions=2 --save=plan.txt
+#include <fstream>
+#include <iostream>
+
+#include "src/deepplan.h"
+
+int main(int argc, char** argv) {
+  using namespace deepplan;
+
+  Flags flags;
+  flags.DefineString("model", "bert_base", "zoo model name");
+  flags.DefineInt("partitions", 0,
+                  "parallel-transmission partitions (0 = let topology decide)");
+  flags.DefineBool("greedy", false,
+                   "show the greedy per-layer plan instead of Algorithm 1");
+  flags.DefineString("save", "", "write the serialized plan to this file");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const Model model = ModelZoo::ByName(flags.GetString("model"));
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  Profiler profiler(&perf);
+  const ModelProfile profile = profiler.Profile(model);
+
+  Planner planner(&profile);
+  PlannerOptions options;
+  options.num_partitions = flags.GetInt("partitions") > 0
+                               ? static_cast<int>(flags.GetInt("partitions"))
+                               : TransmissionPlanner::ChooseDegree(topology, 0);
+  options.pipeline.nvlink = topology.nvlink();
+  const ExecutionPlan plan = flags.GetBool("greedy")
+                                 ? planner.GreedyDhaPlan()
+                                 : planner.GeneratePlan(options);
+  const PipelineResult timeline = SimulatePipeline(profile, plan, options.pipeline);
+
+  std::cout << "Model " << model.name() << ": " << model.num_layers() << " layers, "
+            << FormatBytes(model.total_param_bytes()) << " parameters\n"
+            << "Plan: " << plan.CountDha() << " DHA layers, " << plan.num_partitions()
+            << " partition(s); GPU-resident "
+            << FormatBytes(plan.GpuResidentBytes(profile)) << ", host-resident "
+            << FormatBytes(plan.HostResidentBytes(profile)) << "\n"
+            << "Projected cold latency " << FormatDuration(timeline.total)
+            << " (exec " << FormatDuration(timeline.exec_busy) << ", stall "
+            << FormatDuration(timeline.total_stall) << ")\n\n";
+
+  Table table({"#", "kind", "name", "part", "method", "load", "exec(mem)",
+               "exec(DHA)", "PerfDiff", "stall"});
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    const LayerProfile& lp = profile.layers[i];
+    if (!lp.has_params()) {
+      continue;
+    }
+    table.AddRow({std::to_string(i), LayerKindName(lp.kind), lp.name,
+                  std::to_string(plan.partition(i)),
+                  plan.method(i) == ExecMethod::kDirectHostAccess ? "DHA" : "load",
+                  FormatDuration(lp.load), FormatDuration(lp.exec_in_mem),
+                  FormatDuration(lp.exec_dha), FormatDuration(lp.PerfDiff()),
+                  FormatDuration(timeline.layers[i].stall)});
+  }
+  table.Print(std::cout);
+
+  if (!flags.GetString("save").empty()) {
+    std::ofstream out(flags.GetString("save"));
+    out << plan.Serialize();
+    std::cout << "\nplan written to " << flags.GetString("save") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation into results/.
+# Usage: scripts/run_all.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "build first: cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+for bench in "$BUILD_DIR"/bench/*; do
+  if [ -x "$bench" ] && [ -f "$bench" ]; then
+    name="$(basename "$bench")"
+    echo "== $name"
+    "$bench" >"$RESULTS_DIR/$name.txt" 2>&1
+  fi
+done
+echo "results written to $RESULTS_DIR/"

@@ -1,0 +1,54 @@
+// Analytic pipelined-provisioning timeline. Given a profile and a plan, this
+// computes, layer by layer, when parameters become available on the primary
+// GPU (via PCIe load, NVLink forwarding, or immediately for DHA layers) and
+// when execution can start — i.e. the stall structure of Figures 7-9. The
+// planner (Algorithm 1) iterates this model; the event-driven engine must and
+// does agree with it in the uncontended case (verified by tests).
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/core/profile.h"
+#include "src/hw/gpu.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+struct PipelineOptions {
+  // NVLink characteristics for forwarding partitions k>0 to the primary GPU.
+  NvlinkSpec nvlink = NvlinkSpec::V100Nvlink();
+  // Per-partition PCIe bandwidth derating (1.0 = dedicated switch uplink;
+  // 0.5 models two partitions sharing one switch). Index = partition id.
+  // Missing entries default to 1.0.
+  std::vector<double> pcie_share;
+  // When false, execution waits for the *entire* model before starting
+  // (the paper's Baseline); when true, per-layer pipelining (PipeSwitch and
+  // DeepPlan behaviour).
+  bool pipelined = true;
+};
+
+struct LayerTiming {
+  Nanos ready = 0;       // params available on the primary GPU (0 for DHA)
+  Nanos exec_start = 0;
+  Nanos exec_end = 0;
+  Nanos stall = 0;       // exec_start - previous exec_end (idle wait)
+  ExecMethod method = ExecMethod::kLoad;
+};
+
+struct PipelineResult {
+  std::vector<LayerTiming> layers;
+  Nanos total = 0;        // completion of the last layer's execution
+  Nanos total_stall = 0;  // sum of per-layer stalls
+  Nanos exec_busy = 0;    // sum of execution times
+  Nanos load_done = 0;    // when the last byte lands on the primary GPU
+};
+
+// Computes the timeline. `profile` and `plan` must agree on layer count.
+PipelineResult SimulatePipeline(const ModelProfile& profile, const ExecutionPlan& plan,
+                                const PipelineOptions& options = PipelineOptions());
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PIPELINE_H_

@@ -1,0 +1,157 @@
+#include "src/core/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+const char* ExecMethodName(ExecMethod method) {
+  switch (method) {
+    case ExecMethod::kLoad:
+      return "load";
+    case ExecMethod::kDirectHostAccess:
+      return "dha";
+  }
+  return "?";
+}
+
+ExecutionPlan::ExecutionPlan(std::string model_name, std::size_t num_layers)
+    : model_name_(std::move(model_name)), decisions_(num_layers) {}
+
+const LayerDecision& ExecutionPlan::decision(std::size_t i) const {
+  DP_CHECK(i < decisions_.size());
+  return decisions_[i];
+}
+
+void ExecutionPlan::set_method(std::size_t i, ExecMethod method) {
+  DP_CHECK(i < decisions_.size());
+  decisions_[i].method = method;
+}
+
+void ExecutionPlan::set_partition(std::size_t i, int partition) {
+  DP_CHECK(i < decisions_.size());
+  DP_CHECK(partition >= 0);
+  decisions_[i].partition = partition;
+  num_partitions_ = std::max(num_partitions_, partition + 1);
+}
+
+std::size_t ExecutionPlan::CountDha() const {
+  std::size_t n = 0;
+  for (const auto& d : decisions_) {
+    if (d.method == ExecMethod::kDirectHostAccess) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::int64_t ExecutionPlan::GpuResidentBytes(const ModelProfile& profile) const {
+  DP_CHECK(profile.layers.size() == decisions_.size());
+  std::int64_t bytes = 0;
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    if (decisions_[i].method == ExecMethod::kLoad) {
+      bytes += profile.layers[i].param_bytes;
+    }
+  }
+  return bytes;
+}
+
+std::int64_t ExecutionPlan::HostResidentBytes(const ModelProfile& profile) const {
+  DP_CHECK(profile.layers.size() == decisions_.size());
+  std::int64_t bytes = 0;
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    if (decisions_[i].method == ExecMethod::kDirectHostAccess) {
+      bytes += profile.layers[i].param_bytes;
+    }
+  }
+  return bytes;
+}
+
+std::optional<std::string> ExecutionPlan::Validate(const ModelProfile& profile) const {
+  if (profile.layers.size() != decisions_.size()) {
+    return "layer count mismatch between plan and profile";
+  }
+  int max_seen = -1;
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    const auto& d = decisions_[i];
+    if (d.partition < 0 || d.partition >= num_partitions_) {
+      return "layer " + std::to_string(i) + " has out-of-range partition";
+    }
+    if (d.partition < max_seen) {
+      return "partitions are not contiguous at layer " + std::to_string(i);
+    }
+    // Partition boundaries must be non-decreasing and gapless.
+    if (d.partition > max_seen + 1) {
+      return "partition index jumps at layer " + std::to_string(i);
+    }
+    max_seen = std::max(max_seen, d.partition);
+    if (d.method == ExecMethod::kDirectHostAccess && d.partition != 0) {
+      return "DHA layer " + std::to_string(i) + " outside partition 0";
+    }
+    if (d.method == ExecMethod::kDirectHostAccess &&
+        profile.layers[i].param_bytes == 0) {
+      return "DHA on parameter-free layer " + std::to_string(i);
+    }
+  }
+  if (max_seen + 1 != num_partitions_) {
+    return "num_partitions does not match used partitions";
+  }
+  return std::nullopt;
+}
+
+std::string ExecutionPlan::Serialize() const {
+  std::ostringstream os;
+  os << "deepplan-v1 " << model_name_ << " layers=" << decisions_.size()
+     << " partitions=" << num_partitions_ << "\n";
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    os << i << " " << ExecMethodName(decisions_[i].method) << " "
+       << decisions_[i].partition << "\n";
+  }
+  return os.str();
+}
+
+std::optional<ExecutionPlan> ExecutionPlan::Parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::string model;
+  std::string layers_kv;
+  std::string parts_kv;
+  if (!(is >> magic >> model >> layers_kv >> parts_kv) || magic != "deepplan-v1") {
+    return std::nullopt;
+  }
+  const auto parse_kv = [](const std::string& kv, const char* key) -> long {
+    const std::string prefix = std::string(key) + "=";
+    if (kv.rfind(prefix, 0) != 0) {
+      return -1;
+    }
+    return std::strtol(kv.c_str() + prefix.size(), nullptr, 10);
+  };
+  const long n = parse_kv(layers_kv, "layers");
+  const long parts = parse_kv(parts_kv, "partitions");
+  if (n < 0 || parts < 1) {
+    return std::nullopt;
+  }
+  ExecutionPlan plan(model, static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    long idx = 0;
+    std::string method;
+    long partition = 0;
+    if (!(is >> idx >> method >> partition) || idx != i) {
+      return std::nullopt;
+    }
+    if (method == "dha") {
+      plan.set_method(static_cast<std::size_t>(i), ExecMethod::kDirectHostAccess);
+    } else if (method != "load") {
+      return std::nullopt;
+    }
+    plan.set_partition(static_cast<std::size_t>(i), static_cast<int>(partition));
+  }
+  if (plan.num_partitions() != static_cast<int>(parts)) {
+    return std::nullopt;
+  }
+  return plan;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,76 @@
+// Inference execution plans: per-layer execution method (load vs
+// direct-host-access) plus the parallel-transmission partition assignment.
+// A plan is what DeepPlan emits (Figure 10 step 4) and what the execution
+// engine consumes. Plans serialize to a small line-oriented text format so
+// they can be generated once and deployed (Section 4.3's one-time process).
+#ifndef SRC_CORE_PLAN_H_
+#define SRC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/profile.h"
+
+namespace deepplan {
+
+enum class ExecMethod {
+  kLoad,              // copy params to GPU memory, then execute (O in Table 3)
+  kDirectHostAccess,  // execute against host memory, never load (X in Table 3)
+};
+
+const char* ExecMethodName(ExecMethod method);
+
+struct LayerDecision {
+  ExecMethod method = ExecMethod::kLoad;
+  // Parallel-transmission partition this layer belongs to; partition 0 goes
+  // straight to the primary GPU, partition k>0 loads via secondary GPU k and
+  // is forwarded over NVLink.
+  int partition = 0;
+};
+
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+  ExecutionPlan(std::string model_name, std::size_t num_layers);
+
+  const std::string& model_name() const { return model_name_; }
+  std::size_t num_layers() const { return decisions_.size(); }
+
+  const LayerDecision& decision(std::size_t i) const;
+  ExecMethod method(std::size_t i) const { return decision(i).method; }
+  int partition(std::size_t i) const { return decision(i).partition; }
+
+  void set_method(std::size_t i, ExecMethod method);
+  void set_partition(std::size_t i, int partition);
+
+  // Highest partition index + 1 (1 when no parallel transmission).
+  int num_partitions() const { return num_partitions_; }
+
+  std::size_t CountDha() const;
+
+  // GPU memory this plan occupies once provisioned: every kLoad layer's
+  // parameters. DHA layers stay in pinned host memory (this is how DeepPlan
+  // packs more instances per GPU in Figure 13).
+  std::int64_t GpuResidentBytes(const ModelProfile& profile) const;
+  std::int64_t HostResidentBytes(const ModelProfile& profile) const;
+
+  // Validation against a profile: size match, contiguous partitions starting
+  // at 0, and no DHA layer outside partition 0. Returns an error description
+  // or nullopt when valid.
+  std::optional<std::string> Validate(const ModelProfile& profile) const;
+
+  // Text round-trip.
+  std::string Serialize() const;
+  static std::optional<ExecutionPlan> Parse(const std::string& text);
+
+ private:
+  std::string model_name_;
+  std::vector<LayerDecision> decisions_;
+  int num_partitions_ = 1;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PLAN_H_

@@ -1,0 +1,70 @@
+#include "src/core/plan_repository.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace deepplan {
+
+PlanRepository::PlanRepository(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string PlanRepository::Key(const std::string& model_name,
+                                const std::string& topology_name,
+                                const std::string& strategy_label, int batch) {
+  std::string key =
+      model_name + "@" + topology_name + "@" + strategy_label + "@b" +
+      std::to_string(batch);
+  for (char& c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '@' ||
+                    c == '.';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return key;
+}
+
+std::string PlanRepository::PathFor(const std::string& key) const {
+  return directory_ + "/" + key + ".plan";
+}
+
+std::optional<ExecutionPlan> PlanRepository::Load(const std::string& key) {
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  if (directory_.empty()) {
+    return std::nullopt;
+  }
+  std::ifstream in(PathFor(key));
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto plan = ExecutionPlan::Parse(buffer.str());
+  if (plan.has_value()) {
+    cache_.emplace(key, *plan);
+  }
+  return plan;
+}
+
+bool PlanRepository::Store(const std::string& key, const ExecutionPlan& plan) {
+  cache_.insert_or_assign(key, plan);
+  if (directory_.empty()) {
+    return true;
+  }
+  std::ofstream out(PathFor(key));
+  if (!out) {
+    return false;
+  }
+  out << plan.Serialize();
+  return static_cast<bool>(out);
+}
+
+bool PlanRepository::Contains(const std::string& key) {
+  return Load(key).has_value();
+}
+
+}  // namespace deepplan

@@ -1,0 +1,48 @@
+// Plan repository: persists generated execution plans keyed by
+// (model, topology, strategy label, batch). The paper's planning step is a
+// one-time process per (model, server) pair — this is the deployment-side
+// cache that makes it so: plan once on the target box, store, and every
+// serving process loads the plan file instead of re-profiling.
+#ifndef SRC_CORE_PLAN_REPOSITORY_H_
+#define SRC_CORE_PLAN_REPOSITORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/plan.h"
+
+namespace deepplan {
+
+class PlanRepository {
+ public:
+  // `directory` must exist; plan files are written beneath it. An empty
+  // directory string makes the repository memory-only.
+  explicit PlanRepository(std::string directory);
+
+  // Canonical cache key; safe to use as a file name.
+  static std::string Key(const std::string& model_name,
+                         const std::string& topology_name,
+                         const std::string& strategy_label, int batch);
+
+  // Fetches a plan (memory first, then disk). nullopt if absent or corrupt.
+  std::optional<ExecutionPlan> Load(const std::string& key);
+
+  // Stores a plan in memory and (when a directory is configured) on disk.
+  // Returns false if the disk write failed; the memory cache is still
+  // updated.
+  bool Store(const std::string& key, const ExecutionPlan& plan);
+
+  bool Contains(const std::string& key);
+  std::size_t MemoryCacheSize() const { return cache_.size(); }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string directory_;
+  std::map<std::string, ExecutionPlan> cache_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PLAN_REPOSITORY_H_

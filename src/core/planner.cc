@@ -1,0 +1,119 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/transmission.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+const char* CandidateOrderName(CandidateOrder order) {
+  switch (order) {
+    case CandidateOrder::kPerfDiffAscending:
+      return "PerfDiff-ascending (paper)";
+    case CandidateOrder::kLoadDescending:
+      return "Load-descending";
+    case CandidateOrder::kLayerOrder:
+      return "Layer-order";
+  }
+  return "?";
+}
+
+Planner::Planner(const ModelProfile* profile) : profile_(profile) {
+  DP_CHECK(profile != nullptr);
+}
+
+ExecutionPlan Planner::GreedyDhaPlan() const {
+  ExecutionPlan plan(profile_->model_name, profile_->num_layers());
+  for (std::size_t i = 0; i < profile_->num_layers(); ++i) {
+    const LayerProfile& lp = profile_->layers[i];
+    if (lp.has_params() && lp.exec_dha < lp.load + lp.exec_in_mem) {
+      plan.set_method(i, ExecMethod::kDirectHostAccess);
+    }
+  }
+  return plan;
+}
+
+void Planner::ReduceStallsWithDha(ExecutionPlan* plan, const PipelineOptions& pipeline,
+                                  CandidateOrder order) const {
+  const std::size_t n = profile_->num_layers();
+  // Algorithm 1. The timeline is re-evaluated after every accepted change
+  // ("UpdatePipelineExecutionFrom"), which also refreshes the stalls of all
+  // later layers.
+  PipelineResult timeline = SimulatePipeline(*profile_, *plan, pipeline);
+  for (std::size_t i = 0; i < n; ++i) {
+    Nanos stall = timeline.layers[i].stall;
+    if (stall <= 0) {
+      continue;
+    }
+    // Step 1: candidate layers L_1..L_i not yet DHA, in partition 0, with
+    // parameters, sorted by PerfDiff ascending (smallest slowdown first).
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (plan->method(j) == ExecMethod::kLoad && plan->partition(j) == 0 &&
+          profile_->layers[j].has_params()) {
+        candidates.push_back(j);
+      }
+    }
+    switch (order) {
+      case CandidateOrder::kPerfDiffAscending:
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return profile_->layers[a].PerfDiff() <
+                                  profile_->layers[b].PerfDiff();
+                         });
+        break;
+      case CandidateOrder::kLoadDescending:
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return profile_->layers[a].load > profile_->layers[b].load;
+                         });
+        break;
+      case CandidateOrder::kLayerOrder:
+        break;  // already front-to-back
+    }
+    bool changed = false;
+    for (std::size_t j : candidates) {
+      const LayerProfile& lj = profile_->layers[j];
+      // Step 2: L_j only helps if converting it costs less extra execution
+      // time than the stall it attacks. With the paper's ordering the first
+      // failure ends the search for L_i; with the ablation orderings a later
+      // candidate could still qualify, so skip instead of breaking.
+      if (stall < lj.PerfDiff()) {
+        if (order == CandidateOrder::kPerfDiffAscending) {
+          break;
+        }
+        continue;
+      }
+      // Step 3: convert L_j and account for its eliminated load time and the
+      // execution-time delta.
+      plan->set_method(j, ExecMethod::kDirectHostAccess);
+      changed = true;
+      stall -= lj.load + lj.PerfDiff();
+      // Step 4: once the stall is gone, refresh the timeline and move on.
+      if (stall <= 0) {
+        break;
+      }
+    }
+    if (changed) {
+      timeline = SimulatePipeline(*profile_, *plan, pipeline);
+    }
+  }
+}
+
+ExecutionPlan Planner::GeneratePlan(const PlannerOptions& options) const {
+  DP_CHECK(options.num_partitions >= 1);
+  ExecutionPlan plan(profile_->model_name, profile_->num_layers());
+  if (options.num_partitions > 1) {
+    TransmissionPlanner::AssignPartitions(*profile_, options.num_partitions, &plan);
+  }
+  if (options.enable_dha) {
+    ReduceStallsWithDha(&plan, options.pipeline, options.candidate_order);
+  }
+  const auto error = plan.Validate(*profile_);
+  DP_CHECK(!error.has_value());
+  return plan;
+}
+
+}  // namespace deepplan

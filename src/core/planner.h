@@ -1,0 +1,59 @@
+// The layer execution planner (Section 4.3.2, Algorithm 1): decides, per
+// layer, between load-then-execute and direct-host-access so that pipeline
+// stalls are minimized — crucially *not* by greedy per-layer comparison but by
+// spending DHA on earlier layers whose eliminated load time pulls subsequent
+// loads forward (Figures 7 and 8).
+#ifndef SRC_CORE_PLANNER_H_
+#define SRC_CORE_PLANNER_H_
+
+#include "src/core/pipeline.h"
+#include "src/core/plan.h"
+#include "src/core/profile.h"
+
+namespace deepplan {
+
+// Order in which Algorithm 1 examines candidate layers when attacking a
+// stall. The paper sorts by PerfDiff ascending ("the smaller the difference,
+// the more the stall time can be reduced"); the alternatives exist for the
+// planner-ordering ablation bench.
+enum class CandidateOrder {
+  kPerfDiffAscending,  // the paper's Algorithm 1, step 1
+  kLoadDescending,     // attack the biggest transfers first
+  kLayerOrder,         // naive front-to-back
+};
+
+const char* CandidateOrderName(CandidateOrder order);
+
+struct PlannerOptions {
+  PipelineOptions pipeline;
+  // Number of parallel-transmission partitions (1 = DHA only). Callers obtain
+  // the right value from TransmissionPlanner::ChooseDegree.
+  int num_partitions = 1;
+  // Enable the direct-host-access pass (Algorithm 1) on partition 0.
+  bool enable_dha = true;
+  CandidateOrder candidate_order = CandidateOrder::kPerfDiffAscending;
+};
+
+class Planner {
+ public:
+  explicit Planner(const ModelProfile* profile);
+
+  // The paper's "Initial approach" (Table 3): independently pick DHA wherever
+  // Exe(DHA) < Load + Exe(InMem), ignoring pipeline effects.
+  ExecutionPlan GreedyDhaPlan() const;
+
+  // Full DeepPlan generation: partition for parallel transmission, then run
+  // Algorithm 1 on the first partition.
+  ExecutionPlan GeneratePlan(const PlannerOptions& options = PlannerOptions()) const;
+
+ private:
+  // Algorithm 1 over partition 0 of `plan` (in place).
+  void ReduceStallsWithDha(ExecutionPlan* plan, const PipelineOptions& pipeline,
+                           CandidateOrder order) const;
+
+  const ModelProfile* profile_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PLANNER_H_

@@ -1,0 +1,29 @@
+#include "src/core/profile.h"
+
+namespace deepplan {
+
+Nanos ModelProfile::TotalLoad() const {
+  Nanos total = 0;
+  for (const auto& l : layers) {
+    total += l.load;
+  }
+  return total;
+}
+
+Nanos ModelProfile::TotalExecInMem() const {
+  Nanos total = 0;
+  for (const auto& l : layers) {
+    total += l.exec_in_mem;
+  }
+  return total;
+}
+
+std::int64_t ModelProfile::TotalParamBytes() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) {
+    total += l.param_bytes;
+  }
+  return total;
+}
+
+}  // namespace deepplan

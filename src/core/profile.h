@@ -1,0 +1,46 @@
+// Per-layer performance profiles: the planner's input (Figure 10 step 1).
+// A ModelProfile is what the paper's one-time pre-run produces — load time,
+// in-memory execution time, and direct-host-access execution time per layer.
+#ifndef SRC_CORE_PROFILE_H_
+#define SRC_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/model.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+struct LayerProfile {
+  std::string name;
+  LayerKind kind = LayerKind::kActivation;
+  std::int64_t param_bytes = 0;
+
+  Nanos load = 0;         // host->GPU transfer time of this layer's params
+  Nanos exec_in_mem = 0;  // execution with params resident in GPU memory
+  Nanos exec_dha = 0;     // execution with params left in host memory
+
+  bool has_params() const { return param_bytes > 0; }
+
+  // Exe(DHA) - Exe(InMem), the paper's PerfDiff. Negative means DHA is
+  // strictly faster even ignoring the saved load.
+  Nanos PerfDiff() const { return exec_dha - exec_in_mem; }
+};
+
+struct ModelProfile {
+  std::string model_name;
+  int batch = 1;
+  int iterations = 1;
+  std::vector<LayerProfile> layers;
+
+  std::size_t num_layers() const { return layers.size(); }
+  Nanos TotalLoad() const;
+  Nanos TotalExecInMem() const;
+  std::int64_t TotalParamBytes() const;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PROFILE_H_

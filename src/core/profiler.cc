@@ -1,0 +1,65 @@
+#include "src/core/profiler.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace deepplan {
+
+Profiler::Profiler(const PerfModel* perf, ProfilerOptions options)
+    : perf_(perf), options_(options) {
+  DP_CHECK(perf != nullptr);
+  DP_CHECK(options_.iterations >= 1);
+}
+
+ModelProfile Profiler::Profile(const Model& model) const {
+  ModelProfile profile;
+  profile.model_name = model.name();
+  profile.batch = options_.batch;
+  profile.iterations = options_.iterations;
+  profile.layers.reserve(model.num_layers());
+
+  Rng rng(options_.seed);
+  auto measure = [&](Nanos truth) -> Nanos {
+    if (truth == 0) {
+      return 0;
+    }
+    double sum = 0.0;
+    for (int it = 0; it < options_.iterations; ++it) {
+      const double noisy = static_cast<double>(truth) *
+                           (1.0 + rng.NextGaussian(0.0, options_.noise_stddev));
+      sum += std::max(0.0, noisy);
+    }
+    return static_cast<Nanos>(sum / options_.iterations);
+  };
+
+  for (const Layer& l : model.layers()) {
+    LayerProfile lp;
+    lp.name = l.name;
+    lp.kind = l.kind;
+    lp.param_bytes = l.param_bytes;
+    lp.load = measure(perf_->LoadTime(l));
+    lp.exec_in_mem = measure(perf_->ExecInMemory(l, options_.batch));
+    lp.exec_dha = measure(perf_->ExecDha(l, options_.batch));
+    profile.layers.push_back(std::move(lp));
+  }
+  return profile;
+}
+
+ProfilingCost Profiler::Cost(const Model& model) const {
+  ProfilingCost cost;
+  const auto n = static_cast<Nanos>(model.num_layers());
+  const auto iters = static_cast<Nanos>(options_.iterations);
+  for (const Layer& l : model.layers()) {
+    cost.dha_pass += iters * perf_->ExecDha(l, options_.batch);
+    cost.in_memory_pass += iters * perf_->ExecInMemory(l, options_.batch);
+    cost.layer_load_pass += iters * perf_->LoadTime(l);
+  }
+  cost.dha_pass += iters * n * options_.dha_pass_overhead_per_layer;
+  cost.in_memory_pass += iters * n * options_.sync_overhead_per_layer;
+  cost.layer_load_pass += iters * n * options_.sync_overhead_per_layer;
+  return cost;
+}
+
+}  // namespace deepplan

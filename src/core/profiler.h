@@ -1,0 +1,55 @@
+// The profiling step of DeepPlan (Section 4.3.1): a one-time pre-run that
+// measures, per layer, the load time and both execution modes. On real
+// hardware this times CUDA kernels; here the "measurement" samples the
+// calibrated performance model with seeded iteration noise and averages over
+// `iterations` runs, exactly like the paper's 10-iteration methodology.
+// It also reports the simulated wall-clock cost of profiling (Table 5).
+#ifndef SRC_CORE_PROFILER_H_
+#define SRC_CORE_PROFILER_H_
+
+#include <cstdint>
+
+#include "src/core/profile.h"
+#include "src/perf/perf_model.h"
+
+namespace deepplan {
+
+struct ProfilerOptions {
+  int iterations = 10;
+  int batch = 1;
+  std::uint64_t seed = 42;
+  // Relative stddev of per-measurement noise (timer jitter, clock effects).
+  double noise_stddev = 0.01;
+  // Per-layer, per-iteration harness overhead of the DHA pass (allocator
+  // remapping + synchronization), dominating Table 5's DHA column.
+  Nanos dha_pass_overhead_per_layer = Millis(2);
+  // Per-layer, per-iteration synchronization cost of the in-memory and load
+  // passes (cudaDeviceSynchronize + host-side timing).
+  Nanos sync_overhead_per_layer = Micros(30);
+};
+
+struct ProfilingCost {
+  Nanos dha_pass = 0;
+  Nanos in_memory_pass = 0;
+  Nanos layer_load_pass = 0;
+  Nanos Total() const { return dha_pass + in_memory_pass + layer_load_pass; }
+};
+
+class Profiler {
+ public:
+  Profiler(const PerfModel* perf, ProfilerOptions options = ProfilerOptions());
+
+  // Runs the pre-run and returns the averaged per-layer profile.
+  ModelProfile Profile(const Model& model) const;
+
+  // Simulated wall-clock time the pre-run itself takes (Table 5).
+  ProfilingCost Cost(const Model& model) const;
+
+ private:
+  const PerfModel* perf_;
+  ProfilerOptions options_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_PROFILER_H_

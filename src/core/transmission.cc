@@ -1,0 +1,69 @@
+#include "src/core/transmission.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+void TransmissionPlanner::AssignPartitions(const ModelProfile& profile, int degree,
+                                           ExecutionPlan* plan) {
+  DP_CHECK(plan != nullptr);
+  DP_CHECK(degree >= 1);
+  DP_CHECK(plan->num_layers() == profile.num_layers());
+  if (degree == 1) {
+    return;
+  }
+  const std::int64_t total = profile.TotalParamBytes();
+  // Walk layers accumulating bytes; cut to the next partition whenever the
+  // running sum crosses the next equal-bytes boundary. Parameter-free layers
+  // stick with their predecessor's partition (they ride along with the
+  // surrounding computation).
+  std::int64_t acc = 0;
+  int part = 0;
+  for (std::size_t i = 0; i < profile.num_layers(); ++i) {
+    const std::int64_t bytes = profile.layers[i].param_bytes;
+    // Boundary for partition `part` ends at (part+1)/degree of total bytes.
+    while (part + 1 < degree &&
+           acc + bytes / 2 > total * static_cast<std::int64_t>(part + 1) / degree) {
+      ++part;
+    }
+    acc += bytes;
+    plan->set_partition(i, part);
+    if (part > 0) {
+      plan->set_method(i, ExecMethod::kLoad);
+    }
+  }
+}
+
+int TransmissionPlanner::ChooseDegree(const Topology& topology, GpuId primary,
+                                      int max_degree) {
+  const int supported = topology.MaxParallelDegree(primary);
+  return std::max(1, std::min(supported, max_degree));
+}
+
+std::vector<GpuId> TransmissionPlanner::ChooseSecondaries(const Topology& topology,
+                                                          GpuId primary, int degree) {
+  DP_CHECK(degree >= 1);
+  std::vector<GpuId> out;
+  if (degree == 1) {
+    return out;
+  }
+  std::vector<bool> switch_used(topology.num_switches(), false);
+  switch_used[topology.switch_of(primary)] = true;
+  for (GpuId g : topology.ParallelCandidates(primary)) {
+    if (static_cast<int>(out.size()) + 1 >= degree) {
+      break;
+    }
+    const int s = topology.switch_of(g);
+    if (switch_used[s]) {
+      continue;  // avoid pairing GPUs behind one PCIe switch (Table 2)
+    }
+    switch_used[s] = true;
+    out.push_back(g);
+  }
+  DP_CHECK(static_cast<int>(out.size()) == degree - 1);
+  return out;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,39 @@
+// Model transmission planning (Section 4.3.3): split a model into
+// equal-byte contiguous partitions — one per participating GPU — and choose
+// which GPUs participate by consulting the PCIe/NVLink topology (GPUs behind
+// the same PCIe switch contend for the host uplink and must not be paired).
+#ifndef SRC_CORE_TRANSMISSION_H_
+#define SRC_CORE_TRANSMISSION_H_
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/core/profile.h"
+#include "src/hw/topology.h"
+
+namespace deepplan {
+
+class TransmissionPlanner {
+ public:
+  // Partition boundaries: assigns plan partitions 0..degree-1 as contiguous
+  // layer ranges balanced by parameter bytes. Layers in partitions > 0 are
+  // forced to kLoad (parallel transmission cannot skip them; Section 4.3.3).
+  static void AssignPartitions(const ModelProfile& profile, int degree,
+                               ExecutionPlan* plan);
+
+  // Transmission degree the topology supports from `primary`: 1 + one
+  // NVLink-connected GPU per *other* PCIe switch, capped at `max_degree`.
+  // Returns 1 (no parallel transmission) when no NVLink peer exists, matching
+  // the paper's rule of disabling PT without NVLink.
+  static int ChooseDegree(const Topology& topology, GpuId primary,
+                          int max_degree = 1 << 30);
+
+  // Concrete secondary GPUs to use for a transmission of `degree` partitions
+  // from `primary` (degree-1 entries, best candidates first).
+  static std::vector<GpuId> ChooseSecondaries(const Topology& topology, GpuId primary,
+                                              int degree);
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_CORE_TRANSMISSION_H_

@@ -1,0 +1,146 @@
+#include "src/engine/distributed.h"
+
+#include <memory>
+
+#include "src/sim/stream.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+DistributedEngine::DistributedEngine(Simulator* sim, ServerFabric* fabric,
+                                     const PerfModel* perf)
+    : sim_(sim), fabric_(fabric), perf_(perf) {
+  DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
+}
+
+std::int64_t DistributedEngine::BoundaryBytes(const Layer& layer, int batch) {
+  // The output activation is roughly half the layer's in+out traffic; floor
+  // at 4 KiB for control tensors.
+  const std::int64_t bytes = layer.act_bytes / 2 * batch;
+  return bytes < 4096 ? 4096 : bytes;
+}
+
+void DistributedEngine::RunCold(const Model& model, const ExecutionPlan& plan,
+                                const std::vector<GpuId>& gpus,
+                                const DistributedRunOptions& options,
+                                std::function<void(InferenceResult)> done) {
+  const std::size_t n = model.num_layers();
+  DP_CHECK(plan.num_layers() == n);
+  DP_CHECK(static_cast<int>(gpus.size()) >= plan.num_partitions());
+
+  struct Run {
+    Nanos start = 0;
+    InferenceResult result;
+    std::vector<std::unique_ptr<SyncEvent>> arrived;
+    std::unique_ptr<Stream> exec;
+  };
+  auto run = std::make_shared<Run>();
+  run->start = sim_->now();
+  run->result.cold = true;
+  run->result.partitions.resize(plan.num_partitions());
+  run->arrived.resize(n);
+  run->exec = std::make_unique<Stream>(sim_, "exec/distributed");
+
+  // Per-partition PCIe load chains to each partition's own GPU.
+  std::vector<std::vector<std::size_t>> part_layers(plan.num_partitions());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan.method(i) == ExecMethod::kLoad && model.layer(i).has_params()) {
+      part_layers[plan.partition(i)].push_back(i);
+      run->arrived[i] = std::make_unique<SyncEvent>(sim_);
+      run->result.partitions[plan.partition(i)].bytes += model.layer(i).param_bytes;
+    }
+  }
+  for (int p = 0; p < plan.num_partitions(); ++p) {
+    if (part_layers[p].empty()) {
+      continue;
+    }
+    const GpuId target = gpus[p];
+    // Capture the per-layer byte list by value: the chain outlives this frame.
+    std::vector<std::pair<std::size_t, std::int64_t>> items;
+    items.reserve(part_layers[p].size());
+    for (const std::size_t li : part_layers[p]) {
+      items.emplace_back(li, model.layer(li).param_bytes);
+    }
+    auto chain = std::make_shared<std::function<void(std::size_t)>>();
+    *chain = [this, run, p, target, items = std::move(items),
+              chain](std::size_t k) {
+      if (k >= items.size()) {
+        return;
+      }
+      fabric_->fabric().Start(
+          fabric_->HostToGpuPath(target), items[k].second,
+          perf_->calibration().pcie_transfer_overhead,
+          [this, run, p, li = items[k].first, k, chain](Nanos) {
+            run->arrived[li]->Fire();
+            run->result.partitions[p].pcie_done = sim_->now() - run->start;
+            run->result.load_done =
+                std::max(run->result.load_done, sim_->now() - run->start);
+            (*chain)(k + 1);
+          });
+    };
+    (*chain)(0);
+  }
+
+  // Execution stream: walk layers in order; cross NVLink with the activation
+  // at each partition boundary.
+  int prev_part = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Layer& layer = model.layer(i);
+    const int p = plan.partition(i);
+    if (p != prev_part) {
+      const GpuId from = gpus[prev_part];
+      const GpuId to = gpus[p];
+      const std::int64_t bytes =
+          i > 0 ? BoundaryBytes(model.layer(i - 1), options.batch) : 4096;
+      run->exec->Enqueue([this, from, to, bytes, options,
+                          run](std::function<void()> op_done) {
+        fabric_->fabric().Start(
+            fabric_->GpuToGpuPath(from, to), bytes,
+            fabric_->topology().nvlink().transfer_latency +
+                options.boundary_sync_overhead,
+            [op_done = std::move(op_done)](Nanos) { op_done(); });
+      });
+      prev_part = p;
+    }
+    if (plan.method(i) == ExecMethod::kLoad && layer.has_params()) {
+      run->exec->EnqueueWait(run->arrived[i].get());
+    }
+    const Nanos exec = plan.method(i) == ExecMethod::kDirectHostAccess
+                           ? perf_->ExecDha(layer, options.batch)
+                           : perf_->ExecInMemory(layer, options.batch);
+    run->exec->EnqueueDelay(exec);
+    run->result.exec_busy += exec;
+  }
+  run->exec->EnqueueMarker([this, run, done = std::move(done)]() {
+    run->result.latency = sim_->now() - run->start;
+    run->result.stall = run->exec->wait_time();
+    done(run->result);
+  });
+}
+
+Nanos DistributedEngine::WarmDuration(const Model& model, const ExecutionPlan& plan,
+                                      const std::vector<GpuId>& gpus,
+                                      const DistributedRunOptions& options) const {
+  DP_CHECK(plan.num_layers() == model.num_layers());
+  DP_CHECK(static_cast<int>(gpus.size()) >= plan.num_partitions());
+  const NvlinkSpec& nvlink = fabric_->topology().nvlink();
+  Nanos total = 0;
+  int prev_part = 0;
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    const int p = plan.partition(i);
+    if (p != prev_part) {
+      const std::int64_t bytes =
+          i > 0 ? BoundaryBytes(model.layer(i - 1), options.batch) : 4096;
+      const double secs = static_cast<double>(bytes) / nvlink.bw_bytes_per_sec;
+      total += nvlink.transfer_latency + options.boundary_sync_overhead +
+               static_cast<Nanos>(secs * kNanosPerSecond);
+      prev_part = p;
+    }
+    total += plan.method(i) == ExecMethod::kDirectHostAccess
+                 ? perf_->ExecDha(model.layer(i), options.batch)
+                 : perf_->ExecInMemory(model.layer(i), options.batch);
+  }
+  return total;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,302 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/sim/stream.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+ServerFabric::ServerFabric(Simulator* sim, const Topology* topology)
+    : sim_(sim), topology_(topology), fabric_(sim) {
+  DP_CHECK(topology != nullptr);
+  for (int s = 0; s < topology_->num_switches(); ++s) {
+    uplink_of_switch_.push_back(
+        fabric_.AddLink("uplink/sw" + std::to_string(s), topology_->switch_uplink_bw()));
+  }
+  for (GpuId g = 0; g < topology_->num_gpus(); ++g) {
+    pcie_of_gpu_.push_back(fabric_.AddLink(
+        "pcie/gpu" + std::to_string(g), topology_->pcie().effective_bw_bytes_per_sec));
+  }
+  const int n = topology_->num_gpus();
+  nvlink_.assign(n, std::vector<LinkId>(n, -1));
+  for (GpuId a = 0; a < n; ++a) {
+    for (GpuId b = 0; b < n; ++b) {
+      if (a != b && topology_->HasNvlink(a, b)) {
+        nvlink_[a][b] =
+            fabric_.AddLink("nvlink/" + std::to_string(a) + "-" + std::to_string(b),
+                            topology_->nvlink().bw_bytes_per_sec);
+      }
+    }
+  }
+}
+
+std::vector<LinkId> ServerFabric::HostToGpuPath(GpuId gpu) const {
+  DP_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
+  return {uplink_of_switch_[topology_->switch_of(gpu)], pcie_of_gpu_[gpu]};
+}
+
+std::vector<LinkId> ServerFabric::GpuToGpuPath(GpuId from, GpuId to) const {
+  DP_CHECK(from >= 0 && from < topology_->num_gpus());
+  DP_CHECK(to >= 0 && to < topology_->num_gpus());
+  const LinkId link = nvlink_[from][to];
+  DP_CHECK(link >= 0 && "no NVLink between GPUs");
+  return {link};
+}
+
+LinkId ServerFabric::pcie_link(GpuId gpu) const {
+  DP_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
+  return pcie_of_gpu_[gpu];
+}
+
+Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
+    : sim_(sim), fabric_(fabric), perf_(perf) {
+  DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
+}
+
+namespace {
+
+// One transfer unit on a PCIe/NVLink chain: one layer, or several
+// consecutive layers coalesced into a transmission group (PipeSwitch-style
+// grouping amortizes per-copy overhead at the cost of coarser pipelining).
+struct LoadItem {
+  std::vector<std::size_t> layer_indices;
+  std::int64_t bytes = 0;
+  std::string name;  // label for timeline recording
+};
+
+// All mutable state of one in-flight cold run; kept alive by shared_ptr until
+// the execute stream drains.
+struct ColdRun {
+  Nanos start = 0;
+  InferenceResult result;
+  std::vector<std::unique_ptr<SyncEvent>> arrived;       // per layer, primary GPU
+  std::vector<std::unique_ptr<SyncEvent>> at_secondary;  // per layer, secondary GPU
+  std::unique_ptr<SyncEvent> all_loaded;                 // Baseline gate
+  std::unique_ptr<Stream> exec;
+  std::vector<std::unique_ptr<Stream>> migration;  // per partition (index 0 unused)
+  std::vector<std::vector<LoadItem>> part_items;
+  int pending_arrivals = 0;
+};
+
+}  // namespace
+
+void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primary,
+                     std::vector<GpuId> secondaries, const ColdRunOptions& options,
+                     std::function<void(InferenceResult)> done) {
+  const std::size_t n = model.num_layers();
+  DP_CHECK(plan.num_layers() == n);
+  DP_CHECK(static_cast<int>(secondaries.size()) >= plan.num_partitions() - 1);
+
+  auto run = std::make_shared<ColdRun>();
+  run->start = sim_->now();
+  run->result.cold = true;
+  run->result.partitions.resize(plan.num_partitions());
+  run->arrived.resize(n);
+  run->at_secondary.resize(n);
+  run->all_loaded = std::make_unique<SyncEvent>(sim_);
+  run->exec = std::make_unique<Stream>(sim_, "exec/gpu" + std::to_string(primary));
+  run->part_items.resize(plan.num_partitions());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Layer& layer = model.layer(i);
+    if (plan.method(i) == ExecMethod::kLoad && layer.has_params()) {
+      const int p = plan.partition(i);
+      auto& items = run->part_items[p];
+      const int group = options.transfer_group_layers;
+      if (!items.empty() &&
+          static_cast<int>(items.back().layer_indices.size()) < group) {
+        items.back().layer_indices.push_back(i);
+        items.back().bytes += layer.param_bytes;
+        items.back().name += "+" + layer.name;
+      } else {
+        items.push_back(LoadItem{{i}, layer.param_bytes, layer.name});
+      }
+      run->arrived[i] = std::make_unique<SyncEvent>(sim_);
+      run->at_secondary[i] = std::make_unique<SyncEvent>(sim_);
+      ++run->pending_arrivals;
+      run->result.partitions[p].bytes += layer.param_bytes;
+    }
+  }
+  if (run->pending_arrivals == 0) {
+    run->all_loaded->Fire();
+  }
+
+  auto on_arrival = [this, run](std::size_t layer_index, int partition) {
+    run->arrived[layer_index]->Fire();
+    auto& ps = run->result.partitions[partition];
+    ps.arrival_done = std::max(ps.arrival_done, sim_->now() - run->start);
+    run->result.load_done = std::max(run->result.load_done, sim_->now() - run->start);
+    if (--run->pending_arrivals == 0) {
+      run->all_loaded->Fire();
+    }
+  };
+
+  // PCIe load chains: one sequential chain per partition, each through its
+  // own GPU's PCIe lane (primary for partition 0, secondaries for the rest).
+  // The per-transfer DMA-setup overhead is the fabric latency term, so it
+  // serializes into the chain exactly as back-to-back cudaMemcpyAsync calls.
+  for (int p = 0; p < plan.num_partitions(); ++p) {
+    if (run->part_items[p].empty()) {
+      continue;
+    }
+    const GpuId target = p == 0 ? primary : secondaries[p - 1];
+    run->result.partitions[p].pcie_start = 0;
+    const bool record = options.record_timeline;
+    auto chain = std::make_shared<std::function<void(std::size_t)>>();
+    *chain = [this, run, p, target, chain, on_arrival, record](std::size_t k) {
+      const auto& items = run->part_items[p];
+      if (k >= items.size()) {
+        return;
+      }
+      const Nanos op_start = sim_->now() - run->start;
+      fabric_->fabric().Start(
+          fabric_->HostToGpuPath(target), items[k].bytes,
+          perf_->calibration().pcie_transfer_overhead,
+          [this, run, p, k, chain, on_arrival, record, target, op_start](Nanos) {
+            run->result.partitions[p].pcie_done = sim_->now() - run->start;
+            if (record) {
+              run->result.timeline.push_back(
+                  TimelineEvent{"load " + run->part_items[p][k].name,
+                                "pcie/gpu" + std::to_string(target), op_start,
+                                sim_->now() - run->start - op_start});
+            }
+            for (const std::size_t li : run->part_items[p][k].layer_indices) {
+              if (p == 0) {
+                on_arrival(li, p);
+              } else {
+                run->at_secondary[li]->Fire();
+              }
+            }
+            (*chain)(k + 1);
+          });
+    };
+    (*chain)(0);
+  }
+
+  // NVLink migration: forward partitions > 0 from their secondary GPU to the
+  // primary, either per layer (parallel-pipeline) or as one bulk transfer.
+  const NvlinkSpec& nvlink = fabric_->topology().nvlink();
+  for (int p = 1; p < plan.num_partitions(); ++p) {
+    if (run->part_items[p].empty()) {
+      continue;
+    }
+    run->migration.resize(std::max<std::size_t>(run->migration.size(), p + 1));
+    run->migration[p] = std::make_unique<Stream>(sim_, "migrate/p" + std::to_string(p));
+    Stream* mig = run->migration[p].get();
+    const GpuId src = secondaries[p - 1];
+    if (options.migration == MigrationMode::kPipelined) {
+      const bool record = options.record_timeline;
+      for (const LoadItem& item : run->part_items[p]) {
+        for (const std::size_t li : item.layer_indices) {
+          mig->EnqueueWait(run->at_secondary[li].get());
+        }
+        mig->Enqueue([this, run, item, p, src, primary, nvlink, record,
+                      on_arrival](std::function<void()> op_done) {
+          const Nanos op_start = sim_->now() - run->start;
+          fabric_->fabric().Start(
+              fabric_->GpuToGpuPath(src, primary), item.bytes, nvlink.transfer_latency,
+              [this, run, item, p, src, primary, record, op_start, on_arrival,
+               op_done = std::move(op_done)](Nanos) {
+                if (record) {
+                  run->result.timeline.push_back(TimelineEvent{
+                      "migrate " + item.name,
+                      "nvlink/" + std::to_string(src) + "->" + std::to_string(primary),
+                      op_start, sim_->now() - run->start - op_start});
+                }
+                for (const std::size_t li : item.layer_indices) {
+                  on_arrival(li, p);
+                }
+                op_done();
+              });
+        });
+      }
+    } else {
+      std::int64_t bytes = 0;
+      for (const LoadItem& item : run->part_items[p]) {
+        for (const std::size_t li : item.layer_indices) {
+          mig->EnqueueWait(run->at_secondary[li].get());
+        }
+        bytes += item.bytes;
+      }
+      mig->Enqueue([this, run, p, src, primary, bytes, nvlink,
+                    on_arrival](std::function<void()> op_done) {
+        fabric_->fabric().Start(
+            fabric_->GpuToGpuPath(src, primary), bytes, nvlink.transfer_latency,
+            [run, p, on_arrival, op_done = std::move(op_done)](Nanos) {
+              for (const LoadItem& item : run->part_items[p]) {
+                for (const std::size_t li : item.layer_indices) {
+                  on_arrival(li, p);
+                }
+              }
+              op_done();
+            });
+      });
+    }
+  }
+
+  // Execute stream on the primary GPU, gated on per-layer arrival events
+  // (or on the all-loaded event for the non-pipelined Baseline).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Layer& layer = model.layer(i);
+    const bool loads = plan.method(i) == ExecMethod::kLoad && layer.has_params();
+    if (loads) {
+      run->exec->EnqueueWait(options.pipelined ? run->arrived[i].get()
+                                               : run->all_loaded.get());
+    }
+    const Nanos exec = plan.method(i) == ExecMethod::kDirectHostAccess
+                           ? perf_->ExecDha(layer, options.batch)
+                           : perf_->ExecInMemory(layer, options.batch);
+    if (options.record_timeline) {
+      const bool dha = plan.method(i) == ExecMethod::kDirectHostAccess;
+      run->exec->Enqueue([this, run, exec, dha, primary,
+                          name = layer.name](std::function<void()> op_done) {
+        const Nanos op_start = sim_->now() - run->start;
+        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, name,
+                                   op_done = std::move(op_done)]() {
+          run->result.timeline.push_back(
+              TimelineEvent{(dha ? "exec(DHA) " : "exec ") + name,
+                            "exec/gpu" + std::to_string(primary), op_start,
+                            sim_->now() - run->start - op_start});
+          op_done();
+        });
+      });
+    } else {
+      run->exec->EnqueueDelay(exec);
+    }
+    run->result.exec_busy += exec;
+  }
+  run->exec->EnqueueMarker([this, run, done = std::move(done)]() {
+    run->result.latency = sim_->now() - run->start;
+    run->result.stall = run->exec->wait_time();
+    done(run->result);
+  });
+}
+
+Nanos Engine::WarmDuration(const Model& model, const ExecutionPlan& plan,
+                           int batch) const {
+  DP_CHECK(plan.num_layers() == model.num_layers());
+  Nanos total = 0;
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    total += plan.method(i) == ExecMethod::kDirectHostAccess
+                 ? perf_->ExecDha(model.layer(i), batch)
+                 : perf_->ExecInMemory(model.layer(i), batch);
+  }
+  return total;
+}
+
+void Engine::RunWarm(const Model& model, const ExecutionPlan& plan, int batch,
+                     std::function<void(InferenceResult)> done) {
+  const Nanos duration = WarmDuration(model, plan, batch);
+  const Nanos start = sim_->now();
+  sim_->ScheduleAfter(duration, [this, start, duration, done = std::move(done)]() {
+    InferenceResult result;
+    result.latency = sim_->now() - start;
+    result.exec_busy = duration;
+    result.cold = false;
+    done(result);
+  });
+}
+
+}  // namespace deepplan

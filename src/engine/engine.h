@@ -1,0 +1,122 @@
+// Event-driven execution engine: runs cold-start (provisioning + inference)
+// and warm inferences on the simulated server fabric. This is the ground
+// truth the analytic pipeline model approximates; under contention (multiple
+// GPUs loading at once) only the engine is accurate, because transfers share
+// PCIe switch uplinks through the max-min fair fabric.
+//
+// Per Section 4.3.4, a cold run uses three kinds of streams: a load stream
+// per partition (host->GPU over PCIe), a migration stream per secondary GPU
+// (GPU->GPU over NVLink), and one execute stream on the primary GPU gated on
+// per-layer arrival events (cudaStreamWaitEvent semantics).
+#ifndef SRC_ENGINE_ENGINE_H_
+#define SRC_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/hw/topology.h"
+#include "src/model/model.h"
+#include "src/perf/perf_model.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/util/chrome_trace.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+// Topology-aware route table over a Fabric: one uplink link per PCIe switch,
+// one downstream link per GPU, one link per NVLink-connected GPU pair.
+class ServerFabric {
+ public:
+  ServerFabric(Simulator* sim, const Topology* topology);
+
+  Fabric& fabric() { return fabric_; }
+  const Topology& topology() const { return *topology_; }
+
+  std::vector<LinkId> HostToGpuPath(GpuId gpu) const;
+  std::vector<LinkId> GpuToGpuPath(GpuId from, GpuId to) const;
+
+  LinkId pcie_link(GpuId gpu) const;
+
+ private:
+  Simulator* sim_;
+  const Topology* topology_;
+  Fabric fabric_;
+  std::vector<LinkId> uplink_of_switch_;
+  std::vector<LinkId> pcie_of_gpu_;
+  std::vector<std::vector<LinkId>> nvlink_;  // -1 when absent
+};
+
+// How partitions k>0 reach the primary GPU.
+enum class MigrationMode {
+  kPipelined,  // forward each layer as it lands (paper's parallel-pipeline)
+  kBulk,       // forward the whole partition after it fully lands ("parallel")
+};
+
+struct PartitionStats {
+  std::int64_t bytes = 0;   // parameter bytes shipped over this PCIe lane
+  Nanos pcie_start = -1;    // first transfer start (relative to run start)
+  Nanos pcie_done = 0;      // last byte over PCIe
+  Nanos arrival_done = 0;   // last byte available on the primary GPU
+};
+
+struct InferenceResult {
+  Nanos latency = 0;     // request start -> last layer executed
+  Nanos exec_busy = 0;   // sum of layer execution times
+  Nanos stall = 0;       // execute-stream idle time waiting on arrivals
+  Nanos load_done = 0;   // all parameters resident on the primary GPU
+  bool cold = false;
+  std::vector<PartitionStats> partitions;
+  // Per-operation timeline (only populated when ColdRunOptions.record_timeline
+  // is set); exportable via ChromeTraceWriter.
+  std::vector<TimelineEvent> timeline;
+};
+
+struct ColdRunOptions {
+  int batch = 1;
+  // false reproduces the Baseline: execution starts only after the full model
+  // is resident.
+  bool pipelined = true;
+  MigrationMode migration = MigrationMode::kPipelined;
+  // Record a per-operation timeline into InferenceResult::timeline (costs a
+  // few allocations per layer; off in the serving hot path).
+  bool record_timeline = false;
+  // Consecutive parameterized layers coalesced into one PCIe transfer.
+  // 1 = per-layer transmission (the paper's framing); larger groups amortize
+  // the per-copy DMA setup like PipeSwitch's transmission groups, at the
+  // cost of coarser pipelining. See bench/ablation_group_size.
+  int transfer_group_layers = 1;
+};
+
+class Engine {
+ public:
+  Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf);
+
+  // Cold start: provision `model` according to `plan` onto `primary`
+  // (partitions k>0 load via secondaries[k-1]) and execute one inference.
+  // `done` fires at completion. Multiple concurrent runs interact through the
+  // shared fabric.
+  void RunCold(const Model& model, const ExecutionPlan& plan, GpuId primary,
+               std::vector<GpuId> secondaries, const ColdRunOptions& options,
+               std::function<void(InferenceResult)> done);
+
+  // Warm inference: parameters already placed per `plan` (DHA layers execute
+  // from host memory even when warm — that is DeepPlan's residency tradeoff).
+  // Pass a default all-load plan for fully GPU-resident models.
+  void RunWarm(const Model& model, const ExecutionPlan& plan, int batch,
+               std::function<void(InferenceResult)> done);
+
+  // Duration a warm inference takes (closed form; RunWarm occupies this).
+  Nanos WarmDuration(const Model& model, const ExecutionPlan& plan, int batch) const;
+
+ private:
+  Simulator* sim_;
+  ServerFabric* fabric_;
+  const PerfModel* perf_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_ENGINE_ENGINE_H_

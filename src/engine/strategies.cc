@@ -1,0 +1,77 @@
+#include "src/engine/strategies.h"
+
+#include "src/core/transmission.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      return "Baseline";
+    case Strategy::kPipeSwitch:
+      return "PipeSwitch";
+    case Strategy::kDeepPlanDha:
+      return "DeepPlan (DHA)";
+    case Strategy::kDeepPlanPt:
+      return "DeepPlan (PT)";
+    case Strategy::kDeepPlanPtDha:
+      return "DeepPlan (PT+DHA)";
+  }
+  return "?";
+}
+
+std::vector<Strategy> AllStrategies() {
+  return {Strategy::kBaseline, Strategy::kPipeSwitch, Strategy::kDeepPlanDha,
+          Strategy::kDeepPlanPt, Strategy::kDeepPlanPtDha};
+}
+
+int StrategyDegree(Strategy strategy, const Topology& topology, GpuId primary) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+    case Strategy::kPipeSwitch:
+    case Strategy::kDeepPlanDha:
+      return 1;
+    case Strategy::kDeepPlanPt:
+    case Strategy::kDeepPlanPtDha:
+      return TransmissionPlanner::ChooseDegree(topology, primary);
+  }
+  return 1;
+}
+
+ExecutionPlan MakeStrategyPlan(Strategy strategy, const ModelProfile& profile,
+                               int degree, const PipelineOptions& pipeline) {
+  Planner planner(&profile);
+  PlannerOptions options;
+  options.pipeline = pipeline;
+  switch (strategy) {
+    case Strategy::kBaseline:
+    case Strategy::kPipeSwitch:
+      options.enable_dha = false;
+      options.num_partitions = 1;
+      break;
+    case Strategy::kDeepPlanDha:
+      options.enable_dha = true;
+      options.num_partitions = 1;
+      break;
+    case Strategy::kDeepPlanPt:
+      options.enable_dha = false;
+      options.num_partitions = degree;
+      break;
+    case Strategy::kDeepPlanPtDha:
+      options.enable_dha = true;
+      options.num_partitions = degree;
+      break;
+  }
+  return planner.GeneratePlan(options);
+}
+
+ColdRunOptions MakeColdRunOptions(Strategy strategy, int batch) {
+  ColdRunOptions options;
+  options.batch = batch;
+  options.pipelined = strategy != Strategy::kBaseline;
+  options.migration = MigrationMode::kPipelined;
+  return options;
+}
+
+}  // namespace deepplan

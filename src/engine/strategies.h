@@ -1,0 +1,41 @@
+// The five execution options of the paper's evaluation (Section 5.1):
+// Baseline (non-pipelined load-then-execute), PipeSwitch (layer-pipelined
+// transmission), and DeepPlan's DHA, PT, and PT+DHA. A Strategy bundles the
+// plan-generation recipe with the engine options needed to run it.
+#ifndef SRC_ENGINE_STRATEGIES_H_
+#define SRC_ENGINE_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/engine/engine.h"
+
+namespace deepplan {
+
+enum class Strategy {
+  kBaseline,
+  kPipeSwitch,
+  kDeepPlanDha,
+  kDeepPlanPt,
+  kDeepPlanPtDha,
+};
+
+const char* StrategyName(Strategy strategy);
+std::vector<Strategy> AllStrategies();
+
+// Parallel-transmission degree a strategy wants on this topology (1 for the
+// single-GPU strategies).
+int StrategyDegree(Strategy strategy, const Topology& topology, GpuId primary);
+
+// Builds the execution plan a strategy deploys, from a profile. `degree` must
+// come from StrategyDegree (or be 1).
+ExecutionPlan MakeStrategyPlan(Strategy strategy, const ModelProfile& profile,
+                               int degree, const PipelineOptions& pipeline = {});
+
+// Engine options a strategy runs with.
+ColdRunOptions MakeColdRunOptions(Strategy strategy, int batch = 1);
+
+}  // namespace deepplan
+
+#endif  // SRC_ENGINE_STRATEGIES_H_

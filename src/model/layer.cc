@@ -1,0 +1,173 @@
+#include "src/model/layer.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+namespace {
+constexpr std::int64_t kFloatBytes = 4;
+}
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kEmbedding:
+      return "Emb";
+    case LayerKind::kConv2d:
+      return "Conv";
+    case LayerKind::kLinear:
+      return "FC";
+    case LayerKind::kLayerNorm:
+      return "LN";
+    case LayerKind::kBatchNorm:
+      return "BN";
+    case LayerKind::kActivation:
+      return "Act";
+    case LayerKind::kPooling:
+      return "Pool";
+    case LayerKind::kAttention:
+      return "Attn";
+    case LayerKind::kResidual:
+      return "Res";
+  }
+  return "?";
+}
+
+double DhaReuseFactor(LayerKind kind) {
+  // Calibrated to the PCIeRdCur counts in Table 1: DHA/load event ratios are
+  // ~1.79 for convolutions and ~12.1 for fully-connected layers. BatchNorm's
+  // per-channel vectors are read once and broadcast (<1x); LayerNorm's
+  // gain/bias vectors get re-read per token tile (~4x).
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return 1.8;
+    case LayerKind::kLinear:
+      return 12.0;
+    case LayerKind::kBatchNorm:
+      return 0.5;
+    case LayerKind::kLayerNorm:
+      return 4.0;
+    case LayerKind::kEmbedding:
+    case LayerKind::kActivation:
+    case LayerKind::kPooling:
+    case LayerKind::kAttention:
+    case LayerKind::kResidual:
+      return 0.0;  // embeddings are computed from touched rows; the rest have no params
+  }
+  return 0.0;
+}
+
+Layer Layer::Embedding(std::string name, std::int64_t rows, std::int64_t dim,
+                       std::int64_t tokens) {
+  DP_CHECK(rows > 0 && dim > 0 && tokens > 0);
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kEmbedding;
+  l.param_bytes = rows * dim * kFloatBytes;
+  l.flops = tokens * dim;  // gather + copy
+  l.act_bytes = 2 * tokens * dim * kFloatBytes;
+  // Only the looked-up rows cross PCIe under DHA (Table 1: 18,432 64B events
+  // for seq 384 x 768 regardless of table size).
+  l.dha_param_traffic_bytes = tokens * dim * kFloatBytes;
+  l.dha_traffic_scales_with_batch = true;
+  return l;
+}
+
+Layer Layer::Linear(std::string name, std::int64_t in, std::int64_t out,
+                    std::int64_t tokens, bool bias) {
+  DP_CHECK(in > 0 && out > 0 && tokens > 0);
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLinear;
+  l.param_bytes = (in * out + (bias ? out : 0)) * kFloatBytes;
+  l.flops = 2 * in * out * tokens;
+  l.act_bytes = (in + out) * tokens * kFloatBytes;
+  l.dha_param_traffic_bytes =
+      static_cast<std::int64_t>(static_cast<double>(l.param_bytes) *
+                                DhaReuseFactor(l.kind));
+  return l;
+}
+
+Layer Layer::Conv2d(std::string name, std::int64_t c_in, std::int64_t c_out,
+                    std::int64_t kernel, std::int64_t h_out, std::int64_t w_out,
+                    std::int64_t stride) {
+  DP_CHECK(c_in > 0 && c_out > 0 && kernel > 0 && h_out > 0 && w_out > 0 && stride > 0);
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv2d;
+  l.param_bytes = kernel * kernel * c_in * c_out * kFloatBytes;
+  l.flops = 2 * kernel * kernel * c_in * c_out * h_out * w_out;
+  const std::int64_t in_elems = c_in * h_out * w_out * stride * stride;
+  const std::int64_t out_elems = c_out * h_out * w_out;
+  l.act_bytes = (in_elems + out_elems) * kFloatBytes;
+  l.dha_param_traffic_bytes =
+      static_cast<std::int64_t>(static_cast<double>(l.param_bytes) *
+                                DhaReuseFactor(l.kind));
+  return l;
+}
+
+Layer Layer::LayerNorm(std::string name, std::int64_t dim, std::int64_t tokens) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kLayerNorm;
+  l.param_bytes = 2 * dim * kFloatBytes;
+  l.flops = 8 * dim * tokens;
+  l.act_bytes = 2 * tokens * dim * kFloatBytes;
+  l.dha_param_traffic_bytes =
+      static_cast<std::int64_t>(static_cast<double>(l.param_bytes) *
+                                DhaReuseFactor(l.kind));
+  return l;
+}
+
+Layer Layer::BatchNorm(std::string name, std::int64_t channels, std::int64_t spatial) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kBatchNorm;
+  l.param_bytes = 4 * channels * kFloatBytes;  // gamma, beta, running mean/var
+  l.flops = 4 * channels * spatial;
+  l.act_bytes = 2 * channels * spatial * kFloatBytes;
+  l.dha_param_traffic_bytes =
+      static_cast<std::int64_t>(static_cast<double>(l.param_bytes) *
+                                DhaReuseFactor(l.kind));
+  return l;
+}
+
+Layer Layer::Activation(std::string name, std::int64_t elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kActivation;
+  l.flops = elements;
+  l.act_bytes = 2 * elements * kFloatBytes;
+  return l;
+}
+
+Layer Layer::Pooling(std::string name, std::int64_t elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kPooling;
+  l.flops = elements;
+  l.act_bytes = 2 * elements * kFloatBytes;
+  return l;
+}
+
+Layer Layer::Attention(std::string name, std::int64_t tokens, std::int64_t dim) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kAttention;
+  // QK^T and AV each cost 2*tokens^2*dim FLOPs.
+  l.flops = 4 * tokens * tokens * dim;
+  l.act_bytes = (3 * tokens * dim + tokens * tokens) * kFloatBytes;
+  return l;
+}
+
+Layer Layer::Residual(std::string name, std::int64_t elements) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kResidual;
+  l.flops = elements;
+  l.act_bytes = 3 * elements * kFloatBytes;
+  return l;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,80 @@
+// Layer descriptions for the DNN substrate. A Layer captures exactly what the
+// provisioning problem needs: how many parameter bytes must move host->GPU,
+// how much compute/activation traffic an inference performs, and how many
+// parameter bytes a direct-host-access execution would pull across PCIe
+// (Table 1 semantics: embeddings touch only the looked-up rows; conv/linear
+// layers re-read weights with a kind-specific reuse factor).
+#ifndef SRC_MODEL_LAYER_H_
+#define SRC_MODEL_LAYER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace deepplan {
+
+enum class LayerKind {
+  kEmbedding,
+  kConv2d,
+  kLinear,
+  kLayerNorm,
+  kBatchNorm,
+  kActivation,  // ReLU / GELU / softmax-style elementwise ops
+  kPooling,
+  kAttention,  // parameter-free QK^T / AV score computation
+  kResidual,   // parameter-free elementwise add
+};
+
+const char* LayerKindName(LayerKind kind);
+
+// Weight-reuse factor applied to param bytes to get DHA PCIe traffic,
+// calibrated to Table 1 of the paper (conv ~1.8x, fully-connected ~12x,
+// BatchNorm <1x, LayerNorm ~4x).
+double DhaReuseFactor(LayerKind kind);
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kActivation;
+
+  // Parameter bytes that a load-then-execute must copy host->GPU (0 for
+  // parameter-free layers).
+  std::int64_t param_bytes = 0;
+
+  // Forward-pass FLOPs for a single batch-1 inference at the model's
+  // reference input size.
+  std::int64_t flops = 0;
+
+  // Activation bytes read+written in GPU memory for batch 1 (inputs +
+  // outputs); scales linearly with batch size.
+  std::int64_t act_bytes = 0;
+
+  // Parameter bytes pulled across PCIe when executed with direct-host-access,
+  // batch 1. For embeddings this is tokens*dim*4 (touched rows only); for
+  // other parameterized layers it is param_bytes * DhaReuseFactor(kind).
+  std::int64_t dha_param_traffic_bytes = 0;
+
+  // True if DHA traffic scales with batch (embeddings: more rows touched);
+  // weight-reuse layers re-read the same weights regardless of batch.
+  bool dha_traffic_scales_with_batch = false;
+
+  // ---- Factories -----------------------------------------------------------
+  // `tokens` is the sequence length processed per inference item.
+  static Layer Embedding(std::string name, std::int64_t rows, std::int64_t dim,
+                         std::int64_t tokens);
+  static Layer Linear(std::string name, std::int64_t in, std::int64_t out,
+                      std::int64_t tokens, bool bias = true);
+  static Layer Conv2d(std::string name, std::int64_t c_in, std::int64_t c_out,
+                      std::int64_t kernel, std::int64_t h_out, std::int64_t w_out,
+                      std::int64_t stride = 1);
+  static Layer LayerNorm(std::string name, std::int64_t dim, std::int64_t tokens);
+  static Layer BatchNorm(std::string name, std::int64_t channels, std::int64_t spatial);
+  static Layer Activation(std::string name, std::int64_t elements);
+  static Layer Pooling(std::string name, std::int64_t elements);
+  static Layer Attention(std::string name, std::int64_t tokens, std::int64_t dim);
+  static Layer Residual(std::string name, std::int64_t elements);
+
+  bool has_params() const { return param_bytes > 0; }
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_MODEL_LAYER_H_

@@ -1,0 +1,48 @@
+#include "src/model/model.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+Model::Model(std::string name, std::vector<Layer> layers, std::int64_t ref_tokens)
+    : name_(std::move(name)), layers_(std::move(layers)), ref_tokens_(ref_tokens) {
+  for (const Layer& l : layers_) {
+    total_param_bytes_ += l.param_bytes;
+    total_flops_ += l.flops;
+    if (l.has_params()) {
+      ++num_param_layers_;
+    }
+  }
+}
+
+const Layer& Model::layer(std::size_t i) const {
+  DP_CHECK(i < layers_.size());
+  return layers_[i];
+}
+
+std::int64_t Model::ParamBytesInRange(std::size_t first, std::size_t last) const {
+  DP_CHECK(first <= last && last < layers_.size());
+  std::int64_t sum = 0;
+  for (std::size_t i = first; i <= last; ++i) {
+    sum += layers_[i].param_bytes;
+  }
+  return sum;
+}
+
+std::string Model::Summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << layers_.size() << " layers, "
+     << FormatBytes(total_param_bytes_) << " params, " << total_flops_ / 1000000
+     << " MFLOPs @ tokens=" << ref_tokens_ << "\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    os << "  [" << i << "] " << LayerKindName(l.kind) << " " << l.name << " params="
+       << FormatBytes(l.param_bytes) << " flops=" << l.flops << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deepplan

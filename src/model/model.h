@@ -1,0 +1,49 @@
+// A Model is an ordered sequence of layers (the paper treats DNNs as layer
+// chains for provisioning purposes) plus reference-input metadata.
+#ifndef SRC_MODEL_MODEL_H_
+#define SRC_MODEL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/layer.h"
+
+namespace deepplan {
+
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, std::vector<Layer> layers, std::int64_t ref_tokens = 1);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  const Layer& layer(std::size_t i) const;
+  std::size_t num_layers() const { return layers_.size(); }
+
+  // Sequence length (transformers) or 1 (vision) at the reference input.
+  std::int64_t ref_tokens() const { return ref_tokens_; }
+
+  std::int64_t total_param_bytes() const { return total_param_bytes_; }
+  std::int64_t total_flops() const { return total_flops_; }
+  // Number of layers that carry parameters (these are the transfer units).
+  std::size_t num_param_layers() const { return num_param_layers_; }
+
+  // Sum of param bytes over layers [first, last] inclusive.
+  std::int64_t ParamBytesInRange(std::size_t first, std::size_t last) const;
+
+  // One line per layer: index, kind, name, sizes. For plan inspection tools.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::int64_t ref_tokens_ = 1;
+  std::int64_t total_param_bytes_ = 0;
+  std::int64_t total_flops_ = 0;
+  std::size_t num_param_layers_ = 0;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_MODEL_MODEL_H_

@@ -1,0 +1,223 @@
+#include "src/model/model_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace deepplan {
+
+namespace {
+
+// Parses "key=value" attributes after the layer name into a map.
+bool ParseAttrs(std::istringstream& is, std::map<std::string, std::string>* attrs,
+                std::string* error) {
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    (*attrs)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return true;
+}
+
+std::int64_t AttrInt(const std::map<std::string, std::string>& attrs,
+                     const std::string& key, std::int64_t fallback) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) {
+    return fallback;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool RequireAttrs(const std::map<std::string, std::string>& attrs,
+                  std::initializer_list<const char*> keys, std::string* error) {
+  for (const char* key : keys) {
+    if (attrs.find(key) == attrs.end()) {
+      *error = std::string("missing attribute '") + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<LayerKind> KindFromName(const std::string& name) {
+  for (const LayerKind kind :
+       {LayerKind::kEmbedding, LayerKind::kConv2d, LayerKind::kLinear,
+        LayerKind::kLayerNorm, LayerKind::kBatchNorm, LayerKind::kActivation,
+        LayerKind::kPooling, LayerKind::kAttention, LayerKind::kResidual}) {
+    if (name == LayerKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Model> ParseModelSpec(const std::string& text, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  std::string model_name;
+  std::int64_t ref_tokens = 1;
+  std::vector<Layer> layers;
+  int line_no = 0;
+  bool saw_model = false;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream is(line);
+    std::string kind;
+    if (!(is >> kind)) {
+      continue;  // blank/comment line
+    }
+    auto fail = [&](const std::string& msg) {
+      *error = "line " + std::to_string(line_no) + ": " + msg;
+      return std::nullopt;
+    };
+    if (kind == "model") {
+      std::string name;
+      if (!(is >> name)) {
+        return fail("model needs a name");
+      }
+      model_name = name;
+      saw_model = true;
+      std::map<std::string, std::string> attrs;
+      if (!ParseAttrs(is, &attrs, error)) {
+        return fail(*error);
+      }
+      ref_tokens = AttrInt(attrs, "tokens", 1);
+      continue;
+    }
+    if (!saw_model) {
+      return fail("layer before 'model' header");
+    }
+    std::string name;
+    if (!(is >> name)) {
+      return fail(kind + " needs a name");
+    }
+    std::map<std::string, std::string> attrs;
+    if (!ParseAttrs(is, &attrs, error)) {
+      return fail(*error);
+    }
+    const std::int64_t tokens = AttrInt(attrs, "tokens", ref_tokens);
+    if (kind == "embedding") {
+      if (!RequireAttrs(attrs, {"rows", "dim"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Embedding(name, AttrInt(attrs, "rows", 0),
+                                        AttrInt(attrs, "dim", 0), tokens));
+    } else if (kind == "linear") {
+      if (!RequireAttrs(attrs, {"in", "out"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Linear(name, AttrInt(attrs, "in", 0),
+                                     AttrInt(attrs, "out", 0), tokens,
+                                     AttrInt(attrs, "bias", 1) != 0));
+    } else if (kind == "conv2d") {
+      if (!RequireAttrs(attrs, {"cin", "cout", "kernel", "h", "w"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Conv2d(
+          name, AttrInt(attrs, "cin", 0), AttrInt(attrs, "cout", 0),
+          AttrInt(attrs, "kernel", 0), AttrInt(attrs, "h", 0), AttrInt(attrs, "w", 0),
+          AttrInt(attrs, "stride", 1)));
+    } else if (kind == "layernorm") {
+      if (!RequireAttrs(attrs, {"dim"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::LayerNorm(name, AttrInt(attrs, "dim", 0), tokens));
+    } else if (kind == "batchnorm") {
+      if (!RequireAttrs(attrs, {"channels", "spatial"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::BatchNorm(name, AttrInt(attrs, "channels", 0),
+                                        AttrInt(attrs, "spatial", 0)));
+    } else if (kind == "activation") {
+      if (!RequireAttrs(attrs, {"elements"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Activation(name, AttrInt(attrs, "elements", 0)));
+    } else if (kind == "pooling") {
+      if (!RequireAttrs(attrs, {"elements"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Pooling(name, AttrInt(attrs, "elements", 0)));
+    } else if (kind == "attention") {
+      if (!RequireAttrs(attrs, {"dim"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Attention(name, tokens, AttrInt(attrs, "dim", 0)));
+    } else if (kind == "residual") {
+      if (!RequireAttrs(attrs, {"elements"}, error)) {
+        return fail(*error);
+      }
+      layers.push_back(Layer::Residual(name, AttrInt(attrs, "elements", 0)));
+    } else if (kind == "raw") {
+      if (!RequireAttrs(attrs, {"kind", "params", "flops", "act", "dha"}, error)) {
+        return fail(*error);
+      }
+      const auto layer_kind = KindFromName(attrs["kind"]);
+      if (!layer_kind.has_value()) {
+        return fail("unknown raw kind '" + attrs["kind"] + "'");
+      }
+      Layer l;
+      l.name = name;
+      l.kind = *layer_kind;
+      l.param_bytes = AttrInt(attrs, "params", 0);
+      l.flops = AttrInt(attrs, "flops", 0);
+      l.act_bytes = AttrInt(attrs, "act", 0);
+      l.dha_param_traffic_bytes = AttrInt(attrs, "dha", 0);
+      l.dha_traffic_scales_with_batch = AttrInt(attrs, "scales", 0) != 0;
+      layers.push_back(std::move(l));
+    } else {
+      return fail("unknown layer kind '" + kind + "'");
+    }
+  }
+  if (!saw_model) {
+    *error = "no 'model' header";
+    return std::nullopt;
+  }
+  if (layers.empty()) {
+    *error = "model has no layers";
+    return std::nullopt;
+  }
+  return Model(model_name, std::move(layers), ref_tokens);
+}
+
+std::optional<Model> LoadModelSpec(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseModelSpec(buffer.str(), error);
+}
+
+std::string ModelToSpec(const Model& model) {
+  std::ostringstream os;
+  os << "model " << model.name() << " tokens=" << model.ref_tokens() << "\n";
+  for (const Layer& l : model.layers()) {
+    os << "raw " << l.name << " kind=" << LayerKindName(l.kind)
+       << " params=" << l.param_bytes << " flops=" << l.flops << " act=" << l.act_bytes
+       << " dha=" << l.dha_param_traffic_bytes
+       << " scales=" << (l.dha_traffic_scales_with_batch ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deepplan

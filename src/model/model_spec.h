@@ -1,0 +1,44 @@
+// Text model descriptions: a small line-oriented format so users can define
+// custom models for the planner/engine without recompiling (the zoo builders
+// cover the paper's models; this covers everything else). Format:
+//
+//   model <name> tokens=<ref_tokens>
+//   embedding <name> rows=<n> dim=<n>
+//   linear    <name> in=<n> out=<n> [bias=0|1] [tokens=<n>]
+//   conv2d    <name> cin=<n> cout=<n> kernel=<n> h=<n> w=<n> [stride=<n>]
+//   layernorm <name> dim=<n> [tokens=<n>]
+//   batchnorm <name> channels=<n> spatial=<n>
+//   activation <name> elements=<n>
+//   pooling    <name> elements=<n>
+//   attention  <name> dim=<n> [tokens=<n>]
+//   residual   <name> elements=<n>
+//   raw <name> kind=<Kind> params=<bytes> flops=<n> act=<bytes> dha=<bytes> scales=<0|1>
+//
+// '#' starts a comment; tokens defaults to the model's ref_tokens. Layers
+// appear in execution order. `raw` carries a layer's derived quantities
+// verbatim — it is what ModelToSpec emits, making the round trip exact.
+#ifndef SRC_MODEL_MODEL_SPEC_H_
+#define SRC_MODEL_MODEL_SPEC_H_
+
+#include <optional>
+#include <string>
+
+#include "src/model/model.h"
+
+namespace deepplan {
+
+// Parses a model description; returns nullopt and fills *error on failure.
+std::optional<Model> ParseModelSpec(const std::string& text,
+                                    std::string* error = nullptr);
+
+// Loads and parses a description file.
+std::optional<Model> LoadModelSpec(const std::string& path,
+                                   std::string* error = nullptr);
+
+// Renders a model back into the description format (round-trippable for the
+// structural fields; derived quantities like FLOPs are regenerated on parse).
+std::string ModelToSpec(const Model& model);
+
+}  // namespace deepplan
+
+#endif  // SRC_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,210 @@
+#include "src/model/zoo.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+namespace {
+
+// Appends one pre-norm/post-norm agnostic transformer block: QKV + attention +
+// output projection + LayerNorm + FFN + LayerNorm. `blk` is used for names.
+void AppendTransformerBlock(std::vector<Layer>* layers, int blk, std::int64_t hidden,
+                            std::int64_t ffn, std::int64_t seq) {
+  const std::string p = "block" + std::to_string(blk) + ".";
+  layers->push_back(Layer::Linear(p + "attn.q", hidden, hidden, seq));
+  layers->push_back(Layer::Linear(p + "attn.k", hidden, hidden, seq));
+  layers->push_back(Layer::Linear(p + "attn.v", hidden, hidden, seq));
+  layers->push_back(Layer::Attention(p + "attn.scores", seq, hidden));
+  layers->push_back(Layer::Linear(p + "attn.out", hidden, hidden, seq));
+  layers->push_back(Layer::Residual(p + "attn.residual", seq * hidden));
+  layers->push_back(Layer::LayerNorm(p + "attn.ln", hidden, seq));
+  layers->push_back(Layer::Linear(p + "ffn.fc1", hidden, ffn, seq));
+  layers->push_back(Layer::Activation(p + "ffn.gelu", seq * ffn));
+  layers->push_back(Layer::Linear(p + "ffn.fc2", ffn, hidden, seq));
+  layers->push_back(Layer::Residual(p + "ffn.residual", seq * hidden));
+  layers->push_back(Layer::LayerNorm(p + "ffn.ln", hidden, seq));
+}
+
+// Appends one ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand). The first
+// block of a stage may downsample (stride 2) and carries a projection conv on
+// the shortcut.
+void AppendBottleneck(std::vector<Layer>* layers, const std::string& p,
+                      std::int64_t c_in, std::int64_t width, std::int64_t h,
+                      std::int64_t w, bool downsample) {
+  const std::int64_t c_out = width * 4;
+  const std::int64_t stride = downsample && c_in != width * 4 && c_in != 64 ? 2 : 1;
+  const std::int64_t ho = downsample && stride == 2 ? h / 2 : h;
+  const std::int64_t wo = downsample && stride == 2 ? w / 2 : w;
+  layers->push_back(Layer::Conv2d(p + "conv1", c_in, width, 1, ho, wo, stride));
+  layers->push_back(Layer::BatchNorm(p + "bn1", width, ho * wo));
+  layers->push_back(Layer::Activation(p + "relu1", width * ho * wo));
+  layers->push_back(Layer::Conv2d(p + "conv2", width, width, 3, ho, wo));
+  layers->push_back(Layer::BatchNorm(p + "bn2", width, ho * wo));
+  layers->push_back(Layer::Activation(p + "relu2", width * ho * wo));
+  layers->push_back(Layer::Conv2d(p + "conv3", width, c_out, 1, ho, wo));
+  layers->push_back(Layer::BatchNorm(p + "bn3", c_out, ho * wo));
+  if (downsample) {
+    layers->push_back(Layer::Conv2d(p + "downsample", c_in, c_out, 1, ho, wo, stride));
+    layers->push_back(Layer::BatchNorm(p + "downsample.bn", c_out, ho * wo));
+  }
+  layers->push_back(Layer::Residual(p + "residual", c_out * ho * wo));
+  layers->push_back(Layer::Activation(p + "relu3", c_out * ho * wo));
+}
+
+}  // namespace
+
+Model ModelZoo::TransformerEncoder(std::string name, std::int64_t vocab,
+                                   std::int64_t hidden, std::int64_t num_layers,
+                                   std::int64_t ffn, std::int64_t seq) {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Embedding("emb.word", vocab, hidden, seq));
+  layers.push_back(Layer::Embedding("emb.position", 512, hidden, seq));
+  layers.push_back(Layer::Embedding("emb.token_type", 2, hidden, seq));
+  layers.push_back(Layer::LayerNorm("emb.ln", hidden, seq));
+  for (int b = 0; b < num_layers; ++b) {
+    AppendTransformerBlock(&layers, b, hidden, ffn, seq);
+  }
+  layers.push_back(Layer::Linear("pooler", hidden, hidden, 1));
+  return Model(std::move(name), std::move(layers), seq);
+}
+
+Model ModelZoo::TransformerDecoder(std::string name, std::int64_t vocab,
+                                   std::int64_t hidden, std::int64_t num_layers,
+                                   std::int64_t seq) {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Embedding("emb.word", vocab, hidden, seq));
+  layers.push_back(Layer::Embedding("emb.position", 1024, hidden, seq));
+  for (int b = 0; b < num_layers; ++b) {
+    AppendTransformerBlock(&layers, b, hidden, 4 * hidden, seq);
+  }
+  layers.push_back(Layer::LayerNorm("final.ln", hidden, seq));
+  // GPT-2's LM head ties the embedding weights: compute-only here.
+  layers.push_back(Layer::Attention("lm_head.tied", 1, hidden));
+  return Model(std::move(name), std::move(layers), seq);
+}
+
+Model ModelZoo::ResNet(std::string name, const std::vector<int>& blocks_per_stage) {
+  DP_CHECK(blocks_per_stage.size() == 4);
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Conv2d("stem.conv", 3, 64, 7, 112, 112, 2));
+  layers.push_back(Layer::BatchNorm("stem.bn", 64, 112 * 112));
+  layers.push_back(Layer::Activation("stem.relu", 64 * 112 * 112));
+  layers.push_back(Layer::Pooling("stem.maxpool", 64 * 56 * 56));
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  std::int64_t h = 56;
+  std::int64_t w = 56;
+  std::int64_t c_in = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = widths[stage];
+    for (int blk = 0; blk < blocks_per_stage[stage]; ++blk) {
+      const std::string p =
+          "stage" + std::to_string(stage + 1) + ".block" + std::to_string(blk) + ".";
+      const bool first = blk == 0;
+      const bool spatial_down = first && stage > 0;
+      AppendBottleneck(&layers, p, c_in, width, h, w, first);
+      if (spatial_down) {
+        h /= 2;
+        w /= 2;
+      }
+      c_in = width * 4;
+    }
+  }
+  layers.push_back(Layer::Pooling("avgpool", 2048 * 7 * 7));
+  layers.push_back(Layer::Linear("fc", 2048, 1000, 1));
+  return Model(std::move(name), std::move(layers), /*ref_tokens=*/1);
+}
+
+Model ModelZoo::ResNet50() { return ResNet("resnet50", {3, 4, 6, 3}); }
+Model ModelZoo::ResNet101() { return ResNet("resnet101", {3, 4, 23, 3}); }
+
+Model ModelZoo::BertBase() {
+  return TransformerEncoder("bert_base", 30522, 768, 12, 3072, 384);
+}
+Model ModelZoo::BertLarge() {
+  return TransformerEncoder("bert_large", 30522, 1024, 24, 4096, 384);
+}
+Model ModelZoo::RobertaBase() {
+  return TransformerEncoder("roberta_base", 50265, 768, 12, 3072, 384);
+}
+Model ModelZoo::RobertaLarge() {
+  return TransformerEncoder("roberta_large", 50265, 1024, 24, 4096, 384);
+}
+Model ModelZoo::Gpt2() { return TransformerDecoder("gpt2", 50257, 768, 12, 1024); }
+Model ModelZoo::Gpt2Medium() {
+  return TransformerDecoder("gpt2_medium", 50257, 1024, 24, 1024);
+}
+
+std::vector<Model> ModelZoo::PaperModels() {
+  return {ResNet50(),    ResNet101(),    BertBase(), BertLarge(),
+          RobertaBase(), RobertaLarge(), Gpt2(),     Gpt2Medium()};
+}
+
+std::vector<std::string> ModelZoo::Names() {
+  return {"resnet50",     "resnet101",     "bert_base", "bert_large",
+          "roberta_base", "roberta_large", "gpt2",      "gpt2_medium"};
+}
+
+Model ModelZoo::ByName(const std::string& name) {
+  for (Model& m : PaperModels()) {
+    if (m.name() == name) {
+      return std::move(m);
+    }
+  }
+  if (name == "moe_sparse") {
+    return MoeSparse("moe_sparse", 768, 12, 8, 384);
+  }
+  if (name == "oversized") {
+    return Oversized("oversized");
+  }
+  DP_CHECK(false && "unknown model name");
+  return Model();
+}
+
+Model ModelZoo::MoeSparse(std::string name, std::int64_t hidden, std::int64_t num_layers,
+                          std::int64_t experts_per_layer, std::int64_t seq) {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Embedding("emb.word", 30522, hidden, seq));
+  layers.push_back(Layer::Embedding("emb.position", 512, hidden, seq));
+  layers.push_back(Layer::LayerNorm("emb.ln", hidden, seq));
+  for (int b = 0; b < num_layers; ++b) {
+    const std::string p = "block" + std::to_string(b) + ".";
+    layers.push_back(Layer::Linear(p + "attn.q", hidden, hidden, seq));
+    layers.push_back(Layer::Linear(p + "attn.k", hidden, hidden, seq));
+    layers.push_back(Layer::Linear(p + "attn.v", hidden, hidden, seq));
+    layers.push_back(Layer::Attention(p + "attn.scores", seq, hidden));
+    layers.push_back(Layer::Linear(p + "attn.out", hidden, hidden, seq));
+    layers.push_back(Layer::LayerNorm(p + "attn.ln", hidden, seq));
+    layers.push_back(Layer::Linear(p + "router", hidden, experts_per_layer, seq));
+    // One active expert computes; the inactive experts' parameters still
+    // belong to the model (provisioning burden without compute).
+    for (int e = 0; e < experts_per_layer; ++e) {
+      const bool active = e == 0;
+      Layer fc1 = Layer::Linear(p + "expert" + std::to_string(e) + ".fc1", hidden,
+                                4 * hidden, active ? seq : 1);
+      Layer fc2 = Layer::Linear(p + "expert" + std::to_string(e) + ".fc2", 4 * hidden,
+                                hidden, active ? seq : 1);
+      if (!active) {
+        fc1.flops = 0;
+        fc1.act_bytes = 0;
+        fc1.dha_param_traffic_bytes = 0;
+        fc2.flops = 0;
+        fc2.act_bytes = 0;
+        fc2.dha_param_traffic_bytes = 0;
+      }
+      layers.push_back(std::move(fc1));
+      layers.push_back(std::move(fc2));
+    }
+    layers.push_back(Layer::LayerNorm(p + "ffn.ln", hidden, seq));
+  }
+  return Model(std::move(name), std::move(layers), seq);
+}
+
+Model ModelZoo::Oversized(std::string name) {
+  // ~18.9 GiB of parameters: hidden 2560, 96 blocks — larger than one 16 GB
+  // V100, exercising the Section 7 "model does not fit one GPU" scenario.
+  return TransformerDecoder(std::move(name), 50257, 2560, 64, 1024);
+}
+
+}  // namespace deepplan

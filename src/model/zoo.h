@@ -1,0 +1,56 @@
+// Model zoo: layer-accurate synthetic descriptions of the eight models the
+// paper evaluates (Section 5.1), plus parameterized builders and the
+// future-work models (Section 7): an MoE-style sparse model and an
+// over-sized model that does not fit one GPU.
+#ifndef SRC_MODEL_ZOO_H_
+#define SRC_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/model.h"
+
+namespace deepplan {
+
+class ModelZoo {
+ public:
+  // The paper's benchmark set. Sequence length 384 for BERT/RoBERTa, 1024 for
+  // GPT-2 (the paper's "1,204" is read as the standard GPT-2 context 1,024);
+  // 224x224 RGB for ResNet.
+  static Model ResNet50();
+  static Model ResNet101();
+  static Model BertBase();
+  static Model BertLarge();
+  static Model RobertaBase();
+  static Model RobertaLarge();
+  static Model Gpt2();
+  static Model Gpt2Medium();
+
+  // All eight, in the paper's figure order.
+  static std::vector<Model> PaperModels();
+  static Model ByName(const std::string& name);  // aborts on unknown name
+  static std::vector<std::string> Names();
+
+  // Parameterized builders (used by the paper models and by tests).
+  static Model TransformerEncoder(std::string name, std::int64_t vocab,
+                                  std::int64_t hidden, std::int64_t num_layers,
+                                  std::int64_t ffn, std::int64_t seq);
+  static Model TransformerDecoder(std::string name, std::int64_t vocab,
+                                  std::int64_t hidden, std::int64_t num_layers,
+                                  std::int64_t seq);
+  static Model ResNet(std::string name, const std::vector<int>& blocks_per_stage);
+
+  // Future-work models (Section 7).
+  // Sparse MoE: `experts_per_layer` FFN experts per block, exactly one active
+  // per inference. Inactive experts' parameters are cold (candidates to stay
+  // host-side).
+  static Model MoeSparse(std::string name, std::int64_t hidden, std::int64_t num_layers,
+                         std::int64_t experts_per_layer, std::int64_t seq);
+  // A decoder large enough to exceed a single 16 GB GPU.
+  static Model Oversized(std::string name);
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_MODEL_ZOO_H_

@@ -1,0 +1,20 @@
+#include "src/perf/pcie_events.h"
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+std::int64_t PcieEventCounter::LoadEvents(const Layer& layer) const {
+  const std::int64_t payload = perf_->pcie().payload_bytes;
+  DP_CHECK(payload > 0);
+  return (layer.param_bytes + payload - 1) / payload;
+}
+
+std::int64_t PcieEventCounter::DhaEvents(const Layer& layer, int batch) const {
+  const std::int64_t payload = perf_->pcie().payload_bytes;
+  DP_CHECK(payload > 0);
+  const std::int64_t traffic = perf_->DhaTrafficBytes(layer, batch);
+  return (traffic + payload - 1) / payload;
+}
+
+}  // namespace deepplan

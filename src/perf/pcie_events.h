@@ -1,0 +1,30 @@
+// PCIe read-event accounting, mirroring the paper's PCM (PCIeRdCur) hardware
+// counter methodology (Table 1): every 64-byte payload crossing the root
+// complex is one event.
+#ifndef SRC_PERF_PCIE_EVENTS_H_
+#define SRC_PERF_PCIE_EVENTS_H_
+
+#include <cstdint>
+
+#include "src/model/layer.h"
+#include "src/perf/perf_model.h"
+
+namespace deepplan {
+
+class PcieEventCounter {
+ public:
+  explicit PcieEventCounter(const PerfModel* perf) : perf_(perf) {}
+
+  // Events for a one-shot host->GPU load of the layer's parameters.
+  std::int64_t LoadEvents(const Layer& layer) const;
+
+  // Events for one direct-host-access inference over the layer.
+  std::int64_t DhaEvents(const Layer& layer, int batch = 1) const;
+
+ private:
+  const PerfModel* perf_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_PERF_PCIE_EVENTS_H_

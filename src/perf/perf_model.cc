@@ -1,0 +1,128 @@
+#include "src/perf/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+PerfModel::PerfModel(GpuSpec gpu, PcieSpec pcie, PerfCalibration cal)
+    : gpu_(std::move(gpu)), pcie_(std::move(pcie)), cal_(cal) {
+  DP_CHECK(gpu_.fp32_tflops > 0);
+  DP_CHECK(pcie_.effective_bw_bytes_per_sec > 0);
+}
+
+Nanos PerfModel::DispatchOverhead(LayerKind kind) const {
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return cal_.dispatch_conv;
+    case LayerKind::kBatchNorm:
+      return cal_.dispatch_bn;
+    case LayerKind::kLinear:
+      return cal_.dispatch_linear;
+    case LayerKind::kLayerNorm:
+      return cal_.dispatch_ln;
+    case LayerKind::kEmbedding:
+      return cal_.dispatch_embedding;
+    case LayerKind::kAttention:
+      return cal_.dispatch_attention;
+    case LayerKind::kActivation:
+    case LayerKind::kPooling:
+    case LayerKind::kResidual:
+      return cal_.dispatch_elementwise;
+  }
+  return 0;
+}
+
+Nanos PerfModel::DhaPenalty(LayerKind kind) const {
+  switch (kind) {
+    case LayerKind::kEmbedding:
+      return cal_.dha_penalty_embedding;
+    case LayerKind::kConv2d:
+      return cal_.dha_penalty_conv;
+    case LayerKind::kLinear:
+      return cal_.dha_penalty_linear;
+    case LayerKind::kBatchNorm:
+      return cal_.dha_penalty_bn;
+    case LayerKind::kLayerNorm:
+      return cal_.dha_penalty_ln;
+    case LayerKind::kActivation:
+    case LayerKind::kPooling:
+    case LayerKind::kAttention:
+    case LayerKind::kResidual:
+      return 0;
+  }
+  return 0;
+}
+
+Nanos PerfModel::LoadTime(const Layer& layer) const {
+  if (!layer.has_params()) {
+    return 0;
+  }
+  const double secs =
+      static_cast<double>(layer.param_bytes) / pcie_.effective_bw_bytes_per_sec;
+  return cal_.pcie_transfer_overhead + static_cast<Nanos>(secs * kNanosPerSecond);
+}
+
+Nanos PerfModel::NvlinkTime(const Layer& layer, const NvlinkSpec& nvlink) const {
+  if (!layer.has_params()) {
+    return 0;
+  }
+  const double secs = static_cast<double>(layer.param_bytes) / nvlink.bw_bytes_per_sec;
+  return nvlink.transfer_latency + static_cast<Nanos>(secs * kNanosPerSecond);
+}
+
+Nanos PerfModel::ComputeTime(const Layer& layer, int batch) const {
+  const double flops = static_cast<double>(layer.flops) * batch;
+  const double compute_secs =
+      flops / (gpu_.fp32_tflops * 1e12 * gpu_.compute_efficiency);
+  const double mem_bytes =
+      static_cast<double>(layer.act_bytes) * batch + static_cast<double>(layer.param_bytes);
+  const double mem_secs = mem_bytes / gpu_.mem_bw_bytes_per_sec;
+  return static_cast<Nanos>(std::max(compute_secs, mem_secs) * kNanosPerSecond);
+}
+
+Nanos PerfModel::ExecInMemory(const Layer& layer, int batch) const {
+  DP_CHECK(batch >= 1);
+  return DispatchOverhead(layer.kind) + ComputeTime(layer, batch);
+}
+
+std::int64_t PerfModel::DhaTrafficBytes(const Layer& layer, int batch) const {
+  if (layer.dha_traffic_scales_with_batch) {
+    return layer.dha_param_traffic_bytes * batch;
+  }
+  return layer.dha_param_traffic_bytes;
+}
+
+Nanos PerfModel::ExecDha(const Layer& layer, int batch) const {
+  DP_CHECK(batch >= 1);
+  if (!layer.has_params()) {
+    return ExecInMemory(layer, batch);
+  }
+  const double traffic = static_cast<double>(DhaTrafficBytes(layer, batch));
+  const double pcie_secs =
+      traffic / (pcie_.effective_bw_bytes_per_sec * cal_.dha_bw_efficiency);
+  // Compute overlaps poorly with dependent zero-copy reads, so the PCIe term
+  // adds to (rather than hides behind) the arithmetic.
+  return DispatchOverhead(layer.kind) + DhaPenalty(layer.kind) + pcie_.access_latency +
+         ComputeTime(layer, batch) + static_cast<Nanos>(pcie_secs * kNanosPerSecond);
+}
+
+Nanos PerfModel::WarmLatency(const Model& model, int batch) const {
+  Nanos total = 0;
+  for (const Layer& l : model.layers()) {
+    total += ExecInMemory(l, batch);
+  }
+  return total;
+}
+
+Nanos PerfModel::TotalLoadTime(const Model& model) const {
+  Nanos total = 0;
+  for (const Layer& l : model.layers()) {
+    total += LoadTime(l);
+  }
+  return total;
+}
+
+}  // namespace deepplan

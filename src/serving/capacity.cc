@@ -1,0 +1,80 @@
+#include "src/serving/capacity.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/workload/poisson.h"
+
+namespace deepplan {
+
+namespace {
+
+struct ProbeResult {
+  double goodput;
+  double p99_ms;
+  double cold_rate;
+};
+
+ProbeResult Probe(const Topology& topology, const PerfModel& perf, const Model& model,
+                  const CapacityQuery& query, int concurrency) {
+  ServerOptions options;
+  options.strategy = query.strategy;
+  options.slo = query.slo;
+  Server server(topology, perf, options);
+  const int type = server.RegisterModelType(model);
+  server.AddInstances(type, concurrency);
+  PoissonOptions w;
+  w.rate_per_sec = query.rate_per_sec;
+  w.num_instances = concurrency;
+  w.duration =
+      Seconds(static_cast<double>(query.requests_per_probe) / query.rate_per_sec);
+  w.seed = query.seed;
+  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+  return {m.Goodput(query.slo), m.LatencyPercentileMs(99), m.ColdStartRate()};
+}
+
+}  // namespace
+
+CapacityReport FindMaxConcurrency(const Topology& topology, const PerfModel& perf,
+                                  const Model& model, const CapacityQuery& query) {
+  DP_CHECK(query.min_concurrency >= 1);
+  DP_CHECK(query.max_concurrency >= query.min_concurrency);
+  CapacityReport report;
+
+  // Goodput is monotone (non-increasing) in concurrency to good approximation
+  // for a fixed total rate *once the load spreads over all GPUs*: more
+  // instances -> colder cache -> more cold starts. Binary search the boundary
+  // from a floor of 4 instances per GPU.
+  int lo = std::max(query.min_concurrency, 4 * topology.num_gpus());
+  int hi = std::max(query.max_concurrency, lo);
+  const ProbeResult at_min = Probe(topology, perf, model, query, lo);
+  ++report.probes;
+  if (at_min.goodput < query.target_goodput) {
+    report.max_instances = 0;
+    report.goodput = at_min.goodput;
+    report.p99_ms = at_min.p99_ms;
+    report.cold_start_rate = at_min.cold_rate;
+    return report;
+  }
+  ProbeResult best = at_min;
+  int best_n = lo;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    const ProbeResult r = Probe(topology, perf, model, query, mid);
+    ++report.probes;
+    if (r.goodput >= query.target_goodput) {
+      best = r;
+      best_n = mid;
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  report.max_instances = best_n;
+  report.goodput = best.goodput;
+  report.p99_ms = best.p99_ms;
+  report.cold_start_rate = best.cold_rate;
+  return report;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,46 @@
+// Capacity planning: the operator-facing inverse of Figure 13 — "how many
+// instances of this model can this server carry at this request rate while
+// keeping goodput above the target?" Answered by binary search over
+// concurrency, each probe being a full (deterministic) serving simulation.
+#ifndef SRC_SERVING_CAPACITY_H_
+#define SRC_SERVING_CAPACITY_H_
+
+#include <cstdint>
+
+#include "src/model/model.h"
+#include "src/serving/server.h"
+
+namespace deepplan {
+
+struct CapacityQuery {
+  Strategy strategy = Strategy::kDeepPlanPtDha;
+  double rate_per_sec = 100.0;
+  Nanos slo = Millis(100);
+  double target_goodput = 0.99;
+  // Probe fidelity: requests simulated per concurrency probe.
+  int requests_per_probe = 600;
+  // Search floor. Goodput is only monotone in concurrency once requests
+  // spread across all GPUs — below ~4 instances per GPU the whole offered
+  // rate funnels into few queues and goodput is *worse* at lower concurrency.
+  // FindMaxConcurrency raises the floor to 4x the topology's GPU count.
+  int min_concurrency = 16;
+  int max_concurrency = 512;
+  std::uint64_t seed = 42;
+};
+
+struct CapacityReport {
+  int max_instances = 0;       // largest concurrency meeting the target
+  double goodput = 0.0;        // at max_instances
+  double p99_ms = 0.0;         // at max_instances
+  double cold_start_rate = 0.0;
+  int probes = 0;              // simulations run
+};
+
+// Binary-searches the largest concurrency whose goodput meets the target.
+// Returns max_instances == 0 when even min_concurrency misses it.
+CapacityReport FindMaxConcurrency(const Topology& topology, const PerfModel& perf,
+                                  const Model& model, const CapacityQuery& query);
+
+}  // namespace deepplan
+
+#endif  // SRC_SERVING_CAPACITY_H_

@@ -1,0 +1,162 @@
+#include "src/serving/instance.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "LRU";
+    case EvictionPolicy::kFifo:
+      return "FIFO";
+    case EvictionPolicy::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+InstanceManager::InstanceManager(int num_gpus, std::int64_t usable_bytes_per_gpu,
+                                 EvictionPolicy policy, std::uint64_t seed)
+    : capacity_(usable_bytes_per_gpu),
+      policy_(policy),
+      rng_state_(seed == 0 ? 1 : seed) {
+  DP_CHECK(num_gpus > 0);
+  DP_CHECK(usable_bytes_per_gpu > 0);
+  arenas_.reserve(num_gpus);
+  for (int g = 0; g < num_gpus; ++g) {
+    // Alignment 1: instance footprints are hundreds of MB, sub-byte rounding
+    // noise would only obscure the capacity numbers.
+    arenas_.emplace_back(usable_bytes_per_gpu, /*alignment=*/1);
+  }
+}
+
+int InstanceManager::PickVictim(GpuId gpu, int protected_id) {
+  std::vector<int> candidates;
+  for (const InstanceState& s : instances_) {
+    if (s.resident && !s.busy && s.home_gpu == gpu && s.id != protected_id) {
+      candidates.push_back(s.id);
+    }
+  }
+  if (candidates.empty()) {
+    return -1;
+  }
+  switch (policy_) {
+    case EvictionPolicy::kLru: {
+      int victim = candidates[0];
+      for (const int id : candidates) {
+        if (instances_[id].last_used < instances_[victim].last_used) {
+          victim = id;
+        }
+      }
+      return victim;
+    }
+    case EvictionPolicy::kFifo: {
+      int victim = candidates[0];
+      for (const int id : candidates) {
+        if (instances_[id].resident_since < instances_[victim].resident_since) {
+          victim = id;
+        }
+      }
+      return victim;
+    }
+    case EvictionPolicy::kRandom: {
+      // splitmix64 step — deterministic and independent of candidate order.
+      rng_state_ += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = rng_state_;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      z ^= z >> 31;
+      return candidates[z % candidates.size()];
+    }
+  }
+  return -1;
+}
+
+int InstanceManager::AddInstance(int model_type, GpuId home_gpu,
+                                 std::int64_t footprint) {
+  DP_CHECK(home_gpu >= 0 && home_gpu < static_cast<int>(arenas_.size()));
+  DP_CHECK(footprint >= 0 && footprint <= capacity_);
+  InstanceState s;
+  s.id = static_cast<int>(instances_.size());
+  s.model_type = model_type;
+  s.home_gpu = home_gpu;
+  s.footprint = footprint;
+  instances_.push_back(s);
+  return s.id;
+}
+
+const InstanceState& InstanceManager::instance(int id) const {
+  DP_CHECK(id >= 0 && id < num_instances());
+  return instances_[id];
+}
+
+InstanceState& InstanceManager::instance(int id) {
+  DP_CHECK(id >= 0 && id < num_instances());
+  return instances_[id];
+}
+
+std::int64_t InstanceManager::used_bytes(GpuId gpu) const {
+  DP_CHECK(gpu >= 0 && gpu < static_cast<int>(arenas_.size()));
+  return arenas_[gpu].used_bytes();
+}
+
+const GpuAllocator& InstanceManager::arena(GpuId gpu) const {
+  DP_CHECK(gpu >= 0 && gpu < static_cast<int>(arenas_.size()));
+  return arenas_[gpu];
+}
+
+bool InstanceManager::MakeResident(int id, Nanos now, std::vector<int>* evicted) {
+  InstanceState& target = instance(id);
+  if (target.resident) {
+    MarkUsed(id, now);
+    return true;
+  }
+  const GpuId gpu = target.home_gpu;
+  // Evict until a *contiguous* block fits: total free bytes are not enough
+  // when the arena is fragmented by mixed-size instances.
+  std::optional<AllocId> block = arenas_[gpu].Allocate(target.footprint);
+  while (!block.has_value()) {
+    const int victim = PickVictim(gpu, id);
+    if (victim < 0) {
+      return false;
+    }
+    Evict(victim);
+    if (evicted != nullptr) {
+      evicted->push_back(victim);
+    }
+    block = arenas_[gpu].Allocate(target.footprint);
+  }
+  target.alloc = *block;
+  target.resident = true;
+  target.last_used = now;
+  target.resident_since = now;
+  return true;
+}
+
+void InstanceManager::MarkUsed(int id, Nanos now) { instance(id).last_used = now; }
+
+void InstanceManager::SetBusy(int id, bool busy) { instance(id).busy = busy; }
+
+void InstanceManager::Evict(int id) {
+  InstanceState& s = instance(id);
+  DP_CHECK(s.resident);
+  DP_CHECK(!s.busy);
+  s.resident = false;
+  arenas_[s.home_gpu].Free(s.alloc);
+  s.alloc = 0;
+}
+
+int InstanceManager::ResidentCount() const {
+  int n = 0;
+  for (const InstanceState& s : instances_) {
+    if (s.resident) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,86 @@
+// Model-instance residency management: per-GPU memory accounting with
+// least-recently-used eviction (Section 5.3: "to evict an instance due to the
+// lack of GPU memory, we select the least recently used instance"). An
+// instance's GPU footprint is its plan's GpuResidentBytes — DeepPlan instances
+// are smaller than PipeSwitch ones because DHA layers stay in host memory,
+// which is exactly how DeepPlan packs 124 BERT-Base instances where
+// PipeSwitch fits 100 (Figure 13).
+#ifndef SRC_SERVING_INSTANCE_H_
+#define SRC_SERVING_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/sim/gpu_allocator.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+// Victim selection when GPU memory runs out. The paper uses LRU; the others
+// exist for the eviction ablation bench.
+enum class EvictionPolicy {
+  kLru,     // least recently used (the paper's choice)
+  kFifo,    // oldest resident first
+  kRandom,  // uniform over idle residents (seeded)
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+struct InstanceState {
+  int id = -1;
+  int model_type = -1;           // index into the server's model table
+  GpuId home_gpu = -1;           // where this instance runs (static placement)
+  std::int64_t footprint = 0;    // GPU-resident bytes when provisioned
+  bool resident = false;
+  bool busy = false;             // currently executing (not evictable)
+  Nanos last_used = -1;
+  Nanos resident_since = -1;
+  AllocId alloc = 0;             // device-memory block while resident
+};
+
+class InstanceManager {
+ public:
+  InstanceManager(int num_gpus, std::int64_t usable_bytes_per_gpu,
+                  EvictionPolicy policy = EvictionPolicy::kLru,
+                  std::uint64_t seed = 1);
+
+  // Registers an instance with a fixed home GPU. Returns its id.
+  int AddInstance(int model_type, GpuId home_gpu, std::int64_t footprint);
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const InstanceState& instance(int id) const;
+  InstanceState& instance(int id);
+
+  std::int64_t used_bytes(GpuId gpu) const;
+  std::int64_t capacity_bytes() const { return capacity_; }
+
+  // Device-memory arena of one GPU (fragmentation statistics etc.).
+  const GpuAllocator& arena(GpuId gpu) const;
+
+  // Frees space on the instance's home GPU for it (evicting idle LRU
+  // instances as needed) and marks it resident. Appends evicted ids to
+  // `evicted`. Returns false when the instance cannot fit even after evicting
+  // everything idle.
+  bool MakeResident(int id, Nanos now, std::vector<int>* evicted);
+
+  void MarkUsed(int id, Nanos now);
+  void SetBusy(int id, bool busy);
+  void Evict(int id);
+
+  // Number of instances currently resident across all GPUs.
+  int ResidentCount() const;
+
+ private:
+  int PickVictim(GpuId gpu, int protected_id);
+
+  std::vector<InstanceState> instances_;
+  std::vector<GpuAllocator> arenas_;
+  std::int64_t capacity_;
+  EvictionPolicy policy_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_SERVING_INSTANCE_H_

@@ -1,0 +1,101 @@
+#include "src/serving/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+void ServingMetrics::Record(const RequestRecord& record) {
+  DP_CHECK(record.completion >= record.start);
+  DP_CHECK(record.start >= record.arrival);
+  records_.push_back(record);
+}
+
+double ServingMetrics::LatencyPercentileMs(double p) const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  Percentiles pct;
+  pct.Reserve(records_.size());
+  for (const auto& r : records_) {
+    pct.Add(ToMillis(r.Latency()));
+  }
+  return pct.Percentile(p);
+}
+
+double ServingMetrics::MeanLatencyMs() const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& r : records_) {
+    sum += ToMillis(r.Latency());
+  }
+  return sum / static_cast<double>(records_.size());
+}
+
+double ServingMetrics::Goodput(Nanos slo) const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  std::size_t good = 0;
+  for (const auto& r : records_) {
+    if (r.Latency() <= slo) {
+      ++good;
+    }
+  }
+  return static_cast<double>(good) / static_cast<double>(records_.size());
+}
+
+double ServingMetrics::ColdStartRate() const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(ColdStartCount()) / static_cast<double>(records_.size());
+}
+
+std::size_t ServingMetrics::ColdStartCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.cold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+MinuteSeries ServingMetrics::PerMinute(Nanos slo) const {
+  MinuteSeries series;
+  std::vector<Percentiles> latencies;
+  std::vector<std::size_t> good;
+  for (const auto& r : records_) {
+    const auto minute = static_cast<std::size_t>(r.arrival / (60 * kNanosPerSecond));
+    if (minute >= latencies.size()) {
+      latencies.resize(minute + 1);
+      good.resize(minute + 1, 0);
+      series.requests.resize(minute + 1, 0);
+      series.cold_starts.resize(minute + 1, 0);
+    }
+    latencies[minute].Add(ToMillis(r.Latency()));
+    ++series.requests[minute];
+    if (r.Latency() <= slo) {
+      ++good[minute];
+    }
+    if (r.cold) {
+      ++series.cold_starts[minute];
+    }
+  }
+  series.p99_ms.resize(latencies.size(), 0.0);
+  series.goodput.resize(latencies.size(), 0.0);
+  for (std::size_t m = 0; m < latencies.size(); ++m) {
+    if (latencies[m].count() > 0) {
+      series.p99_ms[m] = latencies[m].Percentile(99.0);
+      series.goodput[m] = static_cast<double>(good[m]) /
+                          static_cast<double>(series.requests[m]);
+    }
+  }
+  return series;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,60 @@
+// Serving metrics: per-request records, tail latency, goodput against an SLO,
+// cold-start rate, and per-minute time series (the three panels of
+// Figures 13-15).
+#ifndef SRC_SERVING_METRICS_H_
+#define SRC_SERVING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+struct RequestRecord {
+  Nanos arrival = 0;
+  Nanos start = 0;       // dispatch time (queueing ends)
+  Nanos completion = 0;
+  int instance = -1;
+  bool cold = false;
+
+  Nanos Latency() const { return completion - arrival; }
+  Nanos QueueTime() const { return start - arrival; }
+};
+
+struct MinuteSeries {
+  std::vector<double> p99_ms;
+  std::vector<double> goodput;    // fraction of requests within SLO
+  std::vector<std::size_t> requests;
+  std::vector<std::size_t> cold_starts;
+};
+
+class ServingMetrics {
+ public:
+  void Record(const RequestRecord& record);
+
+  std::size_t count() const { return records_.size(); }
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  // Latency percentile in milliseconds (p in [0,100]).
+  double LatencyPercentileMs(double p) const;
+  double MeanLatencyMs() const;
+
+  // Fraction of requests with latency <= slo.
+  double Goodput(Nanos slo) const;
+
+  // Fraction of requests that triggered a cold start.
+  double ColdStartRate() const;
+  std::size_t ColdStartCount() const;
+
+  // Per-minute breakdown (Figure 15's time axis).
+  MinuteSeries PerMinute(Nanos slo) const;
+
+ private:
+  std::vector<RequestRecord> records_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_SERVING_METRICS_H_

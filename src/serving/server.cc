@@ -1,0 +1,232 @@
+#include "src/serving/server.h"
+
+#include <algorithm>
+
+#include "src/core/profiler.h"
+#include "src/core/transmission.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+struct Server::ModelEntry {
+  Model model;
+  ModelProfile profile;
+  ExecutionPlan plan;
+  Strategy strategy = Strategy::kDeepPlanPtDha;
+  std::int64_t footprint = 0;
+};
+
+struct PendingRequest {
+  int instance = -1;
+  Nanos arrival = 0;
+};
+
+struct Server::Impl {
+  Topology topology;
+  PerfModel perf;
+  ServerOptions options;
+
+  Simulator own_sim;
+  Simulator* sim = nullptr;  // &own_sim unless an external simulator is shared
+  std::unique_ptr<ServerFabric> fabric;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<InstanceManager> instances;
+
+  std::vector<ModelEntry> models;
+  std::vector<int> instance_model;  // instance id -> model type
+  std::vector<std::deque<PendingRequest>> queues;  // per GPU
+  std::vector<bool> gpu_busy;
+  int next_gpu = 0;  // round-robin placement cursor
+  int outstanding = 0;
+  bool warmed_up = false;
+
+  ServingMetrics metrics;
+
+  Impl(Simulator* external_sim, const Topology& topo, const PerfModel& perf_model,
+       ServerOptions opts)
+      : topology(topo), perf(perf_model), options(opts) {
+    sim = external_sim != nullptr ? external_sim : &own_sim;
+    fabric = std::make_unique<ServerFabric>(sim, &topology);
+    engine = std::make_unique<Engine>(sim, fabric.get(), &perf);
+    instances = std::make_unique<InstanceManager>(
+        topology.num_gpus(), options.usable_bytes_per_gpu, options.eviction_policy);
+    queues.resize(topology.num_gpus());
+    gpu_busy.assign(topology.num_gpus(), false);
+  }
+
+  void Dispatch(GpuId gpu);
+  void FinishRequest(GpuId gpu, int instance, const PendingRequest& req, Nanos start,
+                     bool cold);
+};
+
+Server::Server(const Topology& topology, const PerfModel& perf, ServerOptions options)
+    : impl_(std::make_unique<Impl>(nullptr, topology, perf, options)) {}
+
+Server::Server(Simulator* sim, const Topology& topology, const PerfModel& perf,
+               ServerOptions options)
+    : impl_(std::make_unique<Impl>(sim, topology, perf, options)) {}
+
+Server::~Server() = default;
+
+int Server::RegisterModelType(Model model) {
+  return RegisterModelType(std::move(model), impl_->options.strategy);
+}
+
+int Server::RegisterModelType(Model model, Strategy strategy_override) {
+  Impl& s = *impl_;
+  ModelEntry entry;
+  entry.strategy = strategy_override;
+  ProfilerOptions popts;
+  popts.batch = s.options.batch;
+  popts.seed = s.options.profiler_seed;
+  Profiler profiler(&s.perf, popts);
+  entry.profile = profiler.Profile(model);
+  PipelineOptions pipeline;
+  pipeline.nvlink = s.topology.nvlink();
+  // Degree is topology-wide here; per-primary secondaries resolved at
+  // dispatch time.
+  const int degree = StrategyDegree(entry.strategy, s.topology, /*primary=*/0);
+  entry.plan = MakeStrategyPlan(entry.strategy, entry.profile, degree, pipeline);
+  entry.footprint = entry.plan.GpuResidentBytes(entry.profile);
+  entry.model = std::move(model);
+  s.models.push_back(std::move(entry));
+  return static_cast<int>(s.models.size() - 1);
+}
+
+void Server::AddInstances(int model_type, int count) {
+  Impl& s = *impl_;
+  for (int i = 0; i < count; ++i) {
+    AddInstanceWithHome(model_type, s.next_gpu);
+    s.next_gpu = (s.next_gpu + 1) % s.topology.num_gpus();
+  }
+}
+
+int Server::AddInstanceWithHome(int model_type, GpuId home) {
+  Impl& s = *impl_;
+  DP_CHECK(model_type >= 0 && model_type < static_cast<int>(s.models.size()));
+  const ModelEntry& entry = s.models[model_type];
+  const int id = s.instances->AddInstance(model_type, home, entry.footprint);
+  s.instance_model.resize(id + 1);
+  s.instance_model[id] = model_type;
+  return id;
+}
+
+int Server::num_instances() const { return impl_->instances->num_instances(); }
+
+int Server::WarmCapacity() const { return impl_->instances->ResidentCount(); }
+
+void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& req,
+                                 Nanos start, bool cold) {
+  instances->SetBusy(instance, false);
+  instances->MarkUsed(instance, sim->now());
+  RequestRecord record;
+  record.arrival = req.arrival;
+  record.start = start;
+  record.completion = sim->now();
+  record.instance = instance;
+  record.cold = cold;
+  metrics.Record(record);
+  --outstanding;
+  gpu_busy[gpu] = false;
+  Dispatch(gpu);
+}
+
+void Server::Impl::Dispatch(GpuId gpu) {
+  if (gpu_busy[gpu] || queues[gpu].empty()) {
+    return;
+  }
+  const PendingRequest req = queues[gpu].front();
+  queues[gpu].pop_front();
+  gpu_busy[gpu] = true;
+
+  const int instance = req.instance;
+  const int type = instance_model[instance];
+  const ModelEntry& entry = models[type];
+  const Nanos start = sim->now();
+  instances->SetBusy(instance, true);
+
+  if (instances->instance(instance).resident) {
+    instances->MarkUsed(instance, start);
+    engine->RunWarm(entry.model, entry.plan, options.batch,
+                    [this, gpu, instance, req, start](const InferenceResult&) {
+                      FinishRequest(gpu, instance, req, start, /*cold=*/false);
+                    });
+    return;
+  }
+
+  // Cold start: make room (LRU eviction), pay the eviction cost, then run the
+  // strategy's provisioning + inference path.
+  std::vector<int> evicted;
+  const bool fits = instances->MakeResident(instance, start, &evicted);
+  DP_CHECK(fits && "instance footprint exceeds GPU capacity");
+  const Nanos evict_delay =
+      options.eviction_cost * static_cast<Nanos>(evicted.size());
+  sim->ScheduleAfter(evict_delay, [this, gpu, instance, req, start, type]() {
+    const ModelEntry& entry = models[type];
+    std::vector<GpuId> secondaries;
+    if (entry.plan.num_partitions() > 1) {
+      secondaries = TransmissionPlanner::ChooseSecondaries(
+          topology, gpu, entry.plan.num_partitions());
+    }
+    engine->RunCold(entry.model, entry.plan, gpu, secondaries,
+                    MakeColdRunOptions(entry.strategy, options.batch),
+                    [this, gpu, instance, req, start](const InferenceResult&) {
+                      FinishRequest(gpu, instance, req, start, /*cold=*/true);
+                    });
+  });
+}
+
+void Server::Warmup() {
+  std::vector<int> all(impl_->instances->num_instances());
+  for (int id = 0; id < static_cast<int>(all.size()); ++id) {
+    all[id] = id;
+  }
+  WarmupInstances(all);
+}
+
+void Server::WarmupInstances(const std::vector<int>& instances) {
+  Impl& s = *impl_;
+  if (s.warmed_up || !s.options.warmup) {
+    s.warmed_up = true;
+    return;
+  }
+  s.warmed_up = true;
+  // Provision candidates (in the given order, round-robin homes) until GPUs
+  // are full, mirroring the paper's pre-warmed steady state.
+  for (const int id : instances) {
+    const InstanceState& inst = s.instances->instance(id);
+    if (s.instances->used_bytes(inst.home_gpu) + inst.footprint <=
+        s.instances->capacity_bytes()) {
+      std::vector<int> evicted;
+      const bool ok = s.instances->MakeResident(id, 0, &evicted);
+      DP_CHECK(ok);
+      DP_CHECK(evicted.empty());
+    }
+  }
+}
+
+void Server::Submit(int instance) {
+  Impl& s = *impl_;
+  DP_CHECK(instance >= 0 && instance < s.instances->num_instances());
+  const GpuId gpu = s.instances->instance(instance).home_gpu;
+  ++s.outstanding;
+  s.queues[gpu].push_back(PendingRequest{instance, s.sim->now()});
+  s.Dispatch(gpu);
+}
+
+const ServingMetrics& Server::metrics() const { return impl_->metrics; }
+
+int Server::OutstandingRequests() const { return impl_->outstanding; }
+
+ServingMetrics Server::Run(const Trace& trace) {
+  Impl& s = *impl_;
+  Warmup();
+  for (const Arrival& a : trace.arrivals()) {
+    DP_CHECK(a.instance >= 0 && a.instance < s.instances->num_instances());
+    s.sim->ScheduleAt(a.time, [this, a]() { Submit(a.instance); });
+  }
+  s.sim->Run();
+  return s.metrics;
+}
+
+}  // namespace deepplan

@@ -1,0 +1,189 @@
+#include "src/sim/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+namespace {
+// A transfer is considered drained when fewer than this many bytes remain
+// (guards against floating-point residue never reaching exactly zero).
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+Fabric::Fabric(Simulator* sim) : sim_(sim) { DP_CHECK(sim != nullptr); }
+
+LinkId Fabric::AddLink(std::string name, double capacity_bytes_per_sec) {
+  DP_CHECK(capacity_bytes_per_sec > 0);
+  links_.push_back(Link{std::move(name), capacity_bytes_per_sec});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+const std::string& Fabric::link_name(LinkId id) const {
+  DP_CHECK(id >= 0 && id < num_links());
+  return links_[id].name;
+}
+
+double Fabric::link_capacity(LinkId id) const {
+  DP_CHECK(id >= 0 && id < num_links());
+  return links_[id].capacity;
+}
+
+TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos latency,
+                         std::function<void(Nanos elapsed)> done) {
+  DP_CHECK(bytes >= 0);
+  for (LinkId l : path) {
+    DP_CHECK(l >= 0 && l < num_links());
+  }
+  const TransferId id = next_id_++;
+  if (bytes == 0 || path.empty()) {
+    const Nanos started = sim_->now();
+    sim_->ScheduleAfter(latency, [done = std::move(done), started, this]() {
+      if (done) {
+        done(sim_->now() - started);
+      }
+    });
+    return id;
+  }
+  Transfer t;
+  t.id = id;
+  t.path = std::move(path);
+  t.remaining_bytes = static_cast<double>(bytes);
+  t.last_update = sim_->now();
+  t.started = sim_->now();
+  t.latency = latency;
+  t.done = std::move(done);
+  active_.push_back(std::move(t));
+  Reallocate();
+  return id;
+}
+
+double Fabric::AllocatedOn(LinkId id) const {
+  double total = 0.0;
+  for (const auto& t : active_) {
+    if (std::find(t.path.begin(), t.path.end(), id) != t.path.end()) {
+      total += t.rate;
+    }
+  }
+  return total;
+}
+
+void Fabric::SettleProgress() {
+  const Nanos now = sim_->now();
+  for (auto& t : active_) {
+    if (t.rate > 0 && now > t.last_update) {
+      const double elapsed_sec =
+          static_cast<double>(now - t.last_update) / kNanosPerSecond;
+      t.remaining_bytes = std::max(0.0, t.remaining_bytes - t.rate * elapsed_sec);
+    }
+    t.last_update = now;
+  }
+}
+
+void Fabric::ComputeRates() {
+  // Progressive filling: repeatedly saturate the most-constrained link, freeze
+  // the transfers crossing it at the fair share, remove them, and repeat.
+  const std::size_t n = active_.size();
+  std::vector<bool> frozen(n, false);
+  std::vector<double> residual(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].capacity;
+  }
+  std::size_t remaining = n;
+  for (auto& t : active_) {
+    t.rate = 0.0;
+  }
+  while (remaining > 0) {
+    // Count unfrozen transfers per link; find the tightest fair share.
+    std::vector<int> users(links_.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      for (LinkId l : active_[i].path) {
+        ++users[l];
+      }
+    }
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkId best_link = -1;
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (users[l] == 0) {
+        continue;
+      }
+      const double share = residual[l] / users[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = static_cast<LinkId>(l);
+      }
+    }
+    DP_CHECK(best_link >= 0);
+    // Freeze every unfrozen transfer crossing the bottleneck at that share.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      auto& t = active_[i];
+      if (std::find(t.path.begin(), t.path.end(), best_link) == t.path.end()) {
+        continue;
+      }
+      t.rate = best_share;
+      frozen[i] = true;
+      --remaining;
+      for (LinkId l : t.path) {
+        residual[l] = std::max(0.0, residual[l] - best_share);
+      }
+    }
+  }
+}
+
+void Fabric::ScheduleCompletions() {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    auto& t = active_[i];
+    if (t.has_completion_event) {
+      sim_->Cancel(t.completion_event);
+      t.has_completion_event = false;
+    }
+    DP_CHECK(t.rate > 0);
+    const double secs = t.remaining_bytes / t.rate;
+    const auto delay = static_cast<Nanos>(std::ceil(secs * kNanosPerSecond));
+    const TransferId id = t.id;
+    t.completion_event = sim_->ScheduleAfter(delay, [this, id]() {
+      for (std::size_t j = 0; j < active_.size(); ++j) {
+        if (active_[j].id == id) {
+          Complete(j);
+          return;
+        }
+      }
+      DP_CHECK(false && "completion for unknown transfer");
+    });
+    t.has_completion_event = true;
+  }
+}
+
+void Fabric::Complete(std::size_t index) {
+  SettleProgress();
+  Transfer t = std::move(active_[index]);
+  DP_CHECK(t.remaining_bytes <= kEpsilonBytes + 1.0);  // allow ns-rounding residue
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (!active_.empty()) {
+    ComputeRates();
+    ScheduleCompletions();
+  }
+  const Nanos started = t.started;
+  sim_->ScheduleAfter(t.latency, [this, started, done = std::move(t.done)]() {
+    if (done) {
+      done(sim_->now() - started);
+    }
+  });
+}
+
+void Fabric::Reallocate() {
+  SettleProgress();
+  ComputeRates();
+  ScheduleCompletions();
+}
+
+}  // namespace deepplan

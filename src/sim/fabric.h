@@ -1,0 +1,83 @@
+// Shared-bandwidth transfer fabric. Links have fixed capacities; a transfer
+// claims a path (an ordered set of links) and receives a max-min fair share
+// of every link it crosses (progressive filling). This reproduces the paper's
+// PCIe contention effects: two GPUs pulling through one PCIe switch uplink
+// each see roughly half bandwidth (Table 2), while NVLink traffic rides its
+// own links and overlaps freely with host->GPU PCIe traffic (Figure 9).
+#ifndef SRC_SIM_FABRIC_H_
+#define SRC_SIM_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+using LinkId = int;
+using TransferId = std::uint64_t;
+
+class Fabric {
+ public:
+  explicit Fabric(Simulator* sim);
+
+  // Adds a link with the given capacity (bytes/second). Returns its id.
+  LinkId AddLink(std::string name, double capacity_bytes_per_sec);
+
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const std::string& link_name(LinkId id) const;
+  double link_capacity(LinkId id) const;
+
+  // Starts a transfer of `bytes` across `path`. `latency` is added once, after
+  // the last byte drains (DMA setup + completion signalling). `done` fires at
+  // completion with the transfer's elapsed time. Zero-byte transfers complete
+  // after just the latency. Returns an id (informational).
+  TransferId Start(std::vector<LinkId> path, std::int64_t bytes, Nanos latency,
+                   std::function<void(Nanos elapsed)> done);
+
+  // Number of in-flight transfers (draining bytes; excludes latency tails).
+  int active_transfers() const { return static_cast<int>(active_.size()); }
+
+  // Current fair-share rate of a link's busiest direction: total allocated
+  // bandwidth on the link (bytes/sec). For tests and bandwidth accounting.
+  double AllocatedOn(LinkId id) const;
+
+ private:
+  struct Link {
+    std::string name;
+    double capacity;
+  };
+
+  struct Transfer {
+    TransferId id;
+    std::vector<LinkId> path;
+    double remaining_bytes;
+    double rate = 0.0;       // current allocation, bytes/sec
+    Nanos last_update = 0;   // sim time when remaining_bytes was settled
+    Nanos started = 0;
+    Nanos latency = 0;
+    std::function<void(Nanos)> done;
+    EventQueue::EventId completion_event = 0;
+    bool has_completion_event = false;
+  };
+
+  // Settles progress to now(), recomputes max-min allocation, and reschedules
+  // every transfer's completion event.
+  void Reallocate();
+  void SettleProgress();
+  void ComputeRates();
+  void ScheduleCompletions();
+  void Complete(std::size_t index);
+
+  Simulator* sim_;
+  std::vector<Link> links_;
+  std::vector<Transfer> active_;
+  TransferId next_id_ = 1;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_SIM_FABRIC_H_

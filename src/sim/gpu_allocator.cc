@@ -1,0 +1,87 @@
+#include "src/sim/gpu_allocator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+GpuAllocator::GpuAllocator(std::int64_t capacity, std::int64_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  DP_CHECK(capacity > 0);
+  DP_CHECK(alignment > 0);
+  free_blocks_[0] = capacity;
+}
+
+std::int64_t GpuAllocator::AlignUp(std::int64_t bytes) const {
+  return (bytes + alignment_ - 1) / alignment_ * alignment_;
+}
+
+std::optional<AllocId> GpuAllocator::Allocate(std::int64_t bytes) {
+  DP_CHECK(bytes > 0);
+  const std::int64_t need = AlignUp(bytes);
+  // First fit in address order (cudaMalloc-like behaviour).
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second < need) {
+      continue;
+    }
+    const std::int64_t offset = it->first;
+    const std::int64_t remaining = it->second - need;
+    free_blocks_.erase(it);
+    if (remaining > 0) {
+      free_blocks_[offset + need] = remaining;
+    }
+    const AllocId id = next_id_++;
+    allocs_[id] = Allocation{offset, need};
+    used_ += need;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void GpuAllocator::Free(AllocId id) {
+  const auto it = allocs_.find(id);
+  DP_CHECK(it != allocs_.end());
+  std::int64_t offset = it->second.offset;
+  std::int64_t bytes = it->second.bytes;
+  used_ -= bytes;
+  allocs_.erase(it);
+  // Coalesce with the following free block.
+  const auto next = free_blocks_.lower_bound(offset);
+  if (next != free_blocks_.end() && next->first == offset + bytes) {
+    bytes += next->second;
+    free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  const auto after = free_blocks_.lower_bound(offset);
+  if (after != free_blocks_.begin()) {
+    auto prev = std::prev(after);
+    if (prev->first + prev->second == offset) {
+      prev->second += bytes;
+      return;
+    }
+  }
+  free_blocks_[offset] = bytes;
+}
+
+std::int64_t GpuAllocator::LargestFreeBlock() const {
+  std::int64_t largest = 0;
+  for (const auto& [offset, bytes] : free_blocks_) {
+    largest = std::max(largest, bytes);
+  }
+  return largest;
+}
+
+double GpuAllocator::Fragmentation() const {
+  const std::int64_t free = free_bytes();
+  if (free == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(LargestFreeBlock()) / static_cast<double>(free);
+}
+
+int GpuAllocator::num_free_blocks() const {
+  return static_cast<int>(free_blocks_.size());
+}
+
+}  // namespace deepplan

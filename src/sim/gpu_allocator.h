@@ -1,0 +1,63 @@
+// First-fit GPU device-memory allocator with block splitting/coalescing and
+// fragmentation accounting. The serving system allocates one block per
+// provisioned instance; repeated load/evict cycles of mixed-size models
+// fragment the arena exactly as cudaMalloc/cudaFree would, which is why the
+// instance manager reasons about *allocatable* rather than merely free bytes.
+#ifndef SRC_SIM_GPU_ALLOCATOR_H_
+#define SRC_SIM_GPU_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace deepplan {
+
+using AllocId = std::uint64_t;
+
+class GpuAllocator {
+ public:
+  // `capacity` bytes of device memory; allocations align up to `alignment`.
+  explicit GpuAllocator(std::int64_t capacity, std::int64_t alignment = 512);
+
+  // Allocates `bytes` (rounded up to alignment). Returns nullopt when no
+  // contiguous free block fits — which can happen even with enough total
+  // free bytes (external fragmentation).
+  std::optional<AllocId> Allocate(std::int64_t bytes);
+
+  // Frees a previous allocation; neighbouring free blocks coalesce.
+  void Free(AllocId id);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t free_bytes() const { return capacity_ - used_; }
+
+  // Largest single allocation that would currently succeed.
+  std::int64_t LargestFreeBlock() const;
+
+  // External fragmentation in [0, 1]: 1 - largest_free/free (0 when empty or
+  // when all free space is one block).
+  double Fragmentation() const;
+
+  int num_allocations() const { return static_cast<int>(allocs_.size()); }
+  int num_free_blocks() const;
+
+ private:
+  struct Allocation {
+    std::int64_t offset;
+    std::int64_t bytes;
+  };
+
+  std::int64_t AlignUp(std::int64_t bytes) const;
+
+  std::int64_t capacity_;
+  std::int64_t alignment_;
+  std::int64_t used_ = 0;
+  // offset -> length of free blocks, disjoint, non-adjacent (coalesced).
+  std::map<std::int64_t, std::int64_t> free_blocks_;
+  std::map<AllocId, Allocation> allocs_;
+  AllocId next_id_ = 1;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_SIM_GPU_ALLOCATOR_H_

@@ -1,0 +1,34 @@
+#include "src/sim/simulator.h"
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+EventQueue::EventId Simulator::ScheduleAfter(Nanos delay, Callback cb) {
+  DP_CHECK(delay >= 0);
+  return queue_.Schedule(now_ + delay, std::move(cb));
+}
+
+EventQueue::EventId Simulator::ScheduleAt(Nanos when, Callback cb) {
+  DP_CHECK(when >= now_);
+  return queue_.Schedule(when, std::move(cb));
+}
+
+Nanos Simulator::Run() { return RunUntil(std::numeric_limits<Nanos>::max()); }
+
+Nanos Simulator::RunUntil(Nanos deadline) {
+  while (!queue_.empty()) {
+    const Nanos next = queue_.NextTime();
+    if (next > deadline) {
+      now_ = deadline;
+      return now_;
+    }
+    auto [when, cb] = queue_.PopNext();
+    DP_CHECK(when >= now_);
+    now_ = when;
+    cb();
+  }
+  return now_;
+}
+
+}  // namespace deepplan

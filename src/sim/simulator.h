@@ -1,0 +1,42 @@
+// Single-threaded discrete-event simulator: a clock plus an event queue.
+// Components schedule callbacks; Run() drains events in time order.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Nanos now() const { return now_; }
+
+  // Schedules `cb` to run `delay` after the current time (delay >= 0).
+  EventQueue::EventId ScheduleAfter(Nanos delay, Callback cb);
+  // Schedules `cb` at absolute simulated time `when` (>= now()).
+  EventQueue::EventId ScheduleAt(Nanos when, Callback cb);
+  bool Cancel(EventQueue::EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the queue is empty. Returns the final clock value.
+  Nanos Run();
+  // Runs until the queue is empty or the clock would pass `deadline`; events
+  // at exactly `deadline` still fire.
+  Nanos RunUntil(Nanos deadline);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  Nanos now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_SIM_SIMULATOR_H_

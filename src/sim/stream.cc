@@ -1,0 +1,83 @@
+#include "src/sim/stream.h"
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+void SyncEvent::Fire() {
+  DP_CHECK(!fired_);
+  fired_ = true;
+  fire_time_ = sim_->now();
+  std::vector<std::function<void()>> waiters;
+  waiters.swap(waiters_);
+  for (auto& w : waiters) {
+    w();
+  }
+}
+
+void SyncEvent::OnFire(std::function<void()> cb) {
+  if (fired_) {
+    cb();
+  } else {
+    waiters_.push_back(std::move(cb));
+  }
+}
+
+Stream::Stream(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  DP_CHECK(sim != nullptr);
+}
+
+void Stream::Enqueue(Op op) {
+  queue_.push_back(std::move(op));
+  MaybeStartNext();
+}
+
+void Stream::EnqueueDelay(Nanos duration) {
+  DP_CHECK(duration >= 0);
+  Enqueue([this, duration](std::function<void()> done) {
+    sim_->ScheduleAfter(duration, std::move(done));
+  });
+}
+
+void Stream::EnqueueRecord(SyncEvent* event) {
+  Enqueue([event](std::function<void()> done) {
+    event->Fire();
+    done();
+  });
+}
+
+void Stream::EnqueueWait(SyncEvent* event) {
+  Enqueue([this, event](std::function<void()> done) {
+    const Nanos wait_start = sim_->now();
+    event->OnFire([this, wait_start, done = std::move(done)]() {
+      wait_time_ += sim_->now() - wait_start;
+      done();
+    });
+  });
+}
+
+void Stream::EnqueueMarker(std::function<void()> fn) {
+  Enqueue([fn = std::move(fn)](std::function<void()> done) {
+    fn();
+    done();
+  });
+}
+
+void Stream::MaybeStartNext() {
+  if (running_ || queue_.empty()) {
+    return;
+  }
+  running_ = true;
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  // The done callback may fire synchronously (marker/record ops); guard
+  // against recursion by deferring continuation through the event queue only
+  // when needed — here we simply re-enter MaybeStartNext after clearing
+  // running_, which is safe because Enqueue during an op lands behind us.
+  op([this]() {
+    running_ = false;
+    MaybeStartNext();
+  });
+}
+
+}  // namespace deepplan

@@ -1,0 +1,70 @@
+#include "src/util/chrome_trace.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace deepplan {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceWriter::ToJson(const std::vector<TimelineEvent>& events) {
+  // Stable small integer ids per track, in first-appearance order.
+  std::map<std::string, int> track_ids;
+  for (const auto& e : events) {
+    track_ids.emplace(e.track, static_cast<int>(track_ids.size()));
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : track_ids) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(os, track);
+    os << "\"}}";
+  }
+  for (const auto& e : events) {
+    os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << track_ids[e.track] << ",\"name\":\"";
+    AppendEscaped(os, e.name);
+    os << "\",\"ts\":" << ToMicros(e.start) << ",\"dur\":" << ToMicros(e.duration)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool ChromeTraceWriter::WriteTo(const std::string& path,
+                                const std::vector<TimelineEvent>& events) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson(events);
+  return static_cast<bool>(out);
+}
+
+}  // namespace deepplan

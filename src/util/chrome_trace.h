@@ -1,0 +1,35 @@
+// Chrome-trace (chrome://tracing / Perfetto) JSON export for simulated
+// timelines: each event is a complete ("X") slice on a named track. Used by
+// the engine's timeline recording to visualize load/migrate/execute overlap —
+// the pictures in Figures 7-9 of the paper, but generated from a real run.
+#ifndef SRC_UTIL_CHROME_TRACE_H_
+#define SRC_UTIL_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace deepplan {
+
+struct TimelineEvent {
+  std::string name;   // e.g. layer name
+  std::string track;  // e.g. "pcie/gpu0", "nvlink", "exec"
+  Nanos start = 0;
+  Nanos duration = 0;
+};
+
+class ChromeTraceWriter {
+ public:
+  // Renders events as a Chrome trace JSON document (trace-event format,
+  // "traceEvents" array, microsecond timestamps).
+  static std::string ToJson(const std::vector<TimelineEvent>& events);
+
+  // Writes the JSON to `path`; returns false on I/O failure.
+  static bool WriteTo(const std::string& path,
+                      const std::vector<TimelineEvent>& events);
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_CHROME_TRACE_H_

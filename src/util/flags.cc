@@ -1,0 +1,101 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+Flags& Flags::DefineInt(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  defs_[name] = {Kind::kInt, std::to_string(default_value), help};
+  return *this;
+}
+
+Flags& Flags::DefineDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  defs_[name] = {Kind::kDouble, std::to_string(default_value), help};
+  return *this;
+}
+
+Flags& Flags::DefineString(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  defs_[name] = {Kind::kString, default_value, help};
+  return *this;
+}
+
+Flags& Flags::DefineBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  defs_[name] = {Kind::kBool, default_value ? "true" : "false", help};
+  return *this;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "?";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    auto it = defs_.find(name);
+    if (it == defs_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsage();
+      return false;
+    }
+    if (eq == std::string::npos) {
+      if (it->second.kind == Kind::kBool) {
+        it->second.value = "true";
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value (--%s=...)\n", name.c_str(),
+                     name.c_str());
+        return false;
+      }
+    } else {
+      it->second.value = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+std::int64_t Flags::GetInt(const std::string& name) const {
+  auto it = defs_.find(name);
+  DP_CHECK(it != defs_.end() && it->second.kind == Kind::kInt);
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  auto it = defs_.find(name);
+  DP_CHECK(it != defs_.end() && it->second.kind == Kind::kDouble);
+  return std::strtod(it->second.value.c_str(), nullptr);
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  auto it = defs_.find(name);
+  DP_CHECK(it != defs_.end() && it->second.kind == Kind::kString);
+  return it->second.value;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  auto it = defs_.find(name);
+  DP_CHECK(it != defs_.end() && it->second.kind == Kind::kBool);
+  return it->second.value == "true" || it->second.value == "1";
+}
+
+void Flags::PrintUsage() const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program_.c_str());
+  for (const auto& [name, def] : defs_) {
+    std::fprintf(stderr, "  --%s (default: %s)\n      %s\n", name.c_str(),
+                 def.value.c_str(), def.help.c_str());
+  }
+}
+
+}  // namespace deepplan

@@ -1,0 +1,51 @@
+// Tiny --key=value command-line parser for examples and benches. Unknown flags
+// are errors so typos fail loudly.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deepplan {
+
+class Flags {
+ public:
+  // Parses argv; on --help or error, prints usage and returns false.
+  bool Parse(int argc, char** argv);
+
+  // Registration (call before Parse). Returns *this for chaining.
+  Flags& DefineInt(const std::string& name, std::int64_t default_value,
+                   const std::string& help);
+  Flags& DefineDouble(const std::string& name, double default_value,
+                      const std::string& help);
+  Flags& DefineString(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+  Flags& DefineBool(const std::string& name, bool default_value, const std::string& help);
+
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // Positional (non-flag) arguments.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Def {
+    Kind kind;
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Def> defs_;
+  std::vector<std::string> positional_;
+  std::string program_;
+
+  void PrintUsage() const;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_FLAGS_H_

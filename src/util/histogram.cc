@@ -1,0 +1,77 @@
+#include "src/util/histogram.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   int buckets_per_decade) {
+  DP_CHECK(min_value > 0.0);
+  DP_CHECK(max_value > min_value);
+  DP_CHECK(buckets_per_decade > 0);
+  min_value_ = min_value;
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / buckets_per_decade;
+  const double decades = std::log10(max_value) - log_min_;
+  const auto n = static_cast<std::size_t>(std::ceil(decades * buckets_per_decade)) + 1;
+  counts_.assign(n, 0);
+}
+
+std::size_t LatencyHistogram::BucketFor(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  const double idx = (std::log10(value) - log_min_) / log_step_;
+  auto b = static_cast<std::size_t>(idx);
+  if (b >= counts_.size()) {
+    b = counts_.size() - 1;
+  }
+  return b;
+}
+
+double LatencyHistogram::BucketUpper(std::size_t index) const {
+  return std::pow(10.0, log_min_ + log_step_ * static_cast<double>(index + 1));
+}
+
+void LatencyHistogram::Add(double value) {
+  ++counts_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  DP_CHECK(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) {
+    c = 0;
+  }
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return BucketUpper(i);
+    }
+  }
+  return BucketUpper(counts_.size() - 1);
+}
+
+}  // namespace deepplan

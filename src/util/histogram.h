@@ -1,0 +1,45 @@
+// Log-bucketed latency histogram: O(1) insert, approximate percentiles, fixed
+// memory. Used where retaining every sample would be wasteful (long trace
+// replays) and for per-minute time series.
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepplan {
+
+class LatencyHistogram {
+ public:
+  // Buckets span [min_value, max_value] with `buckets_per_decade` log-spaced
+  // buckets per 10x. Values outside the range clamp to the end buckets.
+  LatencyHistogram(double min_value, double max_value, int buckets_per_decade = 20);
+
+  void Add(double value);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Approximate percentile (upper bound of the containing bucket), p in
+  // [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  std::size_t BucketFor(double value) const;
+  double BucketUpper(std::size_t index) const;
+
+  double min_value_;
+  double log_min_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logger writing to stderr. Not thread-safe beyond line
+// atomicity; the simulator is single-threaded by design.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace deepplan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Default: kWarning so
+// library users see problems but benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_detail
+
+#define DP_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::deepplan::GetLogLevel()))
+
+#define DP_LOG(level)                                                     \
+  !DP_LOG_ENABLED(::deepplan::LogLevel::level)                            \
+      ? (void)0                                                           \
+      : ::deepplan::log_detail::Voidify() &                               \
+            ::deepplan::log_detail::LogMessage(::deepplan::LogLevel::level, \
+                                               __FILE__, __LINE__)       \
+                .stream()
+
+#define DP_CHECK(cond)                                                        \
+  (cond) ? (void)0                                                           \
+         : ::deepplan::log_detail::CheckFail(#cond, __FILE__, __LINE__)
+
+namespace log_detail {
+[[noreturn]] void CheckFail(const char* cond, const char* file, int line);
+}  // namespace log_detail
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_LOGGING_H_

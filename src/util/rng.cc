@@ -1,0 +1,128 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  DP_CHECK(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextExponential(double rate) {
+  DP_CHECK(rate > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -std::log(1.0 - u) / rate;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::NextPoisson(double mean) {
+  DP_CHECK(mean >= 0);
+  if (mean == 0) {
+    return 0;
+  }
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+  const double g = NextGaussian(mean, std::sqrt(mean));
+  return g <= 0 ? 0 : static_cast<std::uint64_t>(g + 0.5);
+}
+
+std::uint64_t Rng::NextZipf(std::uint64_t n, double s) {
+  DP_CHECK(n > 0);
+  if (n == 1) {
+    return 0;
+  }
+  // Inversion of the continuous approximation of the Zipf CDF; adequate for
+  // workload skew modelling and O(1) per sample.
+  const double nd = static_cast<double>(n);
+  if (std::abs(s - 1.0) < 1e-9) {
+    const double u = NextDouble();
+    const double x = std::exp(u * std::log(nd + 1.0)) - 1.0;
+    const auto r = static_cast<std::uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+  const double t = 1.0 - s;
+  const double u = NextDouble();
+  const double x = std::pow(u * (std::pow(nd + 1.0, t) - 1.0) + 1.0, 1.0 / t) - 1.0;
+  const auto r = static_cast<std::uint64_t>(x);
+  return r >= n ? n - 1 : r;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace deepplan

@@ -1,0 +1,51 @@
+// Deterministic, seedable random number generation (xoshiro256++ seeded via
+// splitmix64). Every stochastic component in the simulator takes an explicit
+// Rng so whole experiments replay bit-identically from a seed.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace deepplan {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Raw 64 random bits.
+  std::uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double NextExponential(double rate);
+
+  // Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double NextGaussian(double mean, double stddev);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::uint64_t NextPoisson(double mean);
+
+  // Bounded Pareto-ish popularity sample: Zipf over [0, n) with exponent s,
+  // via rejection-inversion. Used for skewed model popularity.
+  std::uint64_t NextZipf(std::uint64_t n, double s);
+
+  // Derive an independent child stream (useful to give each component its own
+  // stream without correlation).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,62 @@
+// Summary statistics and percentile estimation used across benches and the
+// serving metrics pipeline.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepplan {
+
+// Streaming mean/variance/min/max (Welford). O(1) memory, no percentiles.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile over a retained sample vector. Suitable for up to a few
+// million samples (serving experiments keep one double per request).
+class Percentiles {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Linear-interpolated percentile, p in [0, 100]. Sorts lazily.
+  double Percentile(double p);
+  double Median() { return Percentile(50.0); }
+  double Mean() const;
+  double Max();
+  double Min();
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,32 @@
+// Column-aligned table printer for bench output: every bench binary prints the
+// paper's rows through this so output stays uniform and greppable.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepplan {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);  // 0.42 -> "42.0%"
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,47 @@
+#include "src/util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace deepplan {
+
+std::string FormatDuration(Nanos ns) {
+  char buf[64];
+  const double v = static_cast<double>(ns);
+  if (ns < 0) {
+    return "-" + FormatDuration(-ns);
+  }
+  if (ns < kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / kNanosPerMicro);
+  } else if (ns < kNanosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / kNanosPerMilli);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / kNanosPerSecond);
+  }
+  return buf;
+}
+
+std::string FormatBytes(std::int64_t bytes) {
+  char buf[64];
+  const double v = static_cast<double>(bytes);
+  constexpr double kKiB = 1024.0;
+  constexpr double kMiB = kKiB * 1024.0;
+  constexpr double kGiB = kMiB * 1024.0;
+  if (bytes < 0) {
+    return "-" + FormatBytes(-bytes);
+  }
+  if (v < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%ldB", static_cast<long>(bytes));
+  } else if (v < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB", v / kKiB);
+  } else if (v < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", v / kMiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", v / kGiB);
+  }
+  return buf;
+}
+
+}  // namespace deepplan

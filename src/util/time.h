@@ -1,0 +1,36 @@
+// Simulated-time primitives. All simulated durations and timestamps in this
+// codebase are integer nanoseconds so that event ordering is exact and every
+// run is bit-reproducible.
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace deepplan {
+
+// Simulated time in nanoseconds (duration or timestamp since simulation start).
+using Nanos = std::int64_t;
+
+constexpr Nanos kNanosPerMicro = 1'000;
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+constexpr Nanos Micros(double us) { return static_cast<Nanos>(us * kNanosPerMicro); }
+constexpr Nanos Millis(double ms) { return static_cast<Nanos>(ms * kNanosPerMilli); }
+constexpr Nanos Seconds(double s) { return static_cast<Nanos>(s * kNanosPerSecond); }
+
+constexpr double ToMicros(Nanos ns) { return static_cast<double>(ns) / kNanosPerMicro; }
+constexpr double ToMillis(Nanos ns) { return static_cast<double>(ns) / kNanosPerMilli; }
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / kNanosPerSecond; }
+
+// "12.34ms" / "5.6us" / "3.21s" — human-readable duration for logs and tables.
+std::string FormatDuration(Nanos ns);
+
+// "89.42MiB" / "1.27GiB" — human-readable byte count (binary units, as the
+// paper's MB figures are really MiB).
+std::string FormatBytes(std::int64_t bytes);
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_TIME_H_

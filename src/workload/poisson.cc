@@ -1,0 +1,32 @@
+#include "src/workload/poisson.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace deepplan {
+
+Trace GeneratePoissonTrace(const PoissonOptions& options) {
+  DP_CHECK(options.rate_per_sec > 0);
+  DP_CHECK(options.num_instances > 0);
+  DP_CHECK(options.duration > 0);
+  Rng rng(options.seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(
+      static_cast<std::size_t>(options.rate_per_sec * ToSeconds(options.duration) * 1.1));
+  double t_sec = 0.0;
+  const double horizon = ToSeconds(options.duration);
+  while (true) {
+    t_sec += rng.NextExponential(options.rate_per_sec);
+    if (t_sec >= horizon) {
+      break;
+    }
+    Arrival a;
+    a.time = Seconds(t_sec);
+    a.instance = static_cast<int>(
+        rng.NextBounded(static_cast<std::uint64_t>(options.num_instances)));
+    arrivals.push_back(a);
+  }
+  return Trace(std::move(arrivals));
+}
+
+}  // namespace deepplan

@@ -1,0 +1,25 @@
+// Open-loop Poisson arrival generator (Section 5.3.1): a merged Poisson
+// process at `rate_per_sec`, with each arrival assigned to an instance
+// uniformly at random — equivalently, each of N instances receives an
+// independent Poisson stream at rate/N, the paper's synthetic workload.
+#ifndef SRC_WORKLOAD_POISSON_H_
+#define SRC_WORKLOAD_POISSON_H_
+
+#include <cstdint>
+
+#include "src/workload/trace.h"
+
+namespace deepplan {
+
+struct PoissonOptions {
+  double rate_per_sec = 100.0;
+  int num_instances = 100;
+  Nanos duration = Seconds(10);
+  std::uint64_t seed = 1;
+};
+
+Trace GeneratePoissonTrace(const PoissonOptions& options);
+
+}  // namespace deepplan
+
+#endif  // SRC_WORKLOAD_POISSON_H_

@@ -1,0 +1,114 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+Trace::Trace(std::vector<Arrival> arrivals) : arrivals_(std::move(arrivals)) {
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+}
+
+double Trace::MeanRate() const {
+  if (arrivals_.size() < 2 || duration() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(arrivals_.size()) / ToSeconds(duration());
+}
+
+std::vector<std::size_t> Trace::PerInstanceCounts(int num_instances) const {
+  std::vector<std::size_t> counts(num_instances, 0);
+  for (const Arrival& a : arrivals_) {
+    if (a.instance >= 0 && a.instance < num_instances) {
+      ++counts[a.instance];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::size_t> Trace::PerMinuteCounts() const {
+  std::vector<std::size_t> counts;
+  for (const Arrival& a : arrivals_) {
+    const auto minute = static_cast<std::size_t>(a.time / (60 * kNanosPerSecond));
+    if (minute >= counts.size()) {
+      counts.resize(minute + 1, 0);
+    }
+    ++counts[minute];
+  }
+  return counts;
+}
+
+Trace Trace::ScaledToRate(double target_rate_per_sec) const {
+  DP_CHECK(target_rate_per_sec > 0);
+  const double current = MeanRate();
+  if (current <= 0) {
+    return *this;
+  }
+  const double factor = current / target_rate_per_sec;
+  std::vector<Arrival> scaled = arrivals_;
+  for (Arrival& a : scaled) {
+    a.time = static_cast<Nanos>(static_cast<double>(a.time) * factor);
+  }
+  return Trace(std::move(scaled));
+}
+
+std::string Trace::ToCsv() const {
+  std::ostringstream os;
+  os << "time_ns,instance\n";
+  for (const Arrival& a : arrivals_) {
+    os << a.time << "," << a.instance << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Trace> Trace::FromCsv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::vector<Arrival> arrivals;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (line.rfind("time_ns", 0) == 0) {
+        continue;  // header
+      }
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      return std::nullopt;
+    }
+    Arrival a;
+    a.time = std::strtoll(line.c_str(), nullptr, 10);
+    a.instance = static_cast<int>(std::strtol(line.c_str() + comma + 1, nullptr, 10));
+    arrivals.push_back(a);
+  }
+  return Trace(std::move(arrivals));
+}
+
+bool Trace::SaveTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> Trace::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsv(buffer.str());
+}
+
+}  // namespace deepplan

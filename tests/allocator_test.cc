@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/gpu_allocator.h"
+#include "src/util/rng.h"
+
+namespace deepplan {
+namespace {
+
+TEST(GpuAllocatorTest, BasicAllocateFree) {
+  GpuAllocator a(1000, /*alignment=*/1);
+  const auto x = a.Allocate(400);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(a.used_bytes(), 400);
+  EXPECT_EQ(a.free_bytes(), 600);
+  a.Free(*x);
+  EXPECT_EQ(a.used_bytes(), 0);
+  EXPECT_EQ(a.num_free_blocks(), 1);
+}
+
+TEST(GpuAllocatorTest, AlignmentRoundsUp) {
+  GpuAllocator a(4096, /*alignment=*/512);
+  const auto x = a.Allocate(1);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(a.used_bytes(), 512);
+}
+
+TEST(GpuAllocatorTest, FailsWhenNoContiguousBlockDespiteFreeBytes) {
+  // Classic external fragmentation: free 2x250 split by a live 500 block.
+  GpuAllocator a(1000, 1);
+  const auto x = a.Allocate(250);
+  const auto y = a.Allocate(500);
+  const auto z = a.Allocate(250);
+  ASSERT_TRUE(x && y && z);
+  a.Free(*x);
+  a.Free(*z);
+  EXPECT_EQ(a.free_bytes(), 500);
+  EXPECT_EQ(a.LargestFreeBlock(), 250);
+  EXPECT_FALSE(a.Allocate(400).has_value());  // 500 free, but fragmented
+  EXPECT_GT(a.Fragmentation(), 0.4);
+}
+
+TEST(GpuAllocatorTest, CoalescesNeighbours) {
+  GpuAllocator a(1000, 1);
+  const auto x = a.Allocate(300);
+  const auto y = a.Allocate(300);
+  const auto z = a.Allocate(300);
+  ASSERT_TRUE(x && y && z);
+  a.Free(*x);
+  a.Free(*z);
+  // [0,300) plus [600,1000) — z coalesced with the tail block.
+  EXPECT_EQ(a.num_free_blocks(), 2);
+  a.Free(*y);
+  EXPECT_EQ(a.num_free_blocks(), 1);
+  EXPECT_EQ(a.LargestFreeBlock(), 1000);
+  EXPECT_DOUBLE_EQ(a.Fragmentation(), 0.0);
+}
+
+TEST(GpuAllocatorTest, FirstFitReusesLowestOffset) {
+  GpuAllocator a(1000, 1);
+  const auto x = a.Allocate(200);
+  const auto y = a.Allocate(200);
+  ASSERT_TRUE(x && y);
+  a.Free(*x);
+  const auto z = a.Allocate(100);
+  ASSERT_TRUE(z.has_value());
+  // z landed in the hole at offset 0 (first fit), leaving [100,200) free.
+  EXPECT_EQ(a.num_free_blocks(), 2);
+  EXPECT_EQ(a.used_bytes(), 300);
+}
+
+TEST(GpuAllocatorTest, RandomizedInvariants) {
+  // Property sweep: random alloc/free churn preserves accounting invariants
+  // and full-free always coalesces back to one block.
+  Rng rng(77);
+  GpuAllocator a(1 << 20, 64);
+  std::vector<AllocId> live;
+  for (int step = 0; step < 5000; ++step) {
+    const bool do_alloc = live.empty() || rng.NextDouble() < 0.55;
+    if (do_alloc) {
+      const auto bytes = static_cast<std::int64_t>(1 + rng.NextBounded(32768));
+      const auto id = a.Allocate(bytes);
+      if (id.has_value()) {
+        live.push_back(*id);
+      }
+    } else {
+      const auto idx = rng.NextBounded(live.size());
+      a.Free(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_GE(a.used_bytes(), 0);
+    ASSERT_LE(a.used_bytes(), a.capacity());
+    ASSERT_EQ(a.used_bytes() + a.free_bytes(), a.capacity());
+    ASSERT_LE(a.LargestFreeBlock(), a.free_bytes());
+    ASSERT_EQ(a.num_allocations(), static_cast<int>(live.size()));
+  }
+  for (const AllocId id : live) {
+    a.Free(id);
+  }
+  EXPECT_EQ(a.used_bytes(), 0);
+  EXPECT_EQ(a.num_free_blocks(), 1);
+  EXPECT_EQ(a.LargestFreeBlock(), a.capacity());
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,122 @@
+// Pins the simulator's headline numbers against the paper's published
+// measurements (Table 4, Figure 11). These are the reproduction contract: if
+// a calibration constant drifts, these tests say which experiment broke.
+#include <gtest/gtest.h>
+
+#include "src/core/profiler.h"
+#include "src/core/transmission.h"
+#include "src/engine/strategies.h"
+#include "src/model/zoo.h"
+
+namespace deepplan {
+namespace {
+
+struct PaperLatency {
+  const char* model;
+  double pipeswitch_ms;  // Table 4, PipeSwitch (1)
+  double ptdha_ms;       // Table 4, PT+DHA (1)
+};
+
+Nanos RunStrategy(const Model& model, Strategy strategy);
+
+class CalibrationTest : public ::testing::TestWithParam<PaperLatency> {};
+
+Nanos RunStrategy(const Model& model, Strategy strategy) {
+    const Topology topology = Topology::P3_8xlarge();
+    const PerfModel perf(topology.gpu(), topology.pcie());
+    ProfilerOptions opts;
+    opts.noise_stddev = 0.0;
+    const ModelProfile profile = Profiler(&perf, opts).Profile(model);
+    const int degree = StrategyDegree(strategy, topology, 0);
+    const ExecutionPlan plan = MakeStrategyPlan(strategy, profile, degree);
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+    InferenceResult result;
+    engine.RunCold(model, plan, 0,
+                   TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                   MakeColdRunOptions(strategy),
+                   [&](const InferenceResult& r) { result = r; });
+    sim.Run();
+    return result.latency;
+}
+
+TEST_P(CalibrationTest, PipeSwitchLatencyWithin15Percent) {
+  const PaperLatency& c = GetParam();
+  const double ms =
+      ToMillis(RunStrategy(ModelZoo::ByName(c.model), Strategy::kPipeSwitch));
+  EXPECT_NEAR(ms, c.pipeswitch_ms, c.pipeswitch_ms * 0.15) << c.model;
+}
+
+TEST_P(CalibrationTest, PtDhaLatencyWithin25Percent) {
+  const PaperLatency& c = GetParam();
+  const double ms =
+      ToMillis(RunStrategy(ModelZoo::ByName(c.model), Strategy::kDeepPlanPtDha));
+  EXPECT_NEAR(ms, c.ptdha_ms, c.ptdha_ms * 0.25) << c.model;
+}
+
+TEST_P(CalibrationTest, PtDhaBeatsPipeSwitch) {
+  const PaperLatency& c = GetParam();
+  const Model model = ModelZoo::ByName(c.model);
+  EXPECT_LT(RunStrategy(model, Strategy::kDeepPlanPtDha),
+            RunStrategy(model, Strategy::kPipeSwitch))
+      << c.model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, CalibrationTest,
+    ::testing::Values(PaperLatency{"resnet50", 12.03, 8.93},
+                      PaperLatency{"resnet101", 19.85, 17.71},
+                      PaperLatency{"bert_base", 40.51, 20.88},
+                      PaperLatency{"bert_large", 122.37, 70.56},
+                      PaperLatency{"roberta_base", 45.86, 20.83},
+                      PaperLatency{"roberta_large", 129.58, 70.26},
+                      PaperLatency{"gpt2", 48.41, 33.38},
+                      PaperLatency{"gpt2_medium", 134.10, 101.83}),
+    [](const ::testing::TestParamInfo<PaperLatency>& info) {
+      return info.param.model;
+    });
+
+TEST(CalibrationHeadlineTest, BertBaseSpeedupNearPaper194x) {
+  // The abstract's headline: PT+DHA gives a 1.94x single-inference speedup
+  // over PipeSwitch for BERT-Base.
+  const Model model = ModelZoo::BertBase();
+  const double speedup =
+      static_cast<double>(RunStrategy(model, Strategy::kPipeSwitch)) /
+      static_cast<double>(
+          RunStrategy(model, Strategy::kDeepPlanPtDha));
+  EXPECT_NEAR(speedup, 1.94, 0.25);
+}
+
+TEST(CalibrationHeadlineTest, RobertaBaseSpeedupNearPaper221x) {
+  const Model model = ModelZoo::RobertaBase();
+  const double speedup =
+      static_cast<double>(RunStrategy(model, Strategy::kPipeSwitch)) /
+      static_cast<double>(
+          RunStrategy(model, Strategy::kDeepPlanPtDha));
+  EXPECT_NEAR(speedup, 2.21, 0.35);
+}
+
+TEST(CalibrationHeadlineTest, DhaSpeedupOverPipeSwitchInPaperRange) {
+  // Figure 11 (single GPU): DHA beats PipeSwitch by 1.01-1.43x across models.
+  for (const Model& model : ModelZoo::PaperModels()) {
+    const double speedup =
+        static_cast<double>(
+            RunStrategy(model, Strategy::kPipeSwitch)) /
+        static_cast<double>(
+            RunStrategy(model, Strategy::kDeepPlanDha));
+    EXPECT_GE(speedup, 1.0) << model.name();
+    EXPECT_LE(speedup, 1.65) << model.name();
+  }
+}
+
+TEST(CalibrationHeadlineTest, PtNoWinOverDhaForGpt2) {
+  // Section 5.2: "In GPT-2 models, the performance improvement [of PT] is not
+  // shown" — PT loads everything and loses DHA's embedding/LN savings.
+  const Model model = ModelZoo::Gpt2();
+  EXPECT_GE(RunStrategy(model, Strategy::kDeepPlanPt),
+            RunStrategy(model, Strategy::kDeepPlanDha));
+}
+
+}  // namespace
+}  // namespace deepplan

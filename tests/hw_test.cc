@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/gpu.h"
+#include "src/hw/topology.h"
+
+namespace deepplan {
+namespace {
+
+TEST(GpuSpecTest, V100MatchesPublishedSpecs) {
+  const GpuSpec v100 = GpuSpec::V100();
+  EXPECT_DOUBLE_EQ(v100.fp32_tflops, 15.7);
+  EXPECT_EQ(v100.mem_bytes, 16LL * 1024 * 1024 * 1024);
+  EXPECT_GT(v100.mem_bw_bytes_per_sec, 8e11);
+}
+
+TEST(GpuSpecTest, A5000HasMoreComputeAndMemoryThanV100) {
+  const GpuSpec a = GpuSpec::A5000();
+  const GpuSpec v = GpuSpec::V100();
+  EXPECT_GT(a.fp32_tflops, v.fp32_tflops);
+  EXPECT_GT(a.mem_bytes, v.mem_bytes);
+}
+
+TEST(PcieSpecTest, Gen4FasterThanGen3) {
+  EXPECT_GT(PcieSpec::Gen4().effective_bw_bytes_per_sec,
+            PcieSpec::Gen3().effective_bw_bytes_per_sec * 1.5);
+  EXPECT_EQ(PcieSpec::Gen3().payload_bytes, 64);
+  EXPECT_EQ(PcieSpec::Gen4().payload_bytes, 64);
+}
+
+TEST(TopologyTest, P3HasFourGpusTwoSwitches) {
+  const Topology t = Topology::P3_8xlarge();
+  EXPECT_EQ(t.num_gpus(), 4);
+  EXPECT_EQ(t.num_switches(), 2);
+  EXPECT_TRUE(t.SameSwitch(0, 1));
+  EXPECT_TRUE(t.SameSwitch(2, 3));
+  EXPECT_FALSE(t.SameSwitch(0, 2));
+  EXPECT_FALSE(t.SameSwitch(1, 3));
+}
+
+TEST(TopologyTest, P3NvlinkIsFullMesh) {
+  const Topology t = Topology::P3_8xlarge();
+  for (GpuId a = 0; a < 4; ++a) {
+    for (GpuId b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(t.HasNvlink(a, b)) << a << "-" << b;
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, ParallelCandidatesPreferOtherSwitch) {
+  const Topology t = Topology::P3_8xlarge();
+  const auto candidates = t.ParallelCandidates(0);
+  ASSERT_EQ(candidates.size(), 3u);
+  // GPUs 2 and 3 (other switch) come before GPU 1 (same switch).
+  EXPECT_FALSE(t.SameSwitch(0, candidates[0]));
+  EXPECT_FALSE(t.SameSwitch(0, candidates[1]));
+  EXPECT_TRUE(t.SameSwitch(0, candidates[2]));
+}
+
+TEST(TopologyTest, MaxParallelDegreeIsTwoOnP3) {
+  // The paper: "DeepPlan guides us to use up to two GPUs out of four for the
+  // parallel-transmission at once" (two PCIe switches).
+  const Topology t = Topology::P3_8xlarge();
+  for (GpuId g = 0; g < 4; ++g) {
+    EXPECT_EQ(t.MaxParallelDegree(g), 2);
+  }
+}
+
+TEST(TopologyTest, A5000BoxSupportsDegreeTwo) {
+  const Topology t = Topology::A5000Box();
+  EXPECT_EQ(t.num_gpus(), 2);
+  EXPECT_EQ(t.num_switches(), 2);
+  EXPECT_TRUE(t.HasNvlink(0, 1));
+  EXPECT_EQ(t.MaxParallelDegree(0), 2);
+}
+
+TEST(TopologyTest, CustomWithoutNvlinkDisablesParallel) {
+  const Topology t =
+      Topology::Custom("no-nvlink", GpuSpec::V100(), PcieSpec::Gen3(),
+                       NvlinkSpec::V100Nvlink(), {0, 1}, 12e9, /*nvlink_pairs=*/{});
+  EXPECT_EQ(t.MaxParallelDegree(0), 1);
+  EXPECT_TRUE(t.ParallelCandidates(0).empty());
+}
+
+TEST(TopologyTest, EightGpuDgxStyleDegreeMatchesSwitchCount) {
+  // DGX-1-like: 8 GPUs, 4 switches, NVLink mesh. Parallel degree should be 4
+  // (one GPU per switch).
+  std::vector<std::pair<GpuId, GpuId>> pairs;
+  for (GpuId a = 0; a < 8; ++a) {
+    for (GpuId b = a + 1; b < 8; ++b) {
+      pairs.push_back({a, b});
+    }
+  }
+  const Topology t = Topology::Custom("dgx8", GpuSpec::V100(), PcieSpec::Gen3(),
+                                      NvlinkSpec::V100Nvlink(), {0, 0, 1, 1, 2, 2, 3, 3},
+                                      12e9, pairs);
+  EXPECT_EQ(t.MaxParallelDegree(0), 4);
+}
+
+}  // namespace
+}  // namespace deepplan

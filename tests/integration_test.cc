@@ -1,0 +1,162 @@
+// End-to-end integration: the full DeepPlan workflow (profile -> plan ->
+// serialize -> deploy -> serve) across modules, plus the future-work
+// scenarios of Section 7 (oversized models, sparse MoE).
+#include <gtest/gtest.h>
+
+#include "src/deepplan.h"
+
+namespace deepplan {
+namespace {
+
+TEST(IntegrationTest, FullWorkflowProfilePlanSerializeServe) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model model = ModelZoo::BertBase();
+
+  // Profile (one-time pre-run).
+  Profiler profiler(&perf);
+  const ModelProfile profile = profiler.Profile(model);
+
+  // Plan (Algorithm 1 + transmission planning).
+  PlannerOptions options;
+  options.num_partitions = TransmissionPlanner::ChooseDegree(topology, 0);
+  const ExecutionPlan plan = Planner(&profile).GeneratePlan(options);
+
+  // Serialize + reload (deployment artifact round-trip).
+  const auto reloaded = ExecutionPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(reloaded.has_value());
+  ASSERT_FALSE(reloaded->Validate(profile).has_value());
+
+  // Execute the reloaded plan cold.
+  Simulator sim;
+  ServerFabric fabric(&sim, &topology);
+  Engine engine(&sim, &fabric, &perf);
+  InferenceResult result;
+  engine.RunCold(model, *reloaded, 0,
+                 TransmissionPlanner::ChooseSecondaries(
+                     topology, 0, reloaded->num_partitions()),
+                 ColdRunOptions{}, [&](const InferenceResult& r) { result = r; });
+  sim.Run();
+  EXPECT_GT(result.latency, 0);
+  EXPECT_LT(ToMillis(result.latency), 30.0);  // ~paper's 20.9 ms PT+DHA
+}
+
+TEST(IntegrationTest, ServingWithAzureTraceMixedModels) {
+  // A miniature Figure 15: BERT:RoBERTa:GPT-2 instances at 4:4:1, MAF-like
+  // arrivals, DeepPlan strategy. Goodput should be high and cold starts rare
+  // at this scale.
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ServerOptions options;
+  options.strategy = Strategy::kDeepPlanPtDha;
+  Server server(topology, perf, options);
+  const int bert = server.RegisterModelType(ModelZoo::BertBase());
+  const int roberta = server.RegisterModelType(ModelZoo::RobertaBase());
+  const int gpt2 = server.RegisterModelType(ModelZoo::Gpt2());
+  server.AddInstances(bert, 16);
+  server.AddInstances(roberta, 16);
+  server.AddInstances(gpt2, 4);
+
+  AzureTraceOptions w;
+  w.num_instances = 36;
+  w.duration = Seconds(20);
+  w.target_rate_per_sec = 60.0;
+  const ServingMetrics m = server.Run(GenerateAzureTrace(w));
+  EXPECT_GT(m.count(), 500u);
+  EXPECT_GT(m.Goodput(Millis(100)), 0.95);
+}
+
+TEST(IntegrationTest, OversizedModelServableViaDha) {
+  // Section 7: a model larger than one GPU's memory. An all-load plan cannot
+  // fit on a 16 GB V100; a DHA plan that keeps enough layers host-side can.
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model big = ModelZoo::Oversized("oversized");
+  ASSERT_GT(big.total_param_bytes(), topology.gpu().mem_bytes);
+
+  ProfilerOptions popts;
+  popts.noise_stddev = 0.0;
+  const ModelProfile profile = Profiler(&perf, popts).Profile(big);
+
+  // Force every embedding + attention projection host-side until it fits.
+  ExecutionPlan plan(big.name(), big.num_layers());
+  std::int64_t resident = big.total_param_bytes();
+  const std::int64_t budget = topology.gpu().mem_bytes * 7 / 10;
+  for (std::size_t i = 0; i < big.num_layers() && resident > budget; ++i) {
+    const Layer& l = big.layer(i);
+    if (l.has_params() && (l.kind == LayerKind::kEmbedding ||
+                           (l.kind == LayerKind::kLinear &&
+                            l.param_bytes < 40 * 1024 * 1024))) {
+      plan.set_method(i, ExecMethod::kDirectHostAccess);
+      resident -= l.param_bytes;
+    }
+  }
+  ASSERT_LE(plan.GpuResidentBytes(profile), topology.gpu().mem_bytes);
+
+  Simulator sim;
+  ServerFabric fabric(&sim, &topology);
+  Engine engine(&sim, &fabric, &perf);
+  InferenceResult result;
+  engine.RunCold(big, plan, 0, {}, ColdRunOptions{},
+                 [&](const InferenceResult& r) { result = r; });
+  sim.Run();
+  EXPECT_GT(result.latency, 0);
+}
+
+TEST(IntegrationTest, MoeColdStartCheaperThanDenseEquivalent) {
+  // Section 7: with per-expert gating known, inactive experts stay host-side
+  // (DHA-eligible, never loaded), shrinking provisioning traffic.
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model moe = ModelZoo::MoeSparse("moe", 768, 12, 8, 384);
+  ProfilerOptions popts;
+  popts.noise_stddev = 0.0;
+  const ModelProfile profile = Profiler(&perf, popts).Profile(moe);
+
+  // Expert-aware plan: inactive experts (zero FLOPs) -> DHA (stay host-side).
+  ExecutionPlan plan(moe.name(), moe.num_layers());
+  for (std::size_t i = 0; i < moe.num_layers(); ++i) {
+    if (moe.layer(i).has_params() && moe.layer(i).flops == 0) {
+      plan.set_method(i, ExecMethod::kDirectHostAccess);
+    }
+  }
+  ExecutionPlan dense_plan(moe.name(), moe.num_layers());
+
+  auto run = [&](const ExecutionPlan& p) {
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+    InferenceResult result;
+    engine.RunCold(moe, p, 0, {}, ColdRunOptions{},
+                   [&](const InferenceResult& r) { result = r; });
+    sim.Run();
+    return result.latency;
+  };
+  const Nanos expert_aware = run(plan);
+  const Nanos dense = run(dense_plan);
+  EXPECT_LT(static_cast<double>(expert_aware), static_cast<double>(dense) * 0.6);
+}
+
+TEST(IntegrationTest, ProfileOnA5000ProducesDifferentPlan) {
+  // Section 5.4: plans adapt to the GPU/PCIe generation. The set of DHA
+  // layers on the A5000/PCIe4 box need not match the V100/PCIe3 one.
+  const Model model = ModelZoo::ResNet101();
+  ProfilerOptions popts;
+  popts.noise_stddev = 0.0;
+  const PerfModel v100(GpuSpec::V100(), PcieSpec::Gen3());
+  const PerfModel a5000(GpuSpec::A5000(), PcieSpec::Gen4());
+  const ModelProfile pv = Profiler(&v100, popts).Profile(model);
+  const ModelProfile pa = Profiler(&a5000, popts).Profile(model);
+  const ExecutionPlan plan_v = Planner(&pv).GeneratePlan();
+  const ExecutionPlan plan_a = Planner(&pa).GeneratePlan();
+  int diffs = 0;
+  for (std::size_t i = 0; i < plan_v.num_layers(); ++i) {
+    if (plan_v.method(i) != plan_a.method(i)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/model/layer.h"
+#include "src/model/model.h"
+#include "src/model/zoo.h"
+
+namespace deepplan {
+namespace {
+
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+// ---------------------------------------------------------------- layers
+
+TEST(LayerTest, EmbeddingSizesMatchPaper) {
+  // BERT-Base word embedding: 30522 x 768 fp32 = 89.42 MiB (Fig. 5a "Large").
+  const Layer word = Layer::Embedding("word", 30522, 768, 384);
+  EXPECT_NEAR(static_cast<double>(word.param_bytes) / kMiB, 89.42, 0.01);
+  // Position embedding: 512 x 768 = 1.50 MiB (Fig. 5a "Medium").
+  const Layer pos = Layer::Embedding("pos", 512, 768, 384);
+  EXPECT_NEAR(static_cast<double>(pos.param_bytes) / kMiB, 1.50, 0.01);
+  // DHA touches only the looked-up rows: 384 tokens x 768 dims x 4 B.
+  EXPECT_EQ(word.dha_param_traffic_bytes, 384LL * 768 * 4);
+  EXPECT_EQ(pos.dha_param_traffic_bytes, 384LL * 768 * 4);
+  EXPECT_TRUE(word.dha_traffic_scales_with_batch);
+}
+
+TEST(LayerTest, ConvSizesMatchPaper) {
+  // ResNet-50 3x3x256x256 = 2.25 MiB (Fig. 5b "Medium"),
+  // 3x3x512x512 = 9.0 MiB (Fig. 5b "Large").
+  const Layer medium = Layer::Conv2d("c", 256, 256, 3, 14, 14);
+  EXPECT_NEAR(static_cast<double>(medium.param_bytes) / kMiB, 2.25, 0.01);
+  const Layer large = Layer::Conv2d("c", 512, 512, 3, 7, 7);
+  EXPECT_NEAR(static_cast<double>(large.param_bytes) / kMiB, 9.0, 0.01);
+  // Reuse factor ~1.8 (Table 1: 65891/36869 events).
+  EXPECT_NEAR(static_cast<double>(medium.dha_param_traffic_bytes) /
+                  static_cast<double>(medium.param_bytes),
+              1.8, 0.01);
+}
+
+TEST(LayerTest, LinearReuseFactorMatchesTable1) {
+  // Table 1: FC DHA/load event ratio ~12.1.
+  const Layer fc = Layer::Linear("fc", 768, 768, 384, /*bias=*/false);
+  EXPECT_NEAR(static_cast<double>(fc.dha_param_traffic_bytes) /
+                  static_cast<double>(fc.param_bytes),
+              12.0, 0.01);
+  EXPECT_FALSE(fc.dha_traffic_scales_with_batch);
+}
+
+TEST(LayerTest, LinearFlopsAndBytes) {
+  const Layer fc = Layer::Linear("fc", 768, 3072, 384);
+  EXPECT_EQ(fc.param_bytes, (768LL * 3072 + 3072) * 4);
+  EXPECT_EQ(fc.flops, 2LL * 768 * 3072 * 384);
+}
+
+TEST(LayerTest, ParameterFreeLayersHaveNoDhaTraffic) {
+  for (const Layer& l :
+       {Layer::Activation("a", 1000), Layer::Pooling("p", 1000),
+        Layer::Attention("at", 384, 768), Layer::Residual("r", 1000)}) {
+    EXPECT_FALSE(l.has_params()) << l.name;
+    EXPECT_EQ(l.dha_param_traffic_bytes, 0) << l.name;
+  }
+}
+
+TEST(LayerKindTest, NamesAreStable) {
+  EXPECT_STREQ(LayerKindName(LayerKind::kEmbedding), "Emb");
+  EXPECT_STREQ(LayerKindName(LayerKind::kConv2d), "Conv");
+  EXPECT_STREQ(LayerKindName(LayerKind::kLinear), "FC");
+  EXPECT_STREQ(LayerKindName(LayerKind::kLayerNorm), "LN");
+  EXPECT_STREQ(LayerKindName(LayerKind::kBatchNorm), "BN");
+}
+
+// ---------------------------------------------------------------- models
+
+TEST(ModelTest, AggregatesTotals) {
+  std::vector<Layer> layers;
+  layers.push_back(Layer::Linear("a", 10, 10, 1, /*bias=*/false));
+  layers.push_back(Layer::Activation("act", 10));
+  const Model m("tiny", std::move(layers), 1);
+  EXPECT_EQ(m.num_layers(), 2u);
+  EXPECT_EQ(m.total_param_bytes(), 400);
+  EXPECT_EQ(m.num_param_layers(), 1u);
+  EXPECT_EQ(m.ParamBytesInRange(0, 1), 400);
+  EXPECT_EQ(m.ParamBytesInRange(1, 1), 0);
+}
+
+// Parameter counts of the zoo models vs the published architectures
+// (tolerance 3% — we model weights + biases + norm parameters).
+struct ZooCase {
+  const char* name;
+  double expected_mib;
+};
+
+class ZooSizeTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooSizeTest, TotalParamBytesMatchPublishedModel) {
+  const ZooCase& c = GetParam();
+  const Model m = ModelZoo::ByName(c.name);
+  const double mib = static_cast<double>(m.total_param_bytes()) / kMiB;
+  EXPECT_NEAR(mib, c.expected_mib, c.expected_mib * 0.03) << m.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModels, ZooSizeTest,
+    ::testing::Values(ZooCase{"resnet50", 97.5},       // 25.6 M params
+                      ZooCase{"resnet101", 170.0},     // 44.5 M
+                      ZooCase{"bert_base", 417.6},     // 109.5 M (paper: 417 MB)
+                      ZooCase{"bert_large", 1277.0},   // 335 M
+                      ZooCase{"roberta_base", 476.0},  // 124.7 M
+                      ZooCase{"roberta_large", 1355.0},
+                      ZooCase{"gpt2", 474.7},          // 124.4 M
+                      ZooCase{"gpt2_medium", 1320.0}),
+    [](const ::testing::TestParamInfo<ZooCase>& info) { return info.param.name; });
+
+TEST(ZooTest, BertBaseEmbeddingIsLargestFrontLayer) {
+  const Model m = ModelZoo::BertBase();
+  EXPECT_EQ(m.layer(0).kind, LayerKind::kEmbedding);
+  EXPECT_NEAR(static_cast<double>(m.layer(0).param_bytes) / kMiB, 89.42, 0.01);
+  EXPECT_EQ(m.ref_tokens(), 384);
+}
+
+TEST(ZooTest, Gpt2UsesLongContextAndBigVocab) {
+  const Model m = ModelZoo::Gpt2();
+  EXPECT_EQ(m.ref_tokens(), 1024);
+  EXPECT_EQ(m.layer(0).kind, LayerKind::kEmbedding);
+  // 50257 x 768 x 4 B = 147 MiB embedding.
+  EXPECT_NEAR(static_cast<double>(m.layer(0).param_bytes) / kMiB, 147.2, 0.3);
+}
+
+TEST(ZooTest, ResNetLayerStructure) {
+  const Model m = ModelZoo::ResNet50();
+  // 53 convolutions in ResNet-50 (49 block convs + 4 downsample + stem).
+  int convs = 0;
+  int bns = 0;
+  for (const Layer& l : m.layers()) {
+    convs += l.kind == LayerKind::kConv2d ? 1 : 0;
+    bns += l.kind == LayerKind::kBatchNorm ? 1 : 0;
+  }
+  EXPECT_EQ(convs, 53);
+  EXPECT_EQ(bns, 53);
+  EXPECT_EQ(m.layers().back().kind, LayerKind::kLinear);
+}
+
+TEST(ZooTest, ResNet101DeeperThan50) {
+  EXPECT_GT(ModelZoo::ResNet101().num_layers(), ModelZoo::ResNet50().num_layers());
+  EXPECT_GT(ModelZoo::ResNet101().total_param_bytes(),
+            ModelZoo::ResNet50().total_param_bytes());
+}
+
+TEST(ZooTest, PaperModelsAreEightAndNamed) {
+  const auto models = ModelZoo::PaperModels();
+  const auto names = ModelZoo::Names();
+  ASSERT_EQ(models.size(), 8u);
+  ASSERT_EQ(names.size(), 8u);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i].name(), names[i]);
+    EXPECT_EQ(ModelZoo::ByName(names[i]).total_param_bytes(),
+              models[i].total_param_bytes());
+  }
+}
+
+TEST(ZooTest, MoeSparseHasInactiveExperts) {
+  const Model m = ModelZoo::MoeSparse("moe", 768, 2, 8, 384);
+  std::int64_t zero_flop_param_bytes = 0;
+  for (const Layer& l : m.layers()) {
+    if (l.has_params() && l.flops == 0) {
+      zero_flop_param_bytes += l.param_bytes;
+    }
+  }
+  // 3 of 4 experts per block are inactive: most FFN bytes are cold.
+  EXPECT_GT(zero_flop_param_bytes, m.total_param_bytes() / 2);
+}
+
+TEST(ZooTest, OversizedExceedsOneV100) {
+  const Model m = ModelZoo::Oversized("big");
+  EXPECT_GT(m.total_param_bytes(), 16LL * 1024 * 1024 * 1024);
+}
+
+TEST(ZooTest, SummaryMentionsEveryLayer) {
+  const Model m = ModelZoo::ResNet50();
+  const std::string s = m.Summary();
+  EXPECT_NE(s.find("resnet50"), std::string::npos);
+  EXPECT_NE(s.find("stem.conv"), std::string::npos);
+  EXPECT_NE(s.find("fc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/gpu.h"
+#include "src/model/zoo.h"
+#include "src/perf/pcie_events.h"
+#include "src/perf/perf_model.h"
+
+namespace deepplan {
+namespace {
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModelTest() : perf_(GpuSpec::V100(), PcieSpec::Gen3()) {}
+  PerfModel perf_;
+};
+
+TEST_F(PerfModelTest, LoadTimeScalesWithBytes) {
+  const Layer small = Layer::Linear("s", 768, 768, 384, /*bias=*/false);
+  const Layer large = Layer::Linear("l", 768, 3072, 384, /*bias=*/false);
+  EXPECT_GT(perf_.LoadTime(large), perf_.LoadTime(small));
+  // 4x the bytes -> close to 4x the transfer portion.
+  const Nanos overhead = perf_.calibration().pcie_transfer_overhead;
+  EXPECT_NEAR(static_cast<double>(perf_.LoadTime(large) - overhead),
+              4.0 * static_cast<double>(perf_.LoadTime(small) - overhead),
+              static_cast<double>(perf_.LoadTime(small)) * 0.01);
+}
+
+TEST_F(PerfModelTest, ParameterFreeLayersLoadInstantly) {
+  EXPECT_EQ(perf_.LoadTime(Layer::Activation("a", 100)), 0);
+  EXPECT_EQ(perf_.LoadTime(Layer::Attention("at", 384, 768)), 0);
+}
+
+TEST_F(PerfModelTest, FigA_LargeEmbeddingDhaBeatsLoadByFar) {
+  // Figure 5a: for the 89.42 MiB embedding, load-then-execute is dominated by
+  // the 8+ ms transfer while DHA touches only 1.1 MiB of rows.
+  const Layer emb = Layer::Embedding("word", 30522, 768, 384);
+  const Nanos load_then_exec = perf_.LoadTime(emb) + perf_.ExecInMemory(emb);
+  const Nanos dha = perf_.ExecDha(emb);
+  EXPECT_GT(load_then_exec, 10 * dha);
+}
+
+TEST_F(PerfModelTest, FigA_MediumEmbeddingDhaCompetitive) {
+  // Figure 5a: the 1.5 MiB position embedding: DHA is no worse than load.
+  const Layer emb = Layer::Embedding("pos", 512, 768, 384);
+  EXPECT_LE(perf_.ExecDha(emb), perf_.LoadTime(emb) + perf_.ExecInMemory(emb));
+}
+
+TEST_F(PerfModelTest, FigB_SmallConvDhaCompetitive_LargeConvLoadWins) {
+  // Figure 5b: small/medium convs are a wash; large convs favor loading.
+  const Layer small = Layer::Conv2d("c", 64, 64, 3, 56, 56);
+  const Layer large = Layer::Conv2d("c", 512, 512, 3, 7, 7);
+  const double small_ratio =
+      static_cast<double>(perf_.ExecDha(small)) /
+      static_cast<double>(perf_.LoadTime(small) + perf_.ExecInMemory(small));
+  const double large_ratio =
+      static_cast<double>(perf_.ExecDha(large)) /
+      static_cast<double>(perf_.LoadTime(large) + perf_.ExecInMemory(large));
+  EXPECT_LT(small_ratio, 1.4);       // near parity
+  EXPECT_GT(large_ratio, small_ratio);  // gap widens with size
+  EXPECT_GT(large_ratio, 1.3);       // load clearly wins for the big conv
+}
+
+TEST_F(PerfModelTest, FigC_FullyConnectedLoadAlwaysWins) {
+  // Figure 5c: both small and large FC layers strongly favor load-then-execute
+  // because weights are re-read ~12x under DHA.
+  for (const Layer& fc : {Layer::Linear("small", 768, 768, 384),
+                          Layer::Linear("large", 768, 3072, 384)}) {
+    const Nanos load_then_exec = perf_.LoadTime(fc) + perf_.ExecInMemory(fc);
+    EXPECT_GT(perf_.ExecDha(fc), 3 * load_then_exec) << fc.name;
+  }
+}
+
+TEST_F(PerfModelTest, BatchNormFavorsDhaLayerNormFavorsLoad) {
+  // Section 3.1 "Other layers": BN -> DHA better; LN -> load better.
+  const Layer bn = Layer::BatchNorm("bn", 256, 14 * 14);
+  EXPECT_LT(perf_.ExecDha(bn), perf_.LoadTime(bn) + perf_.ExecInMemory(bn));
+  const Layer ln = Layer::LayerNorm("ln", 768, 384);
+  EXPECT_GT(perf_.ExecDha(ln), perf_.LoadTime(ln) + perf_.ExecInMemory(ln));
+}
+
+TEST_F(PerfModelTest, WarmLatencyMatchesPaperForBertBase) {
+  // The paper: a warm BERT-Base inference takes 9.35 ms on V100 (batch 1).
+  const Model bert = ModelZoo::BertBase();
+  const double ms = ToMillis(perf_.WarmLatency(bert, 1));
+  EXPECT_NEAR(ms, 9.35, 1.5);
+}
+
+TEST_F(PerfModelTest, TotalLoadTimeMatchesPaperForBertBase) {
+  // The paper: loading BERT-Base host->GPU takes ~40 ms.
+  const Model bert = ModelZoo::BertBase();
+  const double ms = ToMillis(perf_.TotalLoadTime(bert));
+  EXPECT_NEAR(ms, 40.0, 5.0);
+}
+
+TEST_F(PerfModelTest, BatchingIncreasesExecSubLinearly) {
+  const Layer fc = Layer::Linear("fc", 768, 3072, 384);
+  const Nanos b1 = perf_.ExecInMemory(fc, 1);
+  const Nanos b8 = perf_.ExecInMemory(fc, 8);
+  EXPECT_GT(b8, b1);
+  EXPECT_LT(b8, 8 * b1);  // fixed dispatch overhead amortizes
+}
+
+TEST_F(PerfModelTest, DhaTrafficScalesWithBatchOnlyForEmbeddings) {
+  const Layer emb = Layer::Embedding("e", 30522, 768, 384);
+  const Layer fc = Layer::Linear("fc", 768, 768, 384);
+  EXPECT_EQ(perf_.DhaTrafficBytes(emb, 4), 4 * perf_.DhaTrafficBytes(emb, 1));
+  EXPECT_EQ(perf_.DhaTrafficBytes(fc, 4), perf_.DhaTrafficBytes(fc, 1));
+}
+
+TEST_F(PerfModelTest, NvlinkFasterThanPcieForSameBytes) {
+  const Layer fc = Layer::Linear("fc", 768, 3072, 384);
+  EXPECT_LT(perf_.NvlinkTime(fc, NvlinkSpec::V100Nvlink()), perf_.LoadTime(fc));
+}
+
+TEST_F(PerfModelTest, Gen4CutsLoadTimeNearlyInHalf) {
+  const PerfModel gen4(GpuSpec::A5000(), PcieSpec::Gen4());
+  const Layer fc = Layer::Linear("fc", 768, 3072, 384);
+  const double ratio = static_cast<double>(perf_.LoadTime(fc)) /
+                       static_cast<double>(gen4.LoadTime(fc));
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.3);
+}
+
+// ---------------------------------------------------------------- Table 1
+
+class PcieEventTest : public ::testing::Test {
+ protected:
+  PcieEventTest() : perf_(GpuSpec::V100(), PcieSpec::Gen3()), counter_(&perf_) {}
+  PerfModel perf_;
+  PcieEventCounter counter_;
+};
+
+TEST_F(PcieEventTest, LoadEventsAreBytesOver64) {
+  // Table 1: medium embedding (1.50 MiB) -> 24,576 events (paper: 24,580);
+  // large embedding (89.42 MiB) -> 1,465,056 (paper: 1,465,112).
+  const Layer medium = Layer::Embedding("m", 512, 768, 384);
+  EXPECT_EQ(counter_.LoadEvents(medium), 24'576);
+  const Layer large = Layer::Embedding("l", 30522, 768, 384);
+  EXPECT_EQ(counter_.LoadEvents(large), 1'465'056);
+}
+
+TEST_F(PcieEventTest, EmbeddingDhaEventsIndependentOfTableSize) {
+  // Table 1: DHA events 18,267 / 18,459 for medium/large — both ~= the
+  // 18,432 touched-row payloads (384 x 768 x 4 / 64).
+  const Layer medium = Layer::Embedding("m", 512, 768, 384);
+  const Layer large = Layer::Embedding("l", 30522, 768, 384);
+  EXPECT_EQ(counter_.DhaEvents(medium), 18'432);
+  EXPECT_EQ(counter_.DhaEvents(large), 18'432);
+}
+
+TEST_F(PcieEventTest, ConvDhaRatioMatchesTable1) {
+  const Layer conv = Layer::Conv2d("c", 256, 256, 3, 14, 14);
+  const double ratio = static_cast<double>(counter_.DhaEvents(conv)) /
+                       static_cast<double>(counter_.LoadEvents(conv));
+  EXPECT_NEAR(ratio, 1.79, 0.05);  // paper: 65,891 / 36,869
+}
+
+TEST_F(PcieEventTest, LinearDhaRatioMatchesTable1) {
+  const Layer fc = Layer::Linear("fc", 768, 768, 384, /*bias=*/false);
+  const double ratio = static_cast<double>(counter_.DhaEvents(fc)) /
+                       static_cast<double>(counter_.LoadEvents(fc));
+  EXPECT_NEAR(ratio, 12.09, 0.15);  // paper: 446,276 / 36,920
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/core/plan.h"
+#include "src/core/profiler.h"
+#include "src/model/zoo.h"
+
+namespace deepplan {
+namespace {
+
+ModelProfile MakeProfile(const Model& model) {
+  PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  return Profiler(&perf, opts).Profile(model);
+}
+
+TEST(PlanTest, DefaultsToLoadSinglePartition) {
+  ExecutionPlan plan("m", 5);
+  EXPECT_EQ(plan.num_layers(), 5u);
+  EXPECT_EQ(plan.num_partitions(), 1);
+  EXPECT_EQ(plan.CountDha(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(plan.method(i), ExecMethod::kLoad);
+    EXPECT_EQ(plan.partition(i), 0);
+  }
+}
+
+TEST(PlanTest, ResidencySplitsByMethod) {
+  const Model model = ModelZoo::BertBase();
+  const ModelProfile profile = MakeProfile(model);
+  ExecutionPlan plan(model.name(), model.num_layers());
+  // Put the word embedding host-side.
+  plan.set_method(0, ExecMethod::kDirectHostAccess);
+  const std::int64_t gpu = plan.GpuResidentBytes(profile);
+  const std::int64_t host = plan.HostResidentBytes(profile);
+  EXPECT_EQ(gpu + host, model.total_param_bytes());
+  EXPECT_EQ(host, model.layer(0).param_bytes);
+}
+
+TEST(PlanTest, ValidateAcceptsWellFormedPlan) {
+  const Model model = ModelZoo::ResNet50();
+  const ModelProfile profile = MakeProfile(model);
+  ExecutionPlan plan(model.name(), model.num_layers());
+  EXPECT_FALSE(plan.Validate(profile).has_value());
+}
+
+TEST(PlanTest, ValidateRejectsSizeMismatch) {
+  const ModelProfile profile = MakeProfile(ModelZoo::ResNet50());
+  ExecutionPlan plan("resnet50", 3);
+  EXPECT_TRUE(plan.Validate(profile).has_value());
+}
+
+TEST(PlanTest, ValidateRejectsDhaOutsidePartitionZero) {
+  const Model model = ModelZoo::BertBase();
+  const ModelProfile profile = MakeProfile(model);
+  ExecutionPlan plan(model.name(), model.num_layers());
+  const std::size_t half = model.num_layers() / 2;
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    plan.set_partition(i, i < half ? 0 : 1);
+  }
+  // Find a parameterized layer in partition 1 and mark it DHA: invalid.
+  for (std::size_t i = half; i < model.num_layers(); ++i) {
+    if (profile.layers[i].has_params()) {
+      plan.set_method(i, ExecMethod::kDirectHostAccess);
+      break;
+    }
+  }
+  EXPECT_TRUE(plan.Validate(profile).has_value());
+}
+
+TEST(PlanTest, ValidateRejectsNonContiguousPartitions) {
+  const Model model = ModelZoo::ResNet50();
+  const ModelProfile profile = MakeProfile(model);
+  ExecutionPlan plan(model.name(), model.num_layers());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    plan.set_partition(i, static_cast<int>(i % 2));  // interleaved: invalid
+  }
+  EXPECT_TRUE(plan.Validate(profile).has_value());
+}
+
+TEST(PlanTest, ValidateRejectsDhaOnParameterFreeLayer) {
+  const Model model = ModelZoo::ResNet50();
+  const ModelProfile profile = MakeProfile(model);
+  ExecutionPlan plan(model.name(), model.num_layers());
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (!profile.layers[i].has_params()) {
+      plan.set_method(i, ExecMethod::kDirectHostAccess);
+      break;
+    }
+  }
+  EXPECT_TRUE(plan.Validate(profile).has_value());
+}
+
+TEST(PlanTest, SerializeParseRoundTrip) {
+  const Model model = ModelZoo::BertBase();
+  ExecutionPlan plan(model.name(), model.num_layers());
+  plan.set_method(0, ExecMethod::kDirectHostAccess);
+  plan.set_method(1, ExecMethod::kDirectHostAccess);
+  const std::size_t half = model.num_layers() / 2;
+  for (std::size_t i = half; i < model.num_layers(); ++i) {
+    plan.set_partition(i, 1);
+  }
+  const std::string text = plan.Serialize();
+  const auto parsed = ExecutionPlan::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->model_name(), plan.model_name());
+  EXPECT_EQ(parsed->num_layers(), plan.num_layers());
+  EXPECT_EQ(parsed->num_partitions(), plan.num_partitions());
+  for (std::size_t i = 0; i < plan.num_layers(); ++i) {
+    EXPECT_EQ(parsed->method(i), plan.method(i)) << i;
+    EXPECT_EQ(parsed->partition(i), plan.partition(i)) << i;
+  }
+}
+
+TEST(PlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ExecutionPlan::Parse("not a plan").has_value());
+  EXPECT_FALSE(ExecutionPlan::Parse("deepplan-v1 m layers=2 partitions=1\n0 load 0\n")
+                   .has_value());  // truncated
+  EXPECT_FALSE(
+      ExecutionPlan::Parse("deepplan-v1 m layers=1 partitions=1\n0 teleport 0\n")
+          .has_value());  // unknown method
+}
+
+TEST(PlanTest, ExecMethodNames) {
+  EXPECT_STREQ(ExecMethodName(ExecMethod::kLoad), "load");
+  EXPECT_STREQ(ExecMethodName(ExecMethod::kDirectHostAccess), "dha");
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,172 @@
+// Property-style invariants swept over the full model x strategy x batch x
+// topology space with parameterized gtest. These catch regressions the
+// calibration tests cannot: orderings and conservation laws that must hold
+// for *any* consistent provisioning simulator.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/profiler.h"
+#include "src/core/transmission.h"
+#include "src/engine/strategies.h"
+#include "src/model/zoo.h"
+
+namespace deepplan {
+namespace {
+
+struct RunOutput {
+  InferenceResult result;
+  ExecutionPlan plan;
+  ModelProfile profile;
+};
+
+RunOutput RunOnce(const std::string& model_name, Strategy strategy, int batch,
+                  const Topology& topology) {
+  const Model model = ModelZoo::ByName(model_name);
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.batch = batch;
+  RunOutput out;
+  out.profile = Profiler(&perf, opts).Profile(model);
+  const int degree = StrategyDegree(strategy, topology, 0);
+  PipelineOptions pipeline;
+  pipeline.nvlink = topology.nvlink();
+  out.plan = MakeStrategyPlan(strategy, out.profile, degree, pipeline);
+  Simulator sim;
+  ServerFabric fabric(&sim, &topology);
+  Engine engine(&sim, &fabric, &perf);
+  bool done = false;
+  engine.RunCold(model, out.plan, 0,
+                 TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                 MakeColdRunOptions(strategy, batch), [&](const InferenceResult& r) {
+                   out.result = r;
+                   done = true;
+                 });
+  sim.Run();
+  EXPECT_TRUE(done) << model_name;
+  return out;
+}
+
+using SweepParam = std::tuple<std::string, Strategy, int>;
+
+class ColdRunSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ColdRunSweep, InvariantsHold) {
+  const auto& [model_name, strategy, batch] = GetParam();
+  const Topology topology = Topology::P3_8xlarge();
+  const Model model = ModelZoo::ByName(model_name);
+  const RunOutput out = RunOnce(model_name, strategy, batch, topology);
+
+  // (1) Plan validates against its profile.
+  EXPECT_FALSE(out.plan.Validate(out.profile).has_value());
+
+  // (2) Latency decomposes: exec time + stalls == total (within rounding).
+  EXPECT_NEAR(static_cast<double>(out.result.latency),
+              static_cast<double>(out.result.exec_busy + out.result.stall),
+              static_cast<double>(out.result.latency) * 0.001);
+
+  // (3) Conservation: bytes shipped over PCIe equal the plan's GPU-resident
+  // bytes; DHA layers never cross as loads.
+  std::int64_t shipped = 0;
+  for (const auto& p : out.result.partitions) {
+    shipped += p.bytes;
+  }
+  EXPECT_EQ(shipped, out.plan.GpuResidentBytes(out.profile));
+  EXPECT_EQ(shipped + out.plan.HostResidentBytes(out.profile),
+            model.total_param_bytes());
+
+  // (4) Execution cannot finish before all loaded layers arrive... the last
+  // layer's execution ends at `latency` >= load_done only if the last layers
+  // load; in general load_done <= latency for pipelined runs of these plans.
+  EXPECT_LE(out.result.load_done, out.result.latency);
+
+  // (5) Latency at least the warm execution floor and at most baseline's
+  // load-everything-then-execute ceiling.
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  EXPECT_GE(out.result.latency, perf.WarmLatency(model, batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsStrategiesBatches, ColdRunSweep,
+    ::testing::Combine(::testing::Values("resnet50", "bert_base", "gpt2",
+                                         "roberta_large"),
+                       ::testing::Values(Strategy::kBaseline, Strategy::kPipeSwitch,
+                                         Strategy::kDeepPlanDha, Strategy::kDeepPlanPt,
+                                         Strategy::kDeepPlanPtDha),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string s = StrategyName(std::get<1>(info.param));
+      for (char& c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return std::get<0>(info.param) + "_" + s + "_b" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class StrategyOrdering : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrategyOrdering, PipelinedStrategiesBeatBaseline) {
+  const Topology topology = Topology::P3_8xlarge();
+  const Nanos baseline =
+      RunOnce(GetParam(), Strategy::kBaseline, 1, topology).result.latency;
+  for (const Strategy s : {Strategy::kPipeSwitch, Strategy::kDeepPlanDha,
+                           Strategy::kDeepPlanPt, Strategy::kDeepPlanPtDha}) {
+    EXPECT_LE(RunOnce(GetParam(), s, 1, topology).result.latency, baseline)
+        << StrategyName(s);
+  }
+}
+
+TEST_P(StrategyOrdering, DeepPlanVariantsBeatPipeSwitch) {
+  const Topology topology = Topology::P3_8xlarge();
+  const Nanos pipeswitch =
+      RunOnce(GetParam(), Strategy::kPipeSwitch, 1, topology).result.latency;
+  for (const Strategy s :
+       {Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
+    EXPECT_LE(RunOnce(GetParam(), s, 1, topology).result.latency, pipeswitch)
+        << StrategyName(s);
+  }
+}
+
+TEST_P(StrategyOrdering, BiggerBatchNeverFaster) {
+  const Topology topology = Topology::P3_8xlarge();
+  Nanos prev = 0;
+  for (const int batch : {1, 2, 4, 8}) {
+    const Nanos latency =
+        RunOnce(GetParam(), Strategy::kDeepPlanPtDha, batch, topology).result.latency;
+    EXPECT_GE(latency, prev) << "batch " << batch;
+    prev = latency;
+  }
+}
+
+TEST_P(StrategyOrdering, Pcie4NoSlowerThanPcie3) {
+  // Figure 16's premise: the A5000/PCIe 4.0 box loads faster; cold latency
+  // must not regress relative to the same strategy's stall structure.
+  const RunOutput v100 =
+      RunOnce(GetParam(), Strategy::kPipeSwitch, 1, Topology::P3_8xlarge());
+  const RunOutput a5000 =
+      RunOnce(GetParam(), Strategy::kPipeSwitch, 1, Topology::A5000Box());
+  EXPECT_LT(a5000.result.load_done, v100.result.load_done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, StrategyOrdering,
+                         ::testing::Values("resnet50", "resnet101", "bert_base",
+                                           "bert_large", "roberta_base",
+                                           "roberta_large", "gpt2", "gpt2_medium"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  const Topology topology = Topology::P3_8xlarge();
+  const RunOutput a = RunOnce("bert_base", Strategy::kDeepPlanPtDha, 1, topology);
+  const RunOutput b = RunOnce("bert_base", Strategy::kDeepPlanPtDha, 1, topology);
+  EXPECT_EQ(a.result.latency, b.result.latency);
+  EXPECT_EQ(a.result.stall, b.result.stall);
+  EXPECT_EQ(a.result.load_done, b.result.load_done);
+}
+
+}  // namespace
+}  // namespace deepplan

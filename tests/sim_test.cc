@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stream.h"
+
+namespace deepplan {
+namespace {
+
+// ---------------------------------------------------------------- event queue
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelSuppressesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+// ---------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  Nanos seen = -1;
+  sim.ScheduleAfter(100, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<Nanos> times;
+  sim.ScheduleAfter(10, [&] {
+    times.push_back(sim.now());
+    sim.ScheduleAfter(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<Nanos>{10, 15}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.ScheduleAfter(10, [] {});
+  sim.ScheduleAfter(1000, [&] { late_fired = true; });
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+// ---------------------------------------------------------------- fabric
+
+TEST(FabricTest, SingleTransferTakesBytesOverBandwidth) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId link = fabric.AddLink("pcie", 1e9);  // 1 GB/s
+  Nanos elapsed = -1;
+  fabric.Start({link}, 1'000'000, /*latency=*/0, [&](Nanos e) { elapsed = e; });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(elapsed), 1e6, 1e3);  // 1 MB at 1 GB/s = 1 ms
+}
+
+TEST(FabricTest, LatencyAddsAfterDrain) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId link = fabric.AddLink("pcie", 1e9);
+  Nanos elapsed = -1;
+  fabric.Start({link}, 1'000'000, /*latency=*/Micros(50), [&](Nanos e) { elapsed = e; });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(elapsed), 1e6 + 50e3, 1e3);
+}
+
+TEST(FabricTest, ZeroByteTransferCompletesAfterLatency) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  fabric.AddLink("pcie", 1e9);
+  Nanos elapsed = -1;
+  fabric.Start({}, 0, Micros(7), [&](Nanos e) { elapsed = e; });
+  sim.Run();
+  EXPECT_EQ(elapsed, Micros(7));
+}
+
+TEST(FabricTest, TwoTransfersShareLinkFairly) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId link = fabric.AddLink("pcie", 1e9);
+  Nanos first = -1;
+  Nanos second = -1;
+  fabric.Start({link}, 1'000'000, 0, [&](Nanos e) { first = e; });
+  fabric.Start({link}, 1'000'000, 0, [&](Nanos e) { second = e; });
+  sim.Run();
+  // Both share 1 GB/s -> each effectively 0.5 GB/s -> 2 ms each.
+  EXPECT_NEAR(static_cast<double>(first), 2e6, 2e4);
+  EXPECT_NEAR(static_cast<double>(second), 2e6, 2e4);
+}
+
+TEST(FabricTest, ShortTransferFreesBandwidthForLongOne) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId link = fabric.AddLink("pcie", 1e9);
+  Nanos long_elapsed = -1;
+  fabric.Start({link}, 3'000'000, 0, [&](Nanos e) { long_elapsed = e; });
+  fabric.Start({link}, 1'000'000, 0, [](Nanos) {});
+  sim.Run();
+  // Phase 1: both at 0.5 GB/s until the short one finishes at t=2ms (long has
+  // 2 MB left). Phase 2: long alone at 1 GB/s -> +2 ms. Total 4 ms.
+  EXPECT_NEAR(static_cast<double>(long_elapsed), 4e6, 4e4);
+}
+
+TEST(FabricTest, SharedUplinkConstrainsTwoGpuLoads) {
+  // Two GPUs behind one switch (Table 2's 4-GPU contention case): each GPU
+  // link is 12 GB/s but the shared uplink is 12.6 GB/s, so concurrent loads
+  // run at ~6.3 GB/s each.
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId uplink = fabric.AddLink("uplink", 12.6e9);
+  const LinkId gpu0 = fabric.AddLink("gpu0", 12e9);
+  const LinkId gpu1 = fabric.AddLink("gpu1", 12e9);
+  Nanos t0 = -1;
+  Nanos t1 = -1;
+  fabric.Start({uplink, gpu0}, 126'000'000, 0, [&](Nanos e) { t0 = e; });
+  fabric.Start({uplink, gpu1}, 126'000'000, 0, [&](Nanos e) { t1 = e; });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(t0), 20e6, 2e5);  // 126 MB at 6.3 GB/s
+  EXPECT_NEAR(static_cast<double>(t1), 20e6, 2e5);
+}
+
+TEST(FabricTest, IndependentLinksDoNotInterfere) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId a = fabric.AddLink("a", 1e9);
+  const LinkId b = fabric.AddLink("b", 1e9);
+  Nanos ta = -1;
+  Nanos tb = -1;
+  fabric.Start({a}, 1'000'000, 0, [&](Nanos e) { ta = e; });
+  fabric.Start({b}, 1'000'000, 0, [&](Nanos e) { tb = e; });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(ta), 1e6, 1e4);
+  EXPECT_NEAR(static_cast<double>(tb), 1e6, 1e4);
+}
+
+TEST(FabricTest, MaxMinFairnessWithAsymmetricPaths) {
+  // T1 crosses links A and B; T2 crosses only A; T3 crosses only B.
+  // A and B both 1 GB/s. Max-min: each link splits between its two users,
+  // T1 bottlenecked at 0.5 on both; T2 and T3 get 0.5 each.
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId a = fabric.AddLink("a", 1e9);
+  const LinkId b = fabric.AddLink("b", 1e9);
+  fabric.Start({a, b}, 10'000'000, 0, [](Nanos) {});
+  fabric.Start({a}, 10'000'000, 0, [](Nanos) {});
+  fabric.Start({b}, 10'000'000, 0, [](Nanos) {});
+  EXPECT_NEAR(fabric.AllocatedOn(a), 1e9, 1e6);
+  EXPECT_NEAR(fabric.AllocatedOn(b), 1e9, 1e6);
+  sim.Run();
+}
+
+// ---------------------------------------------------------------- streams
+
+TEST(StreamTest, OpsRunInOrder) {
+  Simulator sim;
+  Stream stream(&sim, "s");
+  std::vector<int> order;
+  stream.EnqueueMarker([&] { order.push_back(1); });
+  stream.EnqueueDelay(100);
+  stream.EnqueueMarker([&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(stream.idle());
+}
+
+TEST(StreamTest, DelayOccupiesStream) {
+  Simulator sim;
+  Stream stream(&sim, "s");
+  Nanos done_at = -1;
+  stream.EnqueueDelay(100);
+  stream.EnqueueDelay(50);
+  stream.EnqueueMarker([&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 150);
+}
+
+TEST(SyncEventTest, WaitBlocksUntilFire) {
+  Simulator sim;
+  SyncEvent event(&sim);
+  Stream stream(&sim, "s");
+  Nanos resumed_at = -1;
+  stream.EnqueueWait(&event);
+  stream.EnqueueMarker([&] { resumed_at = sim.now(); });
+  sim.ScheduleAfter(500, [&] { event.Fire(); });
+  sim.Run();
+  EXPECT_EQ(resumed_at, 500);
+  EXPECT_EQ(stream.wait_time(), 500);
+}
+
+TEST(SyncEventTest, WaitOnFiredEventIsInstant) {
+  Simulator sim;
+  SyncEvent event(&sim);
+  event.Fire();
+  Stream stream(&sim, "s");
+  Nanos resumed_at = -1;
+  stream.EnqueueWait(&event);
+  stream.EnqueueMarker([&] { resumed_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(resumed_at, 0);
+  EXPECT_EQ(stream.wait_time(), 0);
+}
+
+TEST(StreamTest, RecordFiresEventInOrder) {
+  Simulator sim;
+  Stream producer(&sim, "load");
+  Stream consumer(&sim, "exec");
+  SyncEvent event(&sim);
+  producer.EnqueueDelay(200);
+  producer.EnqueueRecord(&event);
+  Nanos exec_start = -1;
+  consumer.EnqueueWait(&event);
+  consumer.EnqueueMarker([&] { exec_start = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(exec_start, 200);
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,187 @@
+// Tests for the text model-description format and the capacity planner.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/profiler.h"
+#include "src/core/planner.h"
+#include "src/model/model_spec.h"
+#include "src/model/zoo.h"
+#include "src/serving/capacity.h"
+
+namespace deepplan {
+namespace {
+
+// ---------------------------------------------------------------- model spec
+
+TEST(ModelSpecTest, ParsesHighLevelLayers) {
+  const std::string spec = R"(
+# a tiny encoder
+model tiny tokens=128
+embedding emb.word rows=1000 dim=64
+layernorm emb.ln dim=64
+linear fc1 in=64 out=256
+activation gelu elements=32768
+linear fc2 in=256 out=64 bias=0
+attention scores dim=64
+)";
+  std::string error;
+  const auto model = ParseModelSpec(spec, &error);
+  ASSERT_TRUE(model.has_value()) << error;
+  EXPECT_EQ(model->name(), "tiny");
+  EXPECT_EQ(model->ref_tokens(), 128);
+  ASSERT_EQ(model->num_layers(), 6u);
+  EXPECT_EQ(model->layer(0).kind, LayerKind::kEmbedding);
+  EXPECT_EQ(model->layer(0).param_bytes, 1000LL * 64 * 4);
+  // tokens defaults to ref_tokens: DHA traffic = 128 rows * 64 dims * 4 B.
+  EXPECT_EQ(model->layer(0).dha_param_traffic_bytes, 128LL * 64 * 4);
+  EXPECT_EQ(model->layer(2).param_bytes, (64LL * 256 + 256) * 4);
+  EXPECT_EQ(model->layer(4).param_bytes, 256LL * 64 * 4);  // bias=0
+}
+
+TEST(ModelSpecTest, LayerLevelTokensOverride) {
+  const std::string spec =
+      "model m tokens=384\nlinear pool in=8 out=8 tokens=1\n";
+  const auto model = ParseModelSpec(spec);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->layer(0).flops, 2LL * 8 * 8 * 1);
+}
+
+TEST(ModelSpecTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseModelSpec("", &error).has_value());
+  EXPECT_FALSE(ParseModelSpec("linear fc in=4 out=4\n", &error).has_value());
+  EXPECT_NE(error.find("model"), std::string::npos);
+  EXPECT_FALSE(
+      ParseModelSpec("model m\nwarp drive speed=9\n", &error).has_value());
+  EXPECT_FALSE(
+      ParseModelSpec("model m\nlinear fc in=4\n", &error).has_value());  // no out
+  EXPECT_FALSE(ParseModelSpec("model m\nlinear fc in 4 out 4\n", &error)
+                   .has_value());  // not key=value
+}
+
+TEST(ModelSpecTest, RawRoundTripIsExact) {
+  const Model original = ModelZoo::BertBase();
+  const std::string spec = ModelToSpec(original);
+  std::string error;
+  const auto parsed = ParseModelSpec(spec, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->num_layers(), original.num_layers());
+  EXPECT_EQ(parsed->name(), original.name());
+  EXPECT_EQ(parsed->ref_tokens(), original.ref_tokens());
+  for (std::size_t i = 0; i < original.num_layers(); ++i) {
+    const Layer& a = original.layer(i);
+    const Layer& b = parsed->layer(i);
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.param_bytes, b.param_bytes) << i;
+    EXPECT_EQ(a.flops, b.flops) << i;
+    EXPECT_EQ(a.act_bytes, b.act_bytes) << i;
+    EXPECT_EQ(a.dha_param_traffic_bytes, b.dha_param_traffic_bytes) << i;
+    EXPECT_EQ(a.dha_traffic_scales_with_batch, b.dha_traffic_scales_with_batch) << i;
+  }
+}
+
+TEST(ModelSpecTest, ParsedModelIsPlannable) {
+  // A custom spec'd model flows through the whole pipeline.
+  const std::string spec = R"(
+model custom tokens=256
+embedding emb rows=50000 dim=512
+layernorm ln0 dim=512
+linear q in=512 out=512
+linear k in=512 out=512
+linear v in=512 out=512
+attention attn dim=512
+linear out in=512 out=512
+linear up in=512 out=2048
+activation act elements=524288
+linear down in=2048 out=512
+)";
+  const auto model = ParseModelSpec(spec);
+  ASSERT_TRUE(model.has_value());
+  PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  const ModelProfile profile = Profiler(&perf, opts).Profile(*model);
+  const ExecutionPlan plan = Planner(&profile).GeneratePlan();
+  EXPECT_FALSE(plan.Validate(profile).has_value());
+  // The 97 MiB embedding should stay host-side.
+  EXPECT_EQ(plan.method(0), ExecMethod::kDirectHostAccess);
+}
+
+TEST(ModelSpecTest, LoadFromMissingFileSetsError) {
+  std::string error;
+  EXPECT_FALSE(LoadModelSpec("/definitely/not/here.model", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ModelSpecTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spec_test.model";
+  const Model original = ModelZoo::ResNet50();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    const std::string spec = ModelToSpec(original);
+    std::fwrite(spec.data(), 1, spec.size(), f);
+    std::fclose(f);
+  }
+  const auto loaded = LoadModelSpec(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_param_bytes(), original.total_param_bytes());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- capacity
+
+TEST(CapacityTest, FindsFigure13ScaleAnswer) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  CapacityQuery query;
+  query.strategy = Strategy::kPipeSwitch;
+  query.rate_per_sec = 100.0;
+  query.target_goodput = 0.99;
+  query.requests_per_probe = 400;
+  query.max_concurrency = 256;
+  const CapacityReport report =
+      FindMaxConcurrency(topology, perf, ModelZoo::BertBase(), query);
+  // Figure 13: PipeSwitch starts violating around 120-140 instances.
+  EXPECT_GT(report.max_instances, 100);
+  EXPECT_LT(report.max_instances, 160);
+  EXPECT_GE(report.goodput, 0.99);
+  EXPECT_GT(report.probes, 1);
+}
+
+TEST(CapacityTest, DeepPlanSustainsMoreThanPipeSwitch) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  CapacityQuery query;
+  query.rate_per_sec = 100.0;
+  query.target_goodput = 0.99;
+  query.requests_per_probe = 300;
+  query.max_concurrency = 256;
+  query.strategy = Strategy::kPipeSwitch;
+  const int pipeswitch =
+      FindMaxConcurrency(topology, perf, ModelZoo::BertBase(), query).max_instances;
+  query.strategy = Strategy::kDeepPlanPtDha;
+  const int deepplan =
+      FindMaxConcurrency(topology, perf, ModelZoo::BertBase(), query).max_instances;
+  EXPECT_GT(deepplan, pipeswitch);
+}
+
+TEST(CapacityTest, ImpossibleTargetReportsZero) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  CapacityQuery query;
+  query.strategy = Strategy::kPipeSwitch;
+  // GPT-2 Medium warm exec ~80 ms: 300 rps is unservable on 4 GPUs.
+  query.rate_per_sec = 300.0;
+  query.slo = Millis(100);
+  query.target_goodput = 0.99;
+  query.requests_per_probe = 200;
+  const CapacityReport report =
+      FindMaxConcurrency(topology, perf, ModelZoo::Gpt2Medium(), query);
+  EXPECT_EQ(report.max_instances, 0);
+  EXPECT_LT(report.goodput, 0.99);
+}
+
+}  // namespace
+}  // namespace deepplan

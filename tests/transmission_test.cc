@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/core/profiler.h"
+#include "src/core/transmission.h"
+#include "src/model/zoo.h"
+
+namespace deepplan {
+namespace {
+
+ModelProfile MakeProfile(const Model& model) {
+  static PerfModel perf(GpuSpec::V100(), PcieSpec::Gen3());
+  ProfilerOptions opts;
+  opts.noise_stddev = 0.0;
+  return Profiler(&perf, opts).Profile(model);
+}
+
+TEST(TransmissionTest, PartitionsBalanceBytes) {
+  for (const Model& model : ModelZoo::PaperModels()) {
+    const ModelProfile profile = MakeProfile(model);
+    ExecutionPlan plan(model.name(), model.num_layers());
+    TransmissionPlanner::AssignPartitions(profile, 2, &plan);
+    ASSERT_EQ(plan.num_partitions(), 2) << model.name();
+    std::int64_t bytes[2] = {0, 0};
+    for (std::size_t i = 0; i < plan.num_layers(); ++i) {
+      bytes[plan.partition(i)] += profile.layers[i].param_bytes;
+    }
+    const double imbalance =
+        std::abs(static_cast<double>(bytes[0] - bytes[1])) /
+        static_cast<double>(profile.TotalParamBytes());
+    EXPECT_LT(imbalance, 0.25) << model.name();  // "evenly in terms of size"
+  }
+}
+
+TEST(TransmissionTest, PartitionsAreContiguous) {
+  const ModelProfile profile = MakeProfile(ModelZoo::Gpt2Medium());
+  ExecutionPlan plan("gpt2_medium", profile.num_layers());
+  TransmissionPlanner::AssignPartitions(profile, 4, &plan);
+  int prev = 0;
+  for (std::size_t i = 0; i < plan.num_layers(); ++i) {
+    EXPECT_GE(plan.partition(i), prev);
+    EXPECT_LE(plan.partition(i), prev + 1);
+    prev = plan.partition(i);
+  }
+  EXPECT_EQ(plan.num_partitions(), 4);
+}
+
+TEST(TransmissionTest, DegreeOneIsNoOp) {
+  const ModelProfile profile = MakeProfile(ModelZoo::ResNet50());
+  ExecutionPlan plan("resnet50", profile.num_layers());
+  TransmissionPlanner::AssignPartitions(profile, 1, &plan);
+  EXPECT_EQ(plan.num_partitions(), 1);
+}
+
+TEST(TransmissionTest, ChooseDegreeRespectsTopologyAndCap) {
+  const Topology p3 = Topology::P3_8xlarge();
+  EXPECT_EQ(TransmissionPlanner::ChooseDegree(p3, 0), 2);
+  EXPECT_EQ(TransmissionPlanner::ChooseDegree(p3, 0, /*max_degree=*/1), 1);
+  const Topology a5000 = Topology::A5000Box();
+  EXPECT_EQ(TransmissionPlanner::ChooseDegree(a5000, 1), 2);
+}
+
+TEST(TransmissionTest, ChooseDegreeWithoutNvlinkIsOne) {
+  // The paper: "we check whether the selected GPUs are connected through
+  // NVLink. If not, we do not enable the parallel-transmission."
+  const Topology t =
+      Topology::Custom("no-nvlink", GpuSpec::V100(), PcieSpec::Gen3(),
+                       NvlinkSpec::V100Nvlink(), {0, 1}, 12e9, {});
+  EXPECT_EQ(TransmissionPlanner::ChooseDegree(t, 0), 1);
+}
+
+TEST(TransmissionTest, SecondariesComeFromOtherSwitch) {
+  const Topology p3 = Topology::P3_8xlarge();
+  for (GpuId primary = 0; primary < 4; ++primary) {
+    const auto secondaries = TransmissionPlanner::ChooseSecondaries(p3, primary, 2);
+    ASSERT_EQ(secondaries.size(), 1u);
+    EXPECT_FALSE(p3.SameSwitch(primary, secondaries[0]))
+        << "primary " << primary << " paired with same-switch GPU";
+    EXPECT_TRUE(p3.HasNvlink(primary, secondaries[0]));
+  }
+}
+
+TEST(TransmissionTest, DegreeOneNeedsNoSecondaries) {
+  const Topology p3 = Topology::P3_8xlarge();
+  EXPECT_TRUE(TransmissionPlanner::ChooseSecondaries(p3, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace deepplan
