@@ -3,6 +3,9 @@
 // degree at 2; with four switches, degree 4 uses four independent uplinks —
 // this bench shows where the returns diminish (NVLink forwarding and the
 // first partition become the bottleneck).
+//
+// Every (model, degree) cell is an independent cold run, so the grid fans out
+// over DEEPPLAN_JOBS threads via SweepRunner and renders in cell order.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -37,23 +40,44 @@ int main() {
   const Topology topology = Topology::Dgx1();
   const PerfModel perf(topology.gpu(), topology.pcie());
 
+  const std::vector<std::string> names = {"bert_large", "roberta_large",
+                                          "gpt2_medium"};
+  constexpr int kMaxDegree = 4;
+
+  const SweepRunner runner;
+  bench::BenchReport report("ablation_degree", runner.jobs());
+  report.config().Set("topology", topology.name()).Set("max_degree", kMaxDegree);
+
+  // Cell i = (model i / kMaxDegree, degree 1 + i % kMaxDegree).
+  const std::vector<Nanos> latencies = runner.Map(
+      static_cast<int>(names.size()) * kMaxDegree, [&](int i) {
+        const Model model = ModelZoo::ByName(names[static_cast<std::size_t>(i) / kMaxDegree]);
+        const int degree = 1 + i % kMaxDegree;
+        return ColdAtDegree(topology, perf, model, degree, /*dha=*/true);
+      });
+
   std::cout << "Ablation: PT degree scaling on " << topology.name() << " ("
             << topology.num_gpus() << " GPUs, " << topology.num_switches()
             << " PCIe switches; max useful degree "
             << topology.MaxParallelDegree(0) << ")\n\n";
   Table table({"model", "degree 1 (DHA)", "degree 2 (PT+DHA)", "degree 3",
                "degree 4"});
-  for (const char* name : {"bert_large", "roberta_large", "gpt2_medium"}) {
-    const Model model = ModelZoo::ByName(name);
-    table.AddRow({bench::PrettyModelName(name),
-                  FormatDuration(ColdAtDegree(topology, perf, model, 1, true)),
-                  FormatDuration(ColdAtDegree(topology, perf, model, 2, true)),
-                  FormatDuration(ColdAtDegree(topology, perf, model, 3, true)),
-                  FormatDuration(ColdAtDegree(topology, perf, model, 4, true))});
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    std::vector<std::string> row = {bench::PrettyModelName(names[m])};
+    for (int degree = 1; degree <= kMaxDegree; ++degree) {
+      const Nanos latency = latencies[m * kMaxDegree + static_cast<std::size_t>(degree - 1)];
+      row.push_back(FormatDuration(latency));
+      report.AddPoint()
+          .Set("model", names[m])
+          .Set("degree", degree)
+          .Set("cold_latency_ms", ToMillis(latency));
+    }
+    table.AddRow(std::move(row));
   }
   table.Print(std::cout);
   std::cout << "\nEach added partition removes PCIe time from the critical "
                "path but leaves partition 0's load and the execution floor; "
                "gains shrink with degree.\n";
+  report.Write(&std::cerr);
   return 0;
 }

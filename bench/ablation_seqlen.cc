@@ -4,6 +4,9 @@
 // sequence length of a BERT-Base-shaped encoder and reports the PipeSwitch
 // stall share and the DHA speedup — showing where DeepPlan's headroom comes
 // from: short sequences stall the pipeline, long sequences hide transfers.
+//
+// Each sequence length is an independent pair of cold runs, so the sweep fans
+// out over DEEPPLAN_JOBS threads via SweepRunner and renders in length order.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -15,29 +18,57 @@ int main() {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
 
+  const std::vector<std::int64_t> seq_lens = {64, 128, 256, 384, 512, 1024};
+
+  struct SeqPoint {
+    Nanos warm;
+    Nanos pipeswitch_latency;
+    Nanos pipeswitch_stall;
+    Nanos dha_latency;
+  };
+
+  const SweepRunner runner;
+  BenchReport report("ablation_seqlen", runner.jobs());
+  report.config().Set("architecture", "bert_base").Set("batch", 1);
+
+  const std::vector<SeqPoint> points =
+      runner.Map(static_cast<int>(seq_lens.size()), [&](int i) {
+        const std::int64_t seq = seq_lens[static_cast<std::size_t>(i)];
+        const Model model = ModelZoo::TransformerEncoder(
+            "bert_seq" + std::to_string(seq), 30522, 768, 12, 3072, seq);
+        const auto pipeswitch =
+            RunColdOnce(topology, perf, model, Strategy::kPipeSwitch);
+        const auto dha = RunColdOnce(topology, perf, model, Strategy::kDeepPlanDha);
+        return SeqPoint{perf.WarmLatency(model, 1), pipeswitch.result.latency,
+                        pipeswitch.result.stall, dha.result.latency};
+      });
+
   std::cout << "Ablation: sequence length vs pipeline stalls (BERT-Base "
                "architecture, batch 1)\n\n";
   Table table({"seq len", "warm exec", "PipeSwitch cold", "stall share",
                "DHA cold", "DHA/PipeSwitch"});
-  for (const std::int64_t seq : {64, 128, 256, 384, 512, 1024}) {
-    const Model model = ModelZoo::TransformerEncoder(
-        "bert_seq" + std::to_string(seq), 30522, 768, 12, 3072, seq);
-    const auto pipeswitch = RunColdOnce(topology, perf, model, Strategy::kPipeSwitch);
-    const auto dha = RunColdOnce(topology, perf, model, Strategy::kDeepPlanDha);
-    const double stall_share = static_cast<double>(pipeswitch.result.stall) /
-                               static_cast<double>(pipeswitch.result.latency);
-    table.AddRow({std::to_string(seq), FormatDuration(perf.WarmLatency(model, 1)),
-                  FormatDuration(pipeswitch.result.latency), Table::Pct(stall_share),
-                  FormatDuration(dha.result.latency),
-                  Table::Num(static_cast<double>(pipeswitch.result.latency) /
-                                 static_cast<double>(dha.result.latency),
-                             2) +
-                      "x"});
+  for (std::size_t i = 0; i < seq_lens.size(); ++i) {
+    const SeqPoint& p = points[i];
+    const double stall_share = static_cast<double>(p.pipeswitch_stall) /
+                               static_cast<double>(p.pipeswitch_latency);
+    const double speedup = static_cast<double>(p.pipeswitch_latency) /
+                           static_cast<double>(p.dha_latency);
+    table.AddRow({std::to_string(seq_lens[i]), FormatDuration(p.warm),
+                  FormatDuration(p.pipeswitch_latency), Table::Pct(stall_share),
+                  FormatDuration(p.dha_latency), Table::Num(speedup, 2) + "x"});
+    report.AddPoint()
+        .Set("seq_len", seq_lens[i])
+        .Set("warm_ms", ToMillis(p.warm))
+        .Set("pipeswitch_cold_ms", ToMillis(p.pipeswitch_latency))
+        .Set("stall_share", stall_share)
+        .Set("dha_cold_ms", ToMillis(p.dha_latency))
+        .Set("dha_speedup", speedup);
   }
   table.Print(std::cout);
   std::cout << "\nLonger sequences lengthen computation, hiding more of the "
                "transfer under pipelining (stall share falls) — which is why "
                "the paper's GPT-2 (seq 1024) benefits less from DHA than "
                "BERT (seq 384).\n";
+  report.Write(&std::cerr);
   return 0;
 }

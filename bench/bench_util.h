@@ -1,9 +1,19 @@
 // Shared helpers for the figure/table reproduction benches: single-run and
 // repeated cold-start measurement on a chosen topology, with exact or noisy
-// profiling. Every bench prints the paper's rows through util::Table.
+// profiling. Every bench prints the paper's rows through util::Table and can
+// additionally emit a machine-readable BENCH_<name>.json via BenchReport.
+//
+// Repetition loops run on SweepRunner: tasks fan out over DEEPPLAN_JOBS
+// worker threads, results aggregate in task order, so bench output is
+// byte-identical for any thread count (DEEPPLAN_JOBS=1 runs inline).
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -28,15 +38,31 @@ inline ModelProfile ExactProfile(const PerfModel& perf, const Model& model,
   return Profiler(&perf, opts).Profile(model);
 }
 
-// Runs one cold start of `strategy` for `model` on a fresh simulator/fabric.
-inline ColdMeasurement RunColdOnce(const Topology& topology, const PerfModel& perf,
-                                   const Model& model, Strategy strategy,
-                                   int batch = 1) {
-  const ModelProfile profile = ExactProfile(perf, model, batch);
+// Single source of the degree/pipeline/plan derivation every cold run needs.
+// Returns the strategy's plan for `profile`; the transmission degree used is
+// written to `degree_out` when non-null.
+inline ExecutionPlan PlanFor(const Topology& topology, Strategy strategy,
+                             const ModelProfile& profile, int* degree_out = nullptr) {
   const int degree = StrategyDegree(strategy, topology, /*primary=*/0);
   PipelineOptions pipeline;
   pipeline.nvlink = topology.nvlink();
-  ColdMeasurement m{{}, MakeStrategyPlan(strategy, profile, degree, pipeline)};
+  if (degree_out != nullptr) {
+    *degree_out = degree;
+  }
+  return MakeStrategyPlan(strategy, profile, degree, pipeline);
+}
+
+// Runs one cold start of `strategy` for `model` using a pre-computed profile,
+// on a fresh simulator/fabric. Self-contained and thread-safe: every call
+// builds its own Simulator/ServerFabric/Engine, so SweepRunner tasks can call
+// it concurrently.
+inline ColdMeasurement RunColdWithProfile(const Topology& topology,
+                                          const PerfModel& perf, const Model& model,
+                                          Strategy strategy,
+                                          const ModelProfile& profile,
+                                          int batch = 1) {
+  int degree = 0;
+  ColdMeasurement m{{}, PlanFor(topology, strategy, profile, &degree)};
   Simulator sim;
   ServerFabric fabric(&sim, &topology);
   Engine engine(&sim, &fabric, &perf);
@@ -48,31 +74,37 @@ inline ColdMeasurement RunColdOnce(const Topology& topology, const PerfModel& pe
   return m;
 }
 
+// Runs one cold start of `strategy` for `model` with an exact (noise-free)
+// profile on a fresh simulator/fabric.
+inline ColdMeasurement RunColdOnce(const Topology& topology, const PerfModel& perf,
+                                   const Model& model, Strategy strategy,
+                                   int batch = 1) {
+  return RunColdWithProfile(topology, perf, model, strategy,
+                            ExactProfile(perf, model, batch), batch);
+}
+
 // Mean cold latency over `runs` independent repetitions with profiling noise
-// re-sampled per run (mirrors the paper's "averaged on 100 runs").
+// re-sampled per run (mirrors the paper's "averaged on 100 runs"). Run r is a
+// pure function of its index (profiler seed 1000 + r), so the repetitions fan
+// out over `runner`'s threads and the mean — accumulated in run order after
+// the sweep — is byte-identical for any DEEPPLAN_JOBS.
 inline double MeanColdLatencyMs(const Topology& topology, const PerfModel& perf,
                                 const Model& model, Strategy strategy, int runs,
-                                int batch = 1) {
+                                int batch = 1,
+                                const SweepRunner& runner = SweepRunner()) {
+  const std::vector<double> latencies_ms =
+      runner.Map(runs, [&](int r) {
+        ProfilerOptions opts;
+        opts.seed = 1000 + static_cast<std::uint64_t>(r);
+        opts.batch = batch;
+        const ModelProfile profile = Profiler(&perf, opts).Profile(model);
+        return ToMillis(
+            RunColdWithProfile(topology, perf, model, strategy, profile, batch)
+                .result.latency);
+      });
   StreamingStats stats;
-  for (int r = 0; r < runs; ++r) {
-    ProfilerOptions opts;
-    opts.seed = 1000 + static_cast<std::uint64_t>(r);
-    opts.batch = batch;
-    const ModelProfile profile = Profiler(&perf, opts).Profile(model);
-    const int degree = StrategyDegree(strategy, topology, 0);
-    PipelineOptions pipeline;
-    pipeline.nvlink = topology.nvlink();
-    const ExecutionPlan plan = MakeStrategyPlan(strategy, profile, degree, pipeline);
-    Simulator sim;
-    ServerFabric fabric(&sim, &topology);
-    Engine engine(&sim, &fabric, &perf);
-    InferenceResult result;
-    engine.RunCold(model, plan, 0,
-                   TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
-                   MakeColdRunOptions(strategy, batch),
-                   [&](const InferenceResult& r) { result = r; });
-    sim.Run();
-    stats.Add(ToMillis(result.latency));
+  for (const double ms : latencies_ms) {
+    stats.Add(ms);
   }
   return stats.mean();
 }
@@ -88,6 +120,77 @@ inline std::string PrettyModelName(const std::string& zoo_name) {
   if (zoo_name == "gpt2_medium") return "GPT-2 Medium";
   return zoo_name;
 }
+
+// Machine-readable bench output: config key/values, one JsonObject per data
+// point, plus the worker count and wall-clock of the run. Write() renders
+//   {"bench":<name>,"jobs":N,"config":{...},"points":[...],"wall_clock_ms":T}
+// to BENCH_<name>.json in $DEEPPLAN_BENCH_DIR (default: current directory).
+// Everything except wall_clock_ms is deterministic for a given config and
+// independent of DEEPPLAN_JOBS; the wall clock is what records the sweep
+// speedup across thread counts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, int jobs = DefaultSweepJobs())
+      : name_(std::move(name)),
+        jobs_(jobs),
+        start_(std::chrono::steady_clock::now()) {}
+
+  JsonObject& config() { return config_; }
+
+  // Adds a data point; references stay valid as points accumulate.
+  JsonObject& AddPoint() {
+    points_.emplace_back();
+    return points_.back();
+  }
+
+  std::string ToJson() const {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  start_)
+            .count();
+    JsonArray points;
+    for (const JsonObject& p : points_) {
+      points.AddRaw(p.Render());
+    }
+    JsonObject doc;
+    doc.Set("bench", name_)
+        .Set("jobs", jobs_)
+        .SetRaw("config", config_.Render())
+        .SetRaw("points", points.Render())
+        .Set("wall_clock_ms", wall_ms);
+    return doc.Render();
+  }
+
+  // Writes BENCH_<name>.json; returns the path, or "" on I/O failure. Notes
+  // the destination on `log` (stderr by default) so table output on stdout
+  // stays byte-identical across thread counts.
+  std::string Write(std::ostream* log = nullptr) const {
+    const char* dir = std::getenv("DEEPPLAN_BENCH_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) : ".";
+    path += "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << ToJson() << "\n";
+    }
+    if (!out) {
+      if (log != nullptr) {
+        *log << "cannot write " << path << "\n";
+      }
+      return "";
+    }
+    if (log != nullptr) {
+      *log << "wrote " << path << "\n";
+    }
+    return path;
+  }
+
+ private:
+  std::string name_;
+  int jobs_;
+  std::chrono::steady_clock::time_point start_;
+  JsonObject config_;
+  std::deque<JsonObject> points_;  // deque: AddPoint() references stay valid
+};
 
 }  // namespace bench
 }  // namespace deepplan

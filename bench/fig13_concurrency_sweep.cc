@@ -6,6 +6,10 @@
 // Paper shape: PipeSwitch p99 blows past the SLO at ~120 instances; DHA is
 // stable to ~160; PT+DHA serves ~180. Capacity: 100 resident instances for
 // PipeSwitch, 124 for DeepPlan.
+//
+// Every (concurrency, strategy) point replays its own server, so the sweep
+// fans out over DEEPPLAN_JOBS threads; tables aggregate in point order and
+// are byte-identical for any thread count.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -43,6 +47,12 @@ Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
                m.Goodput(Millis(50)), m.ColdStartRate(), server.WarmCapacity()};
 }
 
+struct PointSpec {
+  int concurrency;
+  Strategy strategy;
+  bool tight;  // belongs to the tight-SLO table
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,19 +65,62 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(flags.GetInt("requests"));
   const double rate = flags.GetDouble("rate");
 
+  // Enumerate every independent point up front, then sweep them in parallel.
+  std::vector<PointSpec> specs;
+  for (int concurrency = 20; concurrency <= 200; concurrency += 20) {
+    for (const Strategy strategy :
+         {Strategy::kPipeSwitch, Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
+      specs.push_back({concurrency, strategy, /*tight=*/false});
+    }
+  }
+  for (const int concurrency : {120, 140}) {
+    for (const Strategy strategy :
+         {Strategy::kPipeSwitch, Strategy::kDeepPlanPtDha}) {
+      specs.push_back({concurrency, strategy, /*tight=*/true});
+    }
+  }
+
+  const SweepRunner runner;
+  bench::BenchReport report("fig13_concurrency_sweep", runner.jobs());
+  report.config()
+      .Set("model", "bert_base")
+      .Set("requests", requests)
+      .Set("rate_per_sec", rate)
+      .Set("seed", std::int64_t{42})
+      .Set("slo_ms", 100.0);
+
+  const std::vector<Point> points =
+      runner.Map(static_cast<int>(specs.size()), [&](int i) {
+        const PointSpec& s = specs[static_cast<std::size_t>(i)];
+        return RunPoint(s.strategy, s.concurrency, requests, rate, 42);
+      });
+
   std::cout << "Figure 13: BERT-Base serving, " << rate
             << " rps Poisson, SLO 100 ms, 4x V100 (" << requests
             << " requests per point)\n\n";
   Table table({"instances", "strategy", "p99 (ms)", "goodput", "cold-start rate",
                "resident"});
-  for (int concurrency = 20; concurrency <= 200; concurrency += 20) {
-    for (const Strategy strategy :
-         {Strategy::kPipeSwitch, Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha}) {
-      const Point p = RunPoint(strategy, concurrency, requests, rate, 42);
-      table.AddRow({std::to_string(concurrency), StrategyName(strategy),
+  Table tight({"instances", "strategy", "p99 (ms)", "goodput @50ms"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const PointSpec& s = specs[i];
+    const Point& p = points[i];
+    if (s.tight) {
+      tight.AddRow({std::to_string(s.concurrency), StrategyName(s.strategy),
+                    Table::Num(p.p99_ms, 1), Table::Pct(p.goodput_tight)});
+    } else {
+      table.AddRow({std::to_string(s.concurrency), StrategyName(s.strategy),
                     Table::Num(p.p99_ms, 1), Table::Pct(p.goodput),
                     Table::Pct(p.cold_rate), std::to_string(p.capacity)});
     }
+    report.AddPoint()
+        .Set("instances", s.concurrency)
+        .Set("strategy", StrategyName(s.strategy))
+        .Set("tight_slo", s.tight)
+        .Set("p99_ms", p.p99_ms)
+        .Set("goodput", p.goodput)
+        .Set("goodput_50ms", p.goodput_tight)
+        .Set("cold_start_rate", p.cold_rate)
+        .Set("resident", p.capacity);
   }
   table.Print(std::cout);
   std::cout << "\nPaper reference: PipeSwitch keeps 100 instances resident "
@@ -79,18 +132,9 @@ int main(int argc, char** argv) {
   // the SLO... DeepPlan (PT+DHA) shows that it can handle requests within
   // 35ms even at concurrency 140."
   std::cout << "\nTight SLO (50 ms):\n";
-  Table tight({"instances", "strategy", "p99 (ms)", "goodput @50ms"});
-  for (const int concurrency : {120, 140}) {
-    for (const Strategy strategy :
-         {Strategy::kPipeSwitch, Strategy::kDeepPlanPtDha}) {
-      const Point p = RunPoint(strategy, concurrency, requests, rate, 42);
-      tight.AddRow({std::to_string(concurrency), StrategyName(strategy),
-                    Table::Num(p.p99_ms, 1),
-                    Table::Pct(p.goodput_tight)});
-    }
-  }
   tight.Print(std::cout);
   std::cout << "\nPaper reference: PipeSwitch p99 ~94 ms at 120; PT+DHA "
                "within ~35 ms even at 140.\n";
+  report.Write(&std::cerr);
   return 0;
 }

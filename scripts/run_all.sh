@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates every paper table/figure and ablation into results/.
+# Regenerates every paper table/figure and ablation into results/, including
+# each bench's machine-readable BENCH_<name>.json (written next to the .txt).
 # Usage: scripts/run_all.sh [build-dir] [results-dir]
+#
+# Env:
+#   DEEPPLAN_JOBS=N  worker threads per bench sweep (default: all cores;
+#                    output is byte-identical for any value).
+#   DEEPPLAN_TSAN=1  first build the ThreadSanitizer preset
+#                    (cmake -DDEEPPLAN_SANITIZE=thread) into <build-dir>-tsan
+#                    and run the sweep determinism tests under it.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -11,7 +19,15 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+if [ "${DEEPPLAN_TSAN:-0}" = "1" ]; then
+  echo "== sweep_test (ThreadSanitizer)"
+  cmake -B "$BUILD_DIR-tsan" -S . -DDEEPPLAN_SANITIZE=thread >/dev/null
+  cmake --build "$BUILD_DIR-tsan" --target sweep_test -j >/dev/null
+  DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/sweep_test"
+fi
+
 mkdir -p "$RESULTS_DIR"
+export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
 for bench in "$BUILD_DIR"/bench/*; do
   if [ -x "$bench" ] && [ -f "$bench" ]; then
     name="$(basename "$bench")"

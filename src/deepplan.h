@@ -34,9 +34,12 @@
 #include "src/sim/simulator.h"
 #include "src/sim/stream.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/sweep.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 #include "src/util/time.h"
 #include "src/workload/azure_trace.h"
 #include "src/workload/poisson.h"

@@ -1,0 +1,21 @@
+#include "src/util/sweep.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace deepplan {
+
+int DefaultSweepJobs() {
+  if (const char* env = std::getenv("DEEPPLAN_JOBS")) {
+    char* end = nullptr;
+    const long jobs = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return jobs < 1 ? 1 : static_cast<int>(jobs);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 1 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace deepplan

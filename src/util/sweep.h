@@ -1,0 +1,65 @@
+// SweepRunner: parallel execution of N independent experiment tasks with
+// deterministic, task-order aggregation. Each task is a pure function of its
+// index (it constructs its own Simulator/ServerFabric/Engine and seeds any
+// randomness from the index), so the result vector — and therefore every
+// table or JSON file derived from it — is byte-identical regardless of how
+// many worker threads executed the sweep.
+//
+// Thread count comes from the DEEPPLAN_JOBS environment variable when set
+// (DEEPPLAN_JOBS=1 is the escape hatch that keeps everything on the calling
+// thread), otherwise from std::thread::hardware_concurrency().
+#ifndef SRC_UTIL_SWEEP_H_
+#define SRC_UTIL_SWEEP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace deepplan {
+
+// Worker count for sweeps: DEEPPLAN_JOBS if set and parseable (clamped to
+// >= 1), else hardware_concurrency (>= 1).
+int DefaultSweepJobs();
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(int jobs = DefaultSweepJobs()) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(i) for every i in [0, n) and returns {fn(0), fn(1), ..., fn(n-1)}
+  // in task-index order. Tasks run concurrently on up to jobs() threads; with
+  // jobs() == 1 (or n <= 1) everything runs inline on the calling thread, so
+  // DEEPPLAN_JOBS=1 removes threading from the picture entirely. fn must be
+  // safe to invoke concurrently from multiple threads (i.e. tasks share no
+  // mutable state) and must not throw.
+  template <typename Fn>
+  auto Map(int n, Fn&& fn) const -> std::vector<decltype(fn(0))> {
+    using R = decltype(fn(0));
+    std::vector<R> results(n > 0 ? static_cast<std::size_t>(n) : 0);
+    if (n <= 0) {
+      return results;
+    }
+    if (jobs_ == 1 || n == 1) {
+      for (int i = 0; i < n; ++i) {
+        results[static_cast<std::size_t>(i)] = fn(i);
+      }
+      return results;
+    }
+    ThreadPool pool(jobs_ < n ? jobs_ : n);
+    for (int i = 0; i < n; ++i) {
+      pool.Submit([&results, &fn, i] { results[static_cast<std::size_t>(i)] = fn(i); });
+    }
+    pool.Wait();
+    return results;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_SWEEP_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker pool for host-side parallelism (experiment sweeps, batch
+// plan generation). Simulated time stays single-threaded and deterministic:
+// the pool only ever runs *independent* tasks — each task builds its own
+// Simulator/ServerFabric/Engine — so no simulated state is shared across
+// threads.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepplan {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Joins the workers. Pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw (an escaping exception terminates
+  // the process) and must not Submit to or Wait on their own pool.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished. The pool is
+  // reusable afterwards.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when work arrives or stop_ set
+  std::condition_variable idle_cv_;  // signalled when the pool may have drained
+  std::size_t active_ = 0;           // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -4,12 +4,16 @@
 // for *any* consistent provisioning simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "src/core/profiler.h"
 #include "src/core/transmission.h"
 #include "src/engine/strategies.h"
 #include "src/model/zoo.h"
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
 
 namespace deepplan {
 namespace {
@@ -158,6 +162,110 @@ INSTANTIATE_TEST_SUITE_P(Models, StrategyOrdering,
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });
+
+// ------------------------------------------------------------- EventQueue
+//
+// Randomized schedule/cancel/pop interleavings checked against a brute-force
+// reference model: pops must follow the time-then-insertion-order tiebreak
+// documented in src/sim/event_queue.h, and Cancel of fired/unknown ids must
+// stay a no-op.
+
+struct RefEvent {
+  Nanos when;
+  EventQueue::EventId id;
+  int tag;  // test-side label recorded by the callback when it fires
+};
+
+TEST(EventQueuePropertyTest, RandomizedInterleavingsMatchReferenceModel) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<RefEvent> live;                       // reference model
+    std::vector<EventQueue::EventId> retired;         // fired or cancelled
+    std::vector<int> fired_tags;
+    int next_tag = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t op = rng.NextBounded(10);
+      if (op < 5 || q.empty()) {
+        // Schedule with a tiny time domain so equal-time ties are common.
+        const Nanos when = static_cast<Nanos>(rng.NextBounded(50));
+        const int tag = next_tag++;
+        const EventQueue::EventId id =
+            q.Schedule(when, [&fired_tags, tag] { fired_tags.push_back(tag); });
+        live.push_back({when, id, tag});
+      } else if (op < 7 && !retired.empty() && rng.NextBounded(2) == 0) {
+        // Cancel of an already-fired/cancelled id: no-op, returns false.
+        const EventQueue::EventId id =
+            retired[rng.NextBounded(retired.size())];
+        ASSERT_FALSE(q.Cancel(id));
+      } else if (op < 7) {
+        // Cancel a random live id: succeeds exactly once.
+        const std::size_t pick = rng.NextBounded(live.size());
+        ASSERT_TRUE(q.Cancel(live[pick].id));
+        retired.push_back(live[pick].id);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        // Pop: must return the live event minimal in (when, insertion id).
+        const auto expected = std::min_element(
+            live.begin(), live.end(), [](const RefEvent& a, const RefEvent& b) {
+              return a.when != b.when ? a.when < b.when : a.id < b.id;
+            });
+        ASSERT_EQ(q.NextTime(), expected->when);
+        auto [when, cb] = q.PopNext();
+        ASSERT_EQ(when, expected->when);
+        cb();
+        ASSERT_FALSE(fired_tags.empty());
+        ASSERT_EQ(fired_tags.back(), expected->tag);
+        retired.push_back(expected->id);
+        live.erase(expected);
+      }
+      ASSERT_EQ(q.size(), live.size());
+      ASSERT_EQ(q.empty(), live.empty());
+    }
+    // Drain: remaining events come out sorted by (when, insertion id).
+    std::sort(live.begin(), live.end(), [](const RefEvent& a, const RefEvent& b) {
+      return a.when != b.when ? a.when < b.when : a.id < b.id;
+    });
+    for (const RefEvent& e : live) {
+      auto [when, cb] = q.PopNext();
+      ASSERT_EQ(when, e.when);
+      cb();
+      ASSERT_EQ(fired_tags.back(), e.tag);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueuePropertyTest, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    q.Schedule(Millis(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().second();
+  }
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueuePropertyTest, CancelOfFiredOrUnknownIdIsNoop) {
+  EventQueue q;
+  bool ran = false;
+  const EventQueue::EventId id = q.Schedule(1, [&ran] { ran = true; });
+  EXPECT_FALSE(q.Cancel(id + 1000));  // never scheduled
+  q.PopNext().second();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(q.Cancel(id));  // already fired
+  EXPECT_TRUE(q.empty());
+  // Double-cancel: first succeeds, second is a no-op.
+  const EventQueue::EventId id2 = q.Schedule(2, [] {});
+  EXPECT_TRUE(q.Cancel(id2));
+  EXPECT_FALSE(q.Cancel(id2));
+  EXPECT_TRUE(q.empty());
+}
 
 TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
   const Topology topology = Topology::P3_8xlarge();

@@ -1,0 +1,167 @@
+// Determinism regression tests for the SweepRunner concurrency layer: the
+// same sweep must produce byte-identical aggregated results for 1, 2, and 8
+// worker threads, and the SweepRunner-backed bench helpers must match a
+// hand-rolled sequential loop exactly. Run under ThreadSanitizer via
+// cmake -DDEEPPLAN_SANITIZE=thread (see scripts/run_all.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/util/rng.h"
+#include "src/util/sweep.h"
+#include "src/util/thread_pool.h"
+
+namespace deepplan {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  // The pool is reusable after Wait().
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(SweepRunnerTest, MapPreservesTaskIndexOrder) {
+  SweepRunner runner(8);
+  // Later tasks finish first, so out-of-order aggregation would be caught.
+  const std::vector<int> out = runner.Map(64, [](int i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((64 - i) * 5));
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, EmptyAndSingletonSweeps) {
+  SweepRunner runner(8);
+  EXPECT_TRUE(runner.Map(0, [](int i) { return i; }).empty());
+  const std::vector<int> one = runner.Map(1, [](int i) { return i + 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(SweepRunnerTest, ByteIdenticalResultsFor1_2_8Threads) {
+  const auto task = [](int i) {
+    Rng rng(static_cast<std::uint64_t>(i) + 17);
+    double acc = 0.0;
+    for (int k = 0; k < 100; ++k) {
+      acc += rng.NextDouble();
+    }
+    return acc;
+  };
+  const std::vector<double> sequential = SweepRunner(1).Map(40, task);
+  for (const int jobs : {2, 8}) {
+    const std::vector<double> threaded = SweepRunner(jobs).Map(40, task);
+    ASSERT_EQ(threaded.size(), sequential.size()) << jobs << " jobs";
+    EXPECT_EQ(std::memcmp(sequential.data(), threaded.data(),
+                          sequential.size() * sizeof(double)),
+              0)
+        << jobs << " jobs";
+  }
+}
+
+TEST(SweepRunnerTest, DefaultJobsHonorsEnvVar) {
+  ::setenv("DEEPPLAN_JOBS", "3", 1);
+  EXPECT_EQ(DefaultSweepJobs(), 3);
+  ::setenv("DEEPPLAN_JOBS", "0", 1);  // clamped, never zero workers
+  EXPECT_EQ(DefaultSweepJobs(), 1);
+  ::setenv("DEEPPLAN_JOBS", "not-a-number", 1);  // ignored, hardware fallback
+  EXPECT_GE(DefaultSweepJobs(), 1);
+  ::unsetenv("DEEPPLAN_JOBS");
+  EXPECT_GE(DefaultSweepJobs(), 1);
+}
+
+// Full simulation tasks (each builds its own Simulator/ServerFabric/Engine,
+// seeded from the task index) aggregate byte-identically for 1, 2, and 8
+// worker threads. Latencies are integer nanoseconds, so equality is exact.
+TEST(SweepDeterminismTest, ColdRunSweepIdenticalAcrossThreadCounts) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model model = ModelZoo::BertBase();
+  const auto task = [&](int r) {
+    ProfilerOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(r);
+    const ModelProfile profile = Profiler(&perf, opts).Profile(model);
+    return bench::RunColdWithProfile(topology, perf, model,
+                                     Strategy::kDeepPlanPtDha, profile)
+        .result.latency;
+  };
+  const std::vector<Nanos> j1 = SweepRunner(1).Map(8, task);
+  const std::vector<Nanos> j2 = SweepRunner(2).Map(8, task);
+  const std::vector<Nanos> j8 = SweepRunner(8).Map(8, task);
+  EXPECT_EQ(j1, j2);
+  EXPECT_EQ(j1, j8);
+}
+
+// SweepRunner-backed MeanColdLatencyMs reproduces the hand-rolled sequential
+// repetition loop bit-for-bit, at every thread count.
+TEST(SweepDeterminismTest, MeanColdLatencyMatchesSequentialLoop) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model model = ModelZoo::BertBase();
+  const Strategy strategy = Strategy::kDeepPlanDha;
+  const int runs = 6;
+
+  StreamingStats stats;
+  for (int r = 0; r < runs; ++r) {
+    ProfilerOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(r);
+    opts.batch = 1;
+    const ModelProfile profile = Profiler(&perf, opts).Profile(model);
+    const int degree = StrategyDegree(strategy, topology, 0);
+    PipelineOptions pipeline;
+    pipeline.nvlink = topology.nvlink();
+    const ExecutionPlan plan = MakeStrategyPlan(strategy, profile, degree, pipeline);
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+    InferenceResult result;
+    engine.RunCold(model, plan, 0,
+                   TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                   MakeColdRunOptions(strategy, 1),
+                   [&](const InferenceResult& r2) { result = r2; });
+    sim.Run();
+    stats.Add(ToMillis(result.latency));
+  }
+  const double expected = stats.mean();
+
+  for (const int jobs : {1, 2, 8}) {
+    const double mean = bench::MeanColdLatencyMs(topology, perf, model, strategy,
+                                                 runs, 1, SweepRunner(jobs));
+    EXPECT_EQ(mean, expected) << jobs << " jobs";
+  }
+}
+
+}  // namespace
+}  // namespace deepplan

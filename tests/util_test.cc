@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <vector>
 
+#include "src/util/chrome_trace.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -275,6 +281,196 @@ TEST(FlagsTest, PositionalArgumentsCollected) {
   ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)));
   ASSERT_EQ(flags.positional().size(), 2u);
   EXPECT_EQ(flags.positional()[0], "alpha");
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(JsonTest, EscapesStringsAndFormatsScalars) {
+  EXPECT_EQ(Json::Str("pcie/gpu0"), "\"pcie/gpu0\"");
+  EXPECT_EQ(Json::Str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json::Int(-42), "-42");
+  EXPECT_EQ(Json::Num(1.5), "1.5");
+  EXPECT_EQ(Json::Num(std::nan("")), "null");
+  EXPECT_EQ(Json::Bool(true), "true");
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrderAndNest) {
+  JsonArray inner;
+  inner.Add(1).Add(2.5).Add("three");
+  JsonObject obj;
+  obj.Set("b", 2).Set("a", "x").SetRaw("list", inner.Render()).Set("ok", true);
+  EXPECT_EQ(obj.Render(), "{\"b\":2,\"a\":\"x\",\"list\":[1,2.5,\"three\"],\"ok\":true}");
+  EXPECT_EQ(JsonObject().Render(), "{}");
+  EXPECT_EQ(JsonArray().Render(), "[]");
+}
+
+// ---------------------------------------------------------------- chrome trace
+
+// Minimal recursive-descent JSON syntax checker: enough to prove the emitted
+// trace document parses (objects, arrays, strings, numbers, literals).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    if (!Eat('"')) {
+      return false;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;  // skip the escaped character
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      if (Eat('}')) {
+        return true;
+      }
+      do {
+        SkipWs();
+        if (!String() || !Eat(':') || !Value()) {
+          return false;
+        }
+      } while (Eat(','));
+      return Eat('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Eat(']')) {
+        return true;
+      }
+      do {
+        if (!Value()) {
+          return false;
+        }
+      } while (Eat(','));
+      return Eat(']');
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<TimelineEvent> SampleTimeline() {
+  return {
+      {"embedding", "pcie/gpu0", Micros(1500), Millis(2)},
+      {"layer \"0\"", "exec", 1500, 2500},  // 1.5 us / 2.5 us: sub-us precision
+      {"fwd\\path", "nvlink", Millis(1), Micros(250)},
+  };
+}
+
+TEST(ChromeTraceTest, EmittedJsonParses) {
+  const std::string json = ChromeTraceWriter::ToJson(SampleTimeline());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Also parses for an empty timeline.
+  const std::string empty = ChromeTraceWriter::ToJson({});
+  EXPECT_TRUE(JsonChecker(empty).Valid()) << empty;
+  EXPECT_NE(empty.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, UsesMicrosecondTimestamps) {
+  const std::string json = ChromeTraceWriter::ToJson(SampleTimeline());
+  // Micros(1500) start / Millis(2) duration render as 1500 us / 2000 us.
+  EXPECT_NE(json.find("\"ts\":1500,\"dur\":2000"), std::string::npos) << json;
+  // 1500 ns / 2500 ns keep sub-microsecond precision as fractional us.
+  EXPECT_NE(json.find("\"ts\":1.5,\"dur\":2.5"), std::string::npos) << json;
+}
+
+TEST(ChromeTraceTest, RoundTripsTrackAndNameFields) {
+  const std::string json = ChromeTraceWriter::ToJson(SampleTimeline());
+  // Event names round-trip, with quotes and backslashes escaped.
+  EXPECT_NE(json.find("\"name\":\"embedding\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"layer \\\"0\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fwd\\\\path\""), std::string::npos);
+  // Every track appears as thread_name metadata naming its lane.
+  for (const char* track : {"pcie/gpu0", "exec", "nvlink"}) {
+    const std::string meta = std::string("\"args\":{\"name\":\"") + track + "\"}";
+    EXPECT_NE(json.find(meta), std::string::npos) << track;
+  }
+}
+
+TEST(ChromeTraceTest, WriteToRoundTripsAndReportsIoFailure) {
+  const std::vector<TimelineEvent> events = SampleTimeline();
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test.json";
+  ASSERT_TRUE(ChromeTraceWriter::WriteTo(path, events));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), ChromeTraceWriter::ToJson(events));
+  EXPECT_FALSE(
+      ChromeTraceWriter::WriteTo("/nonexistent-dir/trace.json", events));
 }
 
 }  // namespace
