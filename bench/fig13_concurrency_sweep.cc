@@ -9,8 +9,13 @@
 //
 // Every (concurrency, strategy) point replays its own server, so the sweep
 // fans out over DEEPPLAN_JOBS threads; tables aggregate in point order and
-// are byte-identical for any thread count.
+// are byte-identical for any thread count. With --trace_out=<path> (default:
+// $DEEPPLAN_TRACE), the three loose-SLO points at concurrency 140 — the knee
+// of the figure — record telemetry; their recorders stitch into one Chrome
+// trace and their metrics snapshots land in the matching BENCH points.
+#include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "bench/bench_util.h"
 
@@ -19,15 +24,17 @@ namespace {
 using namespace deepplan;
 
 struct Point {
-  double p99_ms;
-  double goodput;
-  double goodput_tight;  // against a 50 ms SLO
-  double cold_rate;
-  int capacity;
+  double p99_ms = 0.0;
+  double goodput = 0.0;
+  double goodput_tight = 0.0;  // against a 50 ms SLO
+  double cold_rate = 0.0;
+  int capacity = 0;
+  TraceRecorder recorder{false};
+  MetricsRegistry registry;
 };
 
 Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
-               std::uint64_t seed) {
+               std::uint64_t seed, bool tracing) {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
   ServerOptions options;
@@ -37,20 +44,36 @@ Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
   const int type = server.RegisterModelType(ModelZoo::BertBase());
   server.AddInstances(type, concurrency);
 
+  Point p;
+  if (tracing) {
+    p.recorder = TraceRecorder(/*enabled=*/true);
+    server.set_telemetry(&p.recorder, &p.registry,
+                         p.recorder.RegisterProcess(
+                             std::string(StrategyName(strategy)) + " c" +
+                             std::to_string(concurrency)));
+  }
+
   PoissonOptions w;
   w.rate_per_sec = rate;
   w.num_instances = concurrency;
   w.duration = Seconds(static_cast<double>(requests) / rate);
   w.seed = seed;
   const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
-  return Point{m.LatencyPercentileMs(99), m.Goodput(Millis(100)),
-               m.Goodput(Millis(50)), m.ColdStartRate(), server.WarmCapacity()};
+  p.p99_ms = m.LatencyPercentileMs(99);
+  p.goodput = m.Goodput(Millis(100));
+  p.goodput_tight = m.Goodput(Millis(50));
+  p.cold_rate = m.ColdStartRate();
+  p.capacity = server.WarmCapacity();
+  return p;
 }
 
 struct PointSpec {
   int concurrency;
   Strategy strategy;
   bool tight;  // belongs to the tight-SLO table
+
+  // Keep traces bounded: only the loose-SLO knee of the sweep records.
+  bool Traced() const { return !tight && concurrency == 140; }
 };
 
 }  // namespace
@@ -59,11 +82,17 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.DefineInt("requests", 1000, "requests per concurrency point");
   flags.DefineDouble("rate", 100.0, "offered load (requests/second)");
+  const char* trace_env = std::getenv("DEEPPLAN_TRACE");
+  flags.DefineString("trace_out", trace_env != nullptr ? trace_env : "",
+                     "write a Chrome/Perfetto trace JSON here (default: "
+                     "$DEEPPLAN_TRACE; empty disables telemetry)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   const int requests = static_cast<int>(flags.GetInt("requests"));
   const double rate = flags.GetDouble("rate");
+  const std::string trace_out = flags.GetString("trace_out");
+  const bool tracing = !trace_out.empty();
 
   // Enumerate every independent point up front, then sweep them in parallel.
   std::vector<PointSpec> specs;
@@ -89,10 +118,11 @@ int main(int argc, char** argv) {
       .Set("seed", std::int64_t{42})
       .Set("slo_ms", 100.0);
 
-  const std::vector<Point> points =
+  std::vector<Point> points =
       runner.Map(static_cast<int>(specs.size()), [&](int i) {
         const PointSpec& s = specs[static_cast<std::size_t>(i)];
-        return RunPoint(s.strategy, s.concurrency, requests, rate, 42);
+        return RunPoint(s.strategy, s.concurrency, requests, rate, 42,
+                        tracing && s.Traced());
       });
 
   std::cout << "Figure 13: BERT-Base serving, " << rate
@@ -112,8 +142,8 @@ int main(int argc, char** argv) {
                     Table::Num(p.p99_ms, 1), Table::Pct(p.goodput),
                     Table::Pct(p.cold_rate), std::to_string(p.capacity)});
     }
-    report.AddPoint()
-        .Set("instances", s.concurrency)
+    JsonObject& point = report.AddPoint();
+    point.Set("instances", s.concurrency)
         .Set("strategy", StrategyName(s.strategy))
         .Set("tight_slo", s.tight)
         .Set("p99_ms", p.p99_ms)
@@ -121,6 +151,11 @@ int main(int argc, char** argv) {
         .Set("goodput_50ms", p.goodput_tight)
         .Set("cold_start_rate", p.cold_rate)
         .Set("resident", p.capacity);
+    if (tracing && s.Traced()) {
+      // Only enriched when telemetry is on so the disabled report stays
+      // byte-identical to pre-telemetry behaviour.
+      point.SetRaw("metrics", p.registry.ToJsonObject().Render());
+    }
   }
   table.Print(std::cout);
   std::cout << "\nPaper reference: PipeSwitch keeps 100 instances resident "
@@ -136,5 +171,20 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper reference: PipeSwitch p99 ~94 ms at 120; PT+DHA "
                "within ~35 ms even at 140.\n";
   report.Write(&std::cerr);
+  if (tracing) {
+    TraceRecorder merged(/*enabled=*/true);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].Traced()) {
+        merged.Adopt(std::move(points[i].recorder));
+      }
+    }
+    if (merged.WriteTo(trace_out)) {
+      std::cerr << "wrote trace " << trace_out << " (" << merged.size()
+                << " events)\n";
+    } else {
+      std::cerr << "cannot write trace " << trace_out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

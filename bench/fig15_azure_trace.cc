@@ -10,8 +10,14 @@
 //
 // The three strategies replay the same (immutable) trace on independent
 // servers, so they fan out over DEEPPLAN_JOBS threads; output renders in
-// strategy order and is byte-identical for any thread count.
+// strategy order and is byte-identical for any thread count. With
+// --trace_out=<path> (default: $DEEPPLAN_TRACE), each replay records into its
+// own TraceRecorder/MetricsRegistry; the recorders are stitched in strategy
+// order into one Perfetto-loadable Chrome trace, and each strategy's metrics
+// snapshot lands in its BENCH point.
+#include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "bench/bench_util.h"
 
@@ -22,9 +28,11 @@ using namespace deepplan;
 struct Outcome {
   ServingMetrics metrics;
   MinuteSeries series;
+  TraceRecorder recorder{false};
+  MetricsRegistry registry;
 };
 
-Outcome Replay(Strategy strategy, const Trace& trace, int instances) {
+Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracing) {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
   ServerOptions options;
@@ -39,7 +47,13 @@ Outcome Replay(Strategy strategy, const Trace& trace, int instances) {
   server.AddInstances(bert, 4 * unit);
   server.AddInstances(roberta, 4 * unit);
   server.AddInstances(gpt2, instances - 8 * unit);
-  Outcome out{server.Run(trace), {}};
+  Outcome out;
+  if (tracing) {
+    out.recorder = TraceRecorder(/*enabled=*/true);
+    server.set_telemetry(&out.recorder, &out.registry,
+                         out.recorder.RegisterProcess(StrategyName(strategy)));
+  }
+  out.metrics = server.Run(trace);
   out.series = out.metrics.PerMinute(Millis(100));
   return out;
 }
@@ -58,10 +72,16 @@ int main(int argc, char** argv) {
   // the paper's over-committed deployment.
   flags.DefineInt("instances", 135, "total model instances (4:4:1 mix)");
   flags.DefineString("trace", "", "optional MAF-derived CSV to replay instead");
+  const char* trace_env = std::getenv("DEEPPLAN_TRACE");
+  flags.DefineString("trace_out", trace_env != nullptr ? trace_env : "",
+                     "write a Chrome/Perfetto trace JSON here (default: "
+                     "$DEEPPLAN_TRACE; empty disables telemetry)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   const int instances = static_cast<int>(flags.GetInt("instances"));
+  const std::string trace_out = flags.GetString("trace_out");
+  const bool tracing = !trace_out.empty();
 
   Trace trace;
   if (!flags.GetString("trace").empty()) {
@@ -106,9 +126,11 @@ int main(int argc, char** argv) {
       .Set("requests", static_cast<std::int64_t>(trace.size()))
       .Set("slo_ms", 100.0);
 
-  const std::vector<Outcome> outcomes =
-      runner.Map(static_cast<int>(strategies.size()),
-                 [&](int i) { return Replay(strategies[static_cast<std::size_t>(i)], trace, instances); });
+  std::vector<Outcome> outcomes =
+      runner.Map(static_cast<int>(strategies.size()), [&](int i) {
+        return Replay(strategies[static_cast<std::size_t>(i)], trace, instances,
+                      tracing);
+      });
 
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     const Strategy strategy = strategies[s];
@@ -116,7 +138,24 @@ int main(int argc, char** argv) {
     std::cout << StrategyName(strategy) << ": overall p99 "
               << Table::Num(out.metrics.LatencyPercentileMs(99), 1) << " ms, goodput "
               << Table::Pct(out.metrics.Goodput(Millis(100))) << ", cold-starts "
-              << out.metrics.ColdStartCount() << "\n";
+              << out.metrics.ColdStartCount() << " (evictions "
+              << out.metrics.EvictionCount() << ")\n";
+    // Where the latency goes (mean / p99 per component; the components tile
+    // each request exactly: queue + cold-start + exec == total).
+    {
+      const LatencyBreakdown b = out.metrics.Breakdown();
+      Table breakdown({"component", "mean (ms)", "p99 (ms)"});
+      breakdown.AddRow({"queue", Table::Num(b.mean_queue_ms, 2),
+                        Table::Num(b.p99_queue_ms, 2)});
+      breakdown.AddRow({"cold-start", Table::Num(b.mean_cold_ms, 2),
+                        Table::Num(b.p99_cold_ms, 2)});
+      breakdown.AddRow({"exec", Table::Num(b.mean_exec_ms, 2),
+                        Table::Num(b.p99_exec_ms, 2)});
+      breakdown.AddRow({"total", Table::Num(b.mean_total_ms, 2),
+                        Table::Num(b.p99_total_ms, 2)});
+      breakdown.Print(std::cout);
+      std::cout << "\n";
+    }
     Table table({"minute", "p99 (ms)", "goodput", "cold starts"});
     JsonArray minutes;
     for (std::size_t minute = 0; minute < out.series.requests.size(); ++minute) {
@@ -133,15 +172,33 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
     std::cout << "\n";
-    report.AddPoint()
-        .Set("strategy", StrategyName(strategy))
+    JsonObject& point = report.AddPoint();
+    point.Set("strategy", StrategyName(strategy))
         .Set("p99_ms", out.metrics.LatencyPercentileMs(99))
         .Set("goodput", out.metrics.Goodput(Millis(100)))
         .Set("cold_starts", static_cast<std::int64_t>(out.metrics.ColdStartCount()))
         .SetRaw("minutes", minutes.Render());
+    if (tracing) {
+      // Only enriched when telemetry is on so the disabled report stays
+      // byte-identical to pre-telemetry behaviour.
+      point.SetRaw("metrics", out.registry.ToJsonObject().Render());
+    }
   }
   std::cout << "Paper reference: DeepPlan variants hold 98-99% goodput; "
                "PipeSwitch drops to ~81% in loaded minutes.\n";
   report.Write(&std::cerr);
+  if (tracing) {
+    TraceRecorder merged(/*enabled=*/true);
+    for (Outcome& out : outcomes) {
+      merged.Adopt(std::move(out.recorder));
+    }
+    if (merged.WriteTo(trace_out)) {
+      std::cerr << "wrote trace " << trace_out << " (" << merged.size()
+                << " events)\n";
+    } else {
+      std::cerr << "cannot write trace " << trace_out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

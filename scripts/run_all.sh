@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every paper table/figure and ablation into results/, including
-# each bench's machine-readable BENCH_<name>.json (written next to the .txt).
+# each bench's machine-readable BENCH_<name>.json (written next to the .txt),
+# then captures and validates a Chrome/Perfetto telemetry trace.
 # Usage: scripts/run_all.sh [build-dir] [results-dir]
 #
 # Env:
@@ -8,7 +9,7 @@
 #                    output is byte-identical for any value).
 #   DEEPPLAN_TSAN=1  first build the ThreadSanitizer preset
 #                    (cmake -DDEEPPLAN_SANITIZE=thread) into <build-dir>-tsan
-#                    and run the sweep determinism tests under it.
+#                    and run the sweep determinism and telemetry tests under it.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -20,14 +21,18 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 if [ "${DEEPPLAN_TSAN:-0}" = "1" ]; then
-  echo "== sweep_test (ThreadSanitizer)"
+  echo "== sweep_test + obs_test (ThreadSanitizer)"
   cmake -B "$BUILD_DIR-tsan" -S . -DDEEPPLAN_SANITIZE=thread >/dev/null
-  cmake --build "$BUILD_DIR-tsan" --target sweep_test -j >/dev/null
+  cmake --build "$BUILD_DIR-tsan" --target sweep_test obs_test -j >/dev/null
   DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/sweep_test"
+  "$BUILD_DIR-tsan/tests/obs_test"
 fi
 
 mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
+# Keep the main sweep untraced (byte-stable baseline outputs) even when the
+# caller has a global DEEPPLAN_TRACE; the dedicated step below captures one.
+unset DEEPPLAN_TRACE
 for bench in "$BUILD_DIR"/bench/*; do
   if [ -x "$bench" ] && [ -f "$bench" ]; then
     name="$(basename "$bench")"
@@ -35,4 +40,34 @@ for bench in "$BUILD_DIR"/bench/*; do
     "$bench" >"$RESULTS_DIR/$name.txt" 2>&1
   fi
 done
+
+# Telemetry: capture a short traced replay and validate the artifact parses
+# and carries the expected tracks (load it in ui.perfetto.dev to explore).
+echo "== trace validation (fig15_azure_trace, 2 minutes)"
+TRACE_FILE="$RESULTS_DIR/trace_fig15.json"
+DEEPPLAN_TRACE="$TRACE_FILE" "$BUILD_DIR/bench/fig15_azure_trace" --minutes=2 \
+  >"$RESULTS_DIR/fig15_azure_trace_traced.txt" 2>&1
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_FILE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+phases = {e["ph"] for e in events}
+assert {"M", "X", "C"} <= phases, f"missing event phases: {phases}"
+tracks = {e["args"]["name"] for e in events
+          if e["ph"] == "M" and e["name"] == "thread_name"}
+tracks |= {e["name"] for e in events if e["ph"] == "C"}
+for prefix in ("exec/gpu", "coldstart/gpu", "queue/gpu", "pcie/gpu", "bw/"):
+    assert any(t.startswith(prefix) for t in tracks), f"no {prefix} track"
+print(f"trace OK: {len(events)} events, {len(tracks)} tracks")
+EOF
+else
+  # Fallback: structural spot checks only.
+  grep -q '"traceEvents"' "$TRACE_FILE"
+  grep -q '"ph":"C"' "$TRACE_FILE"
+  grep -q 'coldstart/gpu' "$TRACE_FILE"
+  grep -q 'bw/' "$TRACE_FILE"
+  echo "trace OK (grep checks; python3 unavailable)"
+fi
+
 echo "results written to $RESULTS_DIR/"

@@ -25,6 +25,8 @@
 #include "src/model/layer.h"
 #include "src/model/model.h"
 #include "src/model/zoo.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_recorder.h"
 #include "src/perf/pcie_events.h"
 #include "src/perf/perf_model.h"
 #include "src/serving/instance.h"
@@ -33,6 +35,7 @@
 #include "src/sim/fabric.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stream.h"
+#include "src/util/chrome_trace.h"
 #include "src/util/flags.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"

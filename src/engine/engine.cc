@@ -55,6 +55,11 @@ Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
   DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
 }
 
+void Engine::set_telemetry(TraceRecorder* recorder, int pid) {
+  recorder_ = recorder;
+  pid_ = pid;
+}
+
 namespace {
 
 // One transfer unit on a PCIe/NVLink chain: one layer, or several
@@ -162,6 +167,12 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                                 "pcie/gpu" + std::to_string(target), op_start,
                                 sim_->now() - run->start - op_start});
             }
+            if (recorder_ != nullptr) {
+              recorder_->Span(pid_, "pcie/gpu" + std::to_string(target),
+                              "load " + run->part_items[p][k].name,
+                              run->start + op_start,
+                              sim_->now() - run->start - op_start);
+            }
             for (const std::size_t li : run->part_items[p][k].layer_indices) {
               if (p == 0) {
                 on_arrival(li, p);
@@ -204,6 +215,13 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                       "migrate " + item.name,
                       "nvlink/" + std::to_string(src) + "->" + std::to_string(primary),
                       op_start, sim_->now() - run->start - op_start});
+                }
+                if (recorder_ != nullptr) {
+                  recorder_->Span(
+                      pid_,
+                      "nvlink/" + std::to_string(src) + "->" + std::to_string(primary),
+                      "migrate " + item.name, run->start + op_start,
+                      sim_->now() - run->start - op_start);
                 }
                 for (const std::size_t li : item.layer_indices) {
                   on_arrival(li, p);
@@ -248,17 +266,26 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     const Nanos exec = plan.method(i) == ExecMethod::kDirectHostAccess
                            ? perf_->ExecDha(layer, options.batch)
                            : perf_->ExecInMemory(layer, options.batch);
-    if (options.record_timeline) {
+    if (options.record_timeline || recorder_ != nullptr) {
       const bool dha = plan.method(i) == ExecMethod::kDirectHostAccess;
-      run->exec->Enqueue([this, run, exec, dha, primary,
+      const bool record = options.record_timeline;
+      run->exec->Enqueue([this, run, exec, dha, primary, record,
                           name = layer.name](std::function<void()> op_done) {
         const Nanos op_start = sim_->now() - run->start;
-        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, name,
+        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, record, name,
                                    op_done = std::move(op_done)]() {
-          run->result.timeline.push_back(
-              TimelineEvent{(dha ? "exec(DHA) " : "exec ") + name,
-                            "exec/gpu" + std::to_string(primary), op_start,
-                            sim_->now() - run->start - op_start});
+          if (record) {
+            run->result.timeline.push_back(
+                TimelineEvent{(dha ? "exec(DHA) " : "exec ") + name,
+                              "exec/gpu" + std::to_string(primary), op_start,
+                              sim_->now() - run->start - op_start});
+          }
+          if (recorder_ != nullptr) {
+            recorder_->Span(pid_, "exec/gpu" + std::to_string(primary),
+                            (dha ? "exec(DHA) " : "exec ") + name,
+                            run->start + op_start,
+                            sim_->now() - run->start - op_start);
+          }
           op_done();
         });
       });

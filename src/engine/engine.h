@@ -17,6 +17,7 @@
 
 #include "src/core/plan.h"
 #include "src/hw/topology.h"
+#include "src/obs/trace_recorder.h"
 #include "src/model/model.h"
 #include "src/perf/perf_model.h"
 #include "src/sim/fabric.h"
@@ -94,6 +95,14 @@ class Engine {
  public:
   Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf);
 
+  // Attaches a trace recorder: every cold-run load/migrate/exec operation is
+  // then recorded as a span in *absolute* simulation time (track names match
+  // the per-run timeline: "pcie/gpu<g>", "nvlink/<a>-><b>", "exec/gpu<g>"),
+  // so one recorder covers all GPUs and requests of a whole server run —
+  // independent of ColdRunOptions::record_timeline, which stays per-run and
+  // run-relative. nullptr detaches; the disabled cost is one pointer test.
+  void set_telemetry(TraceRecorder* recorder, int pid = 0);
+
   // Cold start: provision `model` according to `plan` onto `primary`
   // (partitions k>0 load via secondaries[k-1]) and execute one inference.
   // `done` fires at completion. Multiple concurrent runs interact through the
@@ -115,6 +124,8 @@ class Engine {
   Simulator* sim_;
   ServerFabric* fabric_;
   const PerfModel* perf_;
+  TraceRecorder* recorder_ = nullptr;
+  int pid_ = 0;
 };
 
 }  // namespace deepplan

@@ -1,0 +1,77 @@
+#include "src/obs/metrics_registry.h"
+
+namespace deepplan {
+
+void MetricsRegistry::AddCounter(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double sample) {
+  histograms_[name].Add(sample);
+}
+
+HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
+  HistogramSummary summary;
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.empty()) {
+    return summary;
+  }
+  Percentiles pct = it->second;  // Percentile() sorts lazily; keep ours const
+  summary.count = pct.count();
+  summary.mean = pct.Mean();
+  summary.min = pct.Min();
+  summary.max = pct.Max();
+  summary.p50 = pct.Percentile(50.0);
+  summary.p99 = pct.Percentile(99.0);
+  return summary;
+}
+
+JsonObject MetricsRegistry::ToJsonObject() const {
+  JsonObject doc;
+  if (!counters_.empty()) {
+    JsonObject counters;
+    for (const auto& [name, value] : counters_) {
+      counters.Set(name, value);
+    }
+    doc.SetRaw("counters", counters.Render());
+  }
+  if (!gauges_.empty()) {
+    JsonObject gauges;
+    for (const auto& [name, value] : gauges_) {
+      gauges.Set(name, value);
+    }
+    doc.SetRaw("gauges", gauges.Render());
+  }
+  if (!histograms_.empty()) {
+    JsonObject histograms;
+    for (const auto& entry : histograms_) {
+      const HistogramSummary s = histogram(entry.first);
+      histograms.SetRaw(entry.first, JsonObject()
+                                       .Set("count", static_cast<std::int64_t>(s.count))
+                                       .Set("mean", s.mean)
+                                       .Set("min", s.min)
+                                       .Set("max", s.max)
+                                       .Set("p50", s.p50)
+                                       .Set("p99", s.p99)
+                                       .Render());
+    }
+    doc.SetRaw("histograms", histograms.Render());
+  }
+  return doc;
+}
+
+}  // namespace deepplan

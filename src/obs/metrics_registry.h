@@ -1,0 +1,65 @@
+// Named metrics for a simulation run: monotonic counters, last-value gauges,
+// and sample histograms, with deterministic JSON snapshot export. Components
+// (fabric, server, cluster) hold a `MetricsRegistry*` that is nullptr when
+// telemetry is off; when attached, one registry accumulates a whole run and
+// its snapshot lands in the bench's BENCH_<name>.json report.
+//
+// Naming convention: dotted lowercase paths, component first —
+//   fabric.transfers, fabric.bytes,
+//   server.requests, server.cold_starts, server.warm_hits, server.evictions,
+//   server.queue_depth.gpu<g>, server.latency_ms (histogram),
+//   cluster.routed.server<k>.
+//
+// Export order is the sorted metric name, so identical runs render to
+// identical bytes regardless of the order metrics were first touched.
+#ifndef SRC_OBS_METRICS_REGISTRY_H_
+#define SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/stats.h"
+
+namespace deepplan {
+
+struct HistogramSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  void AddCounter(const std::string& name, std::int64_t delta = 1);
+  // 0 when the counter was never touched.
+  std::int64_t counter(const std::string& name) const;
+
+  void SetGauge(const std::string& name, double value);
+  double gauge(const std::string& name) const;
+
+  void Observe(const std::string& name, double sample);
+  HistogramSummary histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,max,
+  // p50,p99}}} with sorted keys; empty sections are omitted.
+  JsonObject ToJsonObject() const;
+  std::string ToJson() const { return ToJsonObject().Render(); }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Percentiles> histograms_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,71 @@
+// Simulation-wide trace recorder: the single sink for span, instant, and
+// counter events emitted by the fabric (per-link bandwidth shares), the
+// engine (per-layer load/migrate/exec), the server (queue depths, cold-start
+// phases), and the cluster router (routing decisions). One recorder covers a
+// whole run — every GPU, link, and request — and exports one Perfetto-loadable
+// Chrome-trace JSON via ChromeTraceWriter.
+//
+// Cost model: components hold a `TraceRecorder*` that is nullptr when
+// telemetry is off, so the disabled hot path is a single pointer test. A
+// recorder constructed disabled additionally drops every call without
+// touching its buffers (no allocation — pinned by obs_test), for call sites
+// where threading the null check is awkward.
+//
+// Determinism: events append in simulation order (the simulator is
+// single-threaded) and the writer sorts with deterministic tie-breaking, so
+// a given run always renders to identical bytes.
+#ifndef SRC_OBS_TRACE_RECORDER_H_
+#define SRC_OBS_TRACE_RECORDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/chrome_trace.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  // Names a process group (one per server in a cluster run, one per strategy
+  // when a bench traces several replays). Returns the pid to tag events with.
+  // Disabled recorders return 0 without allocating.
+  int RegisterProcess(std::string_view name);
+
+  // A complete slice [start, start+duration) on `track` of process `pid`.
+  void Span(int pid, std::string_view track, std::string_view name, Nanos start,
+            Nanos duration);
+
+  // A point-in-time marker (e.g. a routing decision).
+  void Instant(int pid, std::string_view track, std::string_view name, Nanos ts);
+
+  // A counter sample: `track` names the counter track (e.g. "bw/pcie/gpu0"),
+  // `series` the value key inside it (e.g. "gbps").
+  void Counter(int pid, std::string_view track, std::string_view series, Nanos ts,
+               double value);
+
+  std::size_t size() const { return doc_.events.size(); }
+  bool empty() const { return doc_.events.empty(); }
+  const TraceDocument& document() const { return doc_; }
+
+  // Merges `other` into this recorder, remapping its pids past the processes
+  // already registered here (used to stitch per-task recorders from a
+  // parallel sweep into one artifact, in deterministic task order).
+  void Adopt(TraceRecorder&& other);
+
+  std::string ToJson() const;
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  bool enabled_ = true;
+  TraceDocument doc_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_OBS_TRACE_RECORDER_H_

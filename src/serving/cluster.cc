@@ -24,6 +24,10 @@ struct Cluster::Impl {
   int num_gpus_per_server = 0;
   int rr_cursor = 0;
 
+  TraceRecorder* recorder = nullptr;
+  MetricsRegistry* registry = nullptr;
+  int router_pid = 0;
+
   int Route(int instance) {
     switch (options.routing) {
       case RoutingPolicy::kRoundRobin: {
@@ -102,6 +106,19 @@ const Server& Cluster::server(int index) const {
   return *impl_->servers[index];
 }
 
+void Cluster::EnableTelemetry(TraceRecorder* recorder, MetricsRegistry* registry) {
+  Impl& c = *impl_;
+  c.recorder = recorder;
+  c.registry = registry;
+  c.router_pid = recorder != nullptr ? recorder->RegisterProcess("router") : 0;
+  for (std::size_t i = 0; i < c.servers.size(); ++i) {
+    const int pid = recorder != nullptr
+                        ? recorder->RegisterProcess("server" + std::to_string(i))
+                        : 0;
+    c.servers[i]->set_telemetry(recorder, registry, pid);
+  }
+}
+
 ServingMetrics Cluster::Run(const Trace& trace) {
   Impl& c = *impl_;
   if (c.options.routing == RoutingPolicy::kInstanceAffinity) {
@@ -123,7 +140,19 @@ ServingMetrics Cluster::Run(const Trace& trace) {
     DP_CHECK(a.instance >= 0 && a.instance < c.num_instances);
     c.sim.ScheduleAt(a.time, [this, a]() {
       Impl& impl = *impl_;
-      impl.servers[impl.Route(a.instance)]->Submit(a.instance);
+      const int target = impl.Route(a.instance);
+      if (impl.recorder != nullptr) {
+        std::string decision = "i";
+        decision += std::to_string(a.instance);
+        decision += "->s";
+        decision += std::to_string(target);
+        impl.recorder->Instant(impl.router_pid, "router", decision,
+                               impl.sim.now());
+      }
+      if (impl.registry != nullptr) {
+        impl.registry->AddCounter("cluster.routed.server" + std::to_string(target));
+      }
+      impl.servers[target]->Submit(a.instance);
     });
   }
   c.sim.Run();

@@ -54,6 +54,12 @@ class Cluster {
 
   const Server& server(int index) const;
 
+  // Attaches telemetry (either pointer may be nullptr) before Run(): each
+  // back-end becomes its own recorder process ("server<i>") with the full
+  // server instrumentation, and every routing decision lands as an instant
+  // event on the "router" process plus a cluster.routed.server<i> counter.
+  void EnableTelemetry(TraceRecorder* recorder, MetricsRegistry* registry);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

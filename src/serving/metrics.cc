@@ -9,6 +9,8 @@ namespace deepplan {
 void ServingMetrics::Record(const RequestRecord& record) {
   DP_CHECK(record.completion >= record.start);
   DP_CHECK(record.start >= record.arrival);
+  DP_CHECK(record.evict >= 0 && record.load >= 0 && record.evictions >= 0);
+  DP_CHECK(record.completion >= record.start + record.evict + record.load);
   records_.push_back(record);
 }
 
@@ -63,6 +65,41 @@ std::size_t ServingMetrics::ColdStartCount() const {
     }
   }
   return n;
+}
+
+std::size_t ServingMetrics::EvictionCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    n += static_cast<std::size_t>(r.evictions);
+  }
+  return n;
+}
+
+LatencyBreakdown ServingMetrics::Breakdown() const {
+  LatencyBreakdown b;
+  if (records_.empty()) {
+    return b;
+  }
+  Percentiles queue, cold, exec, total;
+  queue.Reserve(records_.size());
+  cold.Reserve(records_.size());
+  exec.Reserve(records_.size());
+  total.Reserve(records_.size());
+  for (const auto& r : records_) {
+    queue.Add(ToMillis(r.QueueTime()));
+    cold.Add(ToMillis(r.ColdStartTime()));
+    exec.Add(ToMillis(r.ExecTime()));
+    total.Add(ToMillis(r.Latency()));
+  }
+  b.mean_queue_ms = queue.Mean();
+  b.p99_queue_ms = queue.Percentile(99.0);
+  b.mean_cold_ms = cold.Mean();
+  b.p99_cold_ms = cold.Percentile(99.0);
+  b.mean_exec_ms = exec.Mean();
+  b.p99_exec_ms = exec.Percentile(99.0);
+  b.mean_total_ms = total.Mean();
+  b.p99_total_ms = total.Percentile(99.0);
+  return b;
 }
 
 MinuteSeries ServingMetrics::PerMinute(Nanos slo) const {

@@ -18,9 +18,32 @@ struct RequestRecord {
   Nanos completion = 0;
   int instance = -1;
   bool cold = false;
+  // Cold-start decomposition (all zero for warm requests): eviction teardown,
+  // then provisioning until every parameter is resident on the primary GPU.
+  // Execution overlaps provisioning under pipelining, so ExecTime() is the
+  // post-load execution tail — the three parts sum exactly to Latency() minus
+  // QueueTime().
+  Nanos evict = 0;
+  Nanos load = 0;
+  int evictions = 0;     // instances evicted to make room
 
   Nanos Latency() const { return completion - arrival; }
   Nanos QueueTime() const { return start - arrival; }
+  Nanos ColdStartTime() const { return evict + load; }
+  Nanos ExecTime() const { return completion - start - evict - load; }
+};
+
+// Mean/p99 of each additive latency component over all requests (the paper's
+// Figure 15 narrative in one table: where does the tail come from?).
+struct LatencyBreakdown {
+  double mean_queue_ms = 0.0;
+  double p99_queue_ms = 0.0;
+  double mean_cold_ms = 0.0;  // evict + provisioning; 0 for warm requests
+  double p99_cold_ms = 0.0;
+  double mean_exec_ms = 0.0;
+  double p99_exec_ms = 0.0;
+  double mean_total_ms = 0.0;
+  double p99_total_ms = 0.0;
 };
 
 struct MinuteSeries {
@@ -47,6 +70,12 @@ class ServingMetrics {
   // Fraction of requests that triggered a cold start.
   double ColdStartRate() const;
   std::size_t ColdStartCount() const;
+
+  // Instances evicted across all recorded requests.
+  std::size_t EvictionCount() const;
+
+  // Per-request latency decomposition (queue vs. cold-start vs. exec).
+  LatencyBreakdown Breakdown() const;
 
   // Per-minute breakdown (Figure 15's time axis).
   MinuteSeries PerMinute(Nanos slo) const;

@@ -42,6 +42,10 @@ struct Server::Impl {
 
   ServingMetrics metrics;
 
+  TraceRecorder* recorder = nullptr;
+  MetricsRegistry* registry = nullptr;
+  int pid = 0;
+
   Impl(Simulator* external_sim, const Topology& topo, const PerfModel& perf_model,
        ServerOptions opts)
       : topology(topo), perf(perf_model), options(opts) {
@@ -56,7 +60,8 @@ struct Server::Impl {
 
   void Dispatch(GpuId gpu);
   void FinishRequest(GpuId gpu, int instance, const PendingRequest& req, Nanos start,
-                     bool cold);
+                     bool cold, Nanos evict_delay, Nanos load_done, int num_evicted);
+  void NoteQueueDepth(GpuId gpu);
 };
 
 Server::Server(const Topology& topology, const PerfModel& perf, ServerOptions options)
@@ -115,8 +120,20 @@ int Server::num_instances() const { return impl_->instances->num_instances(); }
 
 int Server::WarmCapacity() const { return impl_->instances->ResidentCount(); }
 
+void Server::Impl::NoteQueueDepth(GpuId gpu) {
+  if (recorder != nullptr) {
+    recorder->Counter(pid, "queue/gpu" + std::to_string(gpu), "depth", sim->now(),
+                      static_cast<double>(queues[gpu].size()));
+  }
+  if (registry != nullptr) {
+    registry->SetGauge("server.queue_depth.gpu" + std::to_string(gpu),
+                       static_cast<double>(queues[gpu].size()));
+  }
+}
+
 void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& req,
-                                 Nanos start, bool cold) {
+                                 Nanos start, bool cold, Nanos evict_delay,
+                                 Nanos load_done, int num_evicted) {
   instances->SetBusy(instance, false);
   instances->MarkUsed(instance, sim->now());
   RequestRecord record;
@@ -125,7 +142,34 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
   record.completion = sim->now();
   record.instance = instance;
   record.cold = cold;
+  record.evict = evict_delay;
+  record.load = load_done;
+  record.evictions = num_evicted;
   metrics.Record(record);
+  if (recorder != nullptr) {
+    const Nanos done = sim->now();
+    if (cold) {
+      // Phase decomposition of this cold start on its own track: the four
+      // spans tile [arrival, completion] exactly (exec is the post-load tail;
+      // execution overlaps the transfer under pipelining).
+      const std::string track = "coldstart/gpu" + std::to_string(gpu);
+      const std::string suffix = " i" + std::to_string(instance);
+      recorder->Span(pid, track, "queue" + suffix, req.arrival, start - req.arrival);
+      if (evict_delay > 0) {
+        recorder->Span(pid, track, "evict x" + std::to_string(num_evicted) + suffix,
+                       start, evict_delay);
+      }
+      recorder->Span(pid, track, "transfer" + suffix, start + evict_delay, load_done);
+      recorder->Span(pid, track, "exec" + suffix, start + evict_delay + load_done,
+                     done - start - evict_delay - load_done);
+    } else {
+      recorder->Span(pid, "exec/gpu" + std::to_string(gpu),
+                     "warm i" + std::to_string(instance), start, done - start);
+    }
+  }
+  if (registry != nullptr) {
+    registry->Observe("server.latency_ms", ToMillis(record.Latency()));
+  }
   --outstanding;
   gpu_busy[gpu] = false;
   Dispatch(gpu);
@@ -138,6 +182,7 @@ void Server::Impl::Dispatch(GpuId gpu) {
   const PendingRequest req = queues[gpu].front();
   queues[gpu].pop_front();
   gpu_busy[gpu] = true;
+  NoteQueueDepth(gpu);
 
   const int instance = req.instance;
   const int type = instance_model[instance];
@@ -147,9 +192,14 @@ void Server::Impl::Dispatch(GpuId gpu) {
 
   if (instances->instance(instance).resident) {
     instances->MarkUsed(instance, start);
+    if (registry != nullptr) {
+      registry->AddCounter("server.warm_hits");
+    }
     engine->RunWarm(entry.model, entry.plan, options.batch,
                     [this, gpu, instance, req, start](const InferenceResult&) {
-                      FinishRequest(gpu, instance, req, start, /*cold=*/false);
+                      FinishRequest(gpu, instance, req, start, /*cold=*/false,
+                                    /*evict_delay=*/0, /*load_done=*/0,
+                                    /*num_evicted=*/0);
                     });
     return;
   }
@@ -159,9 +209,15 @@ void Server::Impl::Dispatch(GpuId gpu) {
   std::vector<int> evicted;
   const bool fits = instances->MakeResident(instance, start, &evicted);
   DP_CHECK(fits && "instance footprint exceeds GPU capacity");
+  const int num_evicted = static_cast<int>(evicted.size());
+  if (registry != nullptr) {
+    registry->AddCounter("server.cold_starts");
+    registry->AddCounter("server.evictions", num_evicted);
+  }
   const Nanos evict_delay =
       options.eviction_cost * static_cast<Nanos>(evicted.size());
-  sim->ScheduleAfter(evict_delay, [this, gpu, instance, req, start, type]() {
+  sim->ScheduleAfter(evict_delay, [this, gpu, instance, req, start, type,
+                                   evict_delay, num_evicted]() {
     const ModelEntry& entry = models[type];
     std::vector<GpuId> secondaries;
     if (entry.plan.num_partitions() > 1) {
@@ -170,8 +226,10 @@ void Server::Impl::Dispatch(GpuId gpu) {
     }
     engine->RunCold(entry.model, entry.plan, gpu, secondaries,
                     MakeColdRunOptions(entry.strategy, options.batch),
-                    [this, gpu, instance, req, start](const InferenceResult&) {
-                      FinishRequest(gpu, instance, req, start, /*cold=*/true);
+                    [this, gpu, instance, req, start, evict_delay,
+                     num_evicted](const InferenceResult& result) {
+                      FinishRequest(gpu, instance, req, start, /*cold=*/true,
+                                    evict_delay, result.load_done, num_evicted);
                     });
   });
 }
@@ -211,7 +269,21 @@ void Server::Submit(int instance) {
   const GpuId gpu = s.instances->instance(instance).home_gpu;
   ++s.outstanding;
   s.queues[gpu].push_back(PendingRequest{instance, s.sim->now()});
+  if (s.registry != nullptr) {
+    s.registry->AddCounter("server.requests");
+  }
+  s.NoteQueueDepth(gpu);
   s.Dispatch(gpu);
+}
+
+void Server::set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
+                           int pid) {
+  Impl& s = *impl_;
+  s.recorder = recorder;
+  s.registry = registry;
+  s.pid = pid;
+  s.fabric->fabric().set_telemetry(recorder, registry, pid);
+  s.engine->set_telemetry(recorder, pid);
 }
 
 const ServingMetrics& Server::metrics() const { return impl_->metrics; }

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "src/engine/strategies.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_recorder.h"
 #include "src/serving/instance.h"
 #include "src/serving/metrics.h"
 #include "src/workload/trace.h"
@@ -88,6 +90,17 @@ class Server {
 
   // Requests queued or executing right now (for least-outstanding routing).
   int OutstandingRequests() const;
+
+  // Attaches telemetry (either pointer may be nullptr) and forwards it to the
+  // engine and fabric; call before Warmup()/Run(). `pid` is this server's
+  // process group in the recorder (cluster runs register one per back-end).
+  // While attached: per-GPU queue-depth counters ("queue/gpu<g>"), cold-start
+  // phase spans on "coldstart/gpu<g>" (queue/evict/transfer/exec), warm exec
+  // spans on "exec/gpu<g>", and registry counters (server.requests,
+  // server.cold_starts, server.warm_hits, server.evictions) plus a
+  // server.latency_ms histogram. Detached cost: one null test per hook.
+  void set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
+                     int pid = 0);
 
  private:
   struct ModelEntry;

@@ -32,6 +32,13 @@ double Fabric::link_capacity(LinkId id) const {
   return links_[id].capacity;
 }
 
+void Fabric::set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
+                           int pid) {
+  recorder_ = recorder;
+  registry_ = registry;
+  pid_ = pid;
+}
+
 TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos latency,
                          std::function<void(Nanos elapsed)> done) {
   DP_CHECK(bytes >= 0);
@@ -39,6 +46,10 @@ TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos lat
     DP_CHECK(l >= 0 && l < num_links());
   }
   const TransferId id = next_id_++;
+  if (registry_ != nullptr) {
+    registry_->AddCounter("fabric.transfers");
+    registry_->AddCounter("fabric.bytes", bytes);
+  }
   if (bytes == 0 || path.empty()) {
     const Nanos started = sim_->now();
     sim_->ScheduleAfter(latency, [done = std::move(done), started, this]() {
@@ -172,6 +183,7 @@ void Fabric::Complete(std::size_t index) {
     ComputeRates();
     ScheduleCompletions();
   }
+  EmitLinkCounters();
   const Nanos started = t.started;
   sim_->ScheduleAfter(t.latency, [this, started, done = std::move(t.done)]() {
     if (done) {
@@ -184,6 +196,27 @@ void Fabric::Reallocate() {
   SettleProgress();
   ComputeRates();
   ScheduleCompletions();
+  EmitLinkCounters();
+}
+
+void Fabric::EmitLinkCounters() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  last_emitted_.resize(links_.size(), 0.0);
+  std::vector<double> allocated(links_.size(), 0.0);
+  for (const auto& t : active_) {
+    for (LinkId l : t.path) {
+      allocated[static_cast<std::size_t>(l)] += t.rate;
+    }
+  }
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (allocated[l] != last_emitted_[l]) {
+      recorder_->Counter(pid_, "bw/" + links_[l].name, "gbps", sim_->now(),
+                         allocated[l] * 1e-9);
+      last_emitted_[l] = allocated[l];
+    }
+  }
 }
 
 }  // namespace deepplan

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_recorder.h"
 #include "src/sim/simulator.h"
 #include "src/util/time.h"
 
@@ -45,6 +47,13 @@ class Fabric {
   // bandwidth on the link (bytes/sec). For tests and bandwidth accounting.
   double AllocatedOn(LinkId id) const;
 
+  // Attaches telemetry (either pointer may be nullptr). While a recorder is
+  // attached, every progressive-filling rate change emits one counter sample
+  // per link whose allocation moved ("bw/<link name>", GB/s, tagged `pid`);
+  // the registry counts transfers and bytes. Disabled cost: one null test.
+  void set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
+                     int pid = 0);
+
  private:
   struct Link {
     std::string name;
@@ -71,11 +80,17 @@ class Fabric {
   void ComputeRates();
   void ScheduleCompletions();
   void Complete(std::size_t index);
+  void EmitLinkCounters();
 
   Simulator* sim_;
   std::vector<Link> links_;
   std::vector<Transfer> active_;
   TransferId next_id_ = 1;
+
+  TraceRecorder* recorder_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
+  int pid_ = 0;
+  std::vector<double> last_emitted_;  // last counter sample per link
 };
 
 }  // namespace deepplan

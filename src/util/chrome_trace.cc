@@ -1,8 +1,14 @@
 #include "src/util/chrome_trace.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "src/util/json.h"
 
 namespace deepplan {
 
@@ -20,38 +26,155 @@ void AppendEscaped(std::ostringstream& os, const std::string& s) {
       case '\n':
         os << "\\n";
         break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
       default:
-        os << c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
     }
   }
+}
+
+// Deterministic event order: timestamp, then process, then (for equal
+// timestamps) longer spans first so parents precede the slices they enclose,
+// then track/name/phase. std::stable_sort keeps insertion order for full
+// ties, so identical inputs always render to identical bytes.
+bool EventBefore(const TraceEvent& a, const TraceEvent& b) {
+  if (a.ts != b.ts) {
+    return a.ts < b.ts;
+  }
+  if (a.pid != b.pid) {
+    return a.pid < b.pid;
+  }
+  if (a.duration != b.duration) {
+    return a.duration > b.duration;  // parents before enclosed children
+  }
+  if (a.track != b.track) {
+    return a.track < b.track;
+  }
+  if (a.name != b.name) {
+    return a.name < b.name;
+  }
+  return a.phase < b.phase;
 }
 
 }  // namespace
 
 std::string ChromeTraceWriter::ToJson(const std::vector<TimelineEvent>& events) {
-  // Stable small integer ids per track, in first-appearance order.
-  std::map<std::string, int> track_ids;
-  for (const auto& e : events) {
-    track_ids.emplace(e.track, static_cast<int>(track_ids.size()));
+  TraceDocument doc;
+  doc.events.reserve(events.size());
+  for (const TimelineEvent& e : events) {
+    doc.events.push_back(
+        TraceEvent{TracePhase::kSpan, 0, e.track, e.name, e.start, e.duration, 0.0});
   }
+  return ToJson(doc);
+}
+
+std::string ChromeTraceWriter::ToJson(const TraceDocument& doc) {
+  std::vector<TraceEvent> events = doc.events;
+  std::stable_sort(events.begin(), events.end(), EventBefore);
+
+  // Track ids from the sorted (pid, track) set of thread-track events; tids
+  // restart per process. Counter events carry no tid (their `track` is the
+  // counter name itself).
+  std::map<std::pair<int, std::string>, int> tids;
+  for (const TraceEvent& e : events) {
+    if (e.phase != TracePhase::kCounter) {
+      tids.emplace(std::make_pair(e.pid, e.track), 0);
+    }
+  }
+  {
+    int last_pid = -1;
+    int next_tid = 0;
+    for (auto& [key, tid] : tids) {
+      if (key.first != last_pid) {
+        last_pid = key.first;
+        next_tid = 0;
+      }
+      tid = next_tid++;
+    }
+  }
+
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const auto& [track, tid] : track_ids) {
+  const auto comma = [&os, &first]() {
     if (!first) {
       os << ",";
     }
     first = false;
-    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+  };
+
+  // Process-name metadata: only when the document names processes, for every
+  // pid any event references.
+  if (!doc.process_names.empty()) {
+    std::map<int, std::string> pids;
+    for (const TraceEvent& e : events) {
+      if (pids.count(e.pid) != 0) {
+        continue;
+      }
+      const auto idx = static_cast<std::size_t>(e.pid);
+      std::string name = e.pid >= 0 && idx < doc.process_names.size()
+                             ? doc.process_names[idx]
+                             : "";
+      pids.emplace(e.pid, name.empty() ? "pid " + std::to_string(e.pid) : name);
+    }
+    for (const auto& [pid, name] : pids) {
+      comma();
+      os << "{\"ph\":\"M\",\"pid\":" << pid
+         << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+      AppendEscaped(os, name);
+      os << "\"}}";
+    }
+  }
+  for (const auto& [key, tid] : tids) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << key.first << ",\"tid\":" << tid
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    AppendEscaped(os, track);
+    AppendEscaped(os, key.second);
     os << "\"}}";
   }
-  for (const auto& e : events) {
-    os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << track_ids[e.track] << ",\"name\":\"";
-    AppendEscaped(os, e.name);
-    os << "\",\"ts\":" << ToMicros(e.start) << ",\"dur\":" << ToMicros(e.duration)
-       << "}";
+
+  for (const TraceEvent& e : events) {
+    comma();
+    switch (e.phase) {
+      case TracePhase::kSpan:
+        os << "{\"ph\":\"X\",\"pid\":" << e.pid << ",\"tid\":"
+           << tids[{e.pid, e.track}] << ",\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"ts\":" << Json::Num(ToMicros(e.ts))
+           << ",\"dur\":" << Json::Num(ToMicros(e.duration)) << "}";
+        break;
+      case TracePhase::kInstant:
+        os << "{\"ph\":\"i\",\"pid\":" << e.pid << ",\"tid\":"
+           << tids[{e.pid, e.track}] << ",\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"ts\":" << Json::Num(ToMicros(e.ts)) << ",\"s\":\"t\"}";
+        break;
+      case TracePhase::kCounter:
+        os << "{\"ph\":\"C\",\"pid\":" << e.pid << ",\"name\":\"";
+        AppendEscaped(os, e.track);
+        os << "\",\"ts\":" << Json::Num(ToMicros(e.ts)) << ",\"args\":{\"";
+        AppendEscaped(os, e.name);
+        os << "\":" << Json::Num(e.value) << "}}";
+        break;
+    }
   }
   os << "]}";
   return os.str();
@@ -64,6 +187,15 @@ bool ChromeTraceWriter::WriteTo(const std::string& path,
     return false;
   }
   out << ToJson(events);
+  return static_cast<bool>(out);
+}
+
+bool ChromeTraceWriter::WriteTo(const std::string& path, const TraceDocument& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson(doc) << "\n";
   return static_cast<bool>(out);
 }
 

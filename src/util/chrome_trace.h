@@ -1,7 +1,19 @@
 // Chrome-trace (chrome://tracing / Perfetto) JSON export for simulated
-// timelines: each event is a complete ("X") slice on a named track. Used by
-// the engine's timeline recording to visualize load/migrate/execute overlap —
-// the pictures in Figures 7-9 of the paper, but generated from a real run.
+// timelines. Two input shapes are supported:
+//
+//  - the engine's flat per-run TimelineEvent list (complete "X" slices on
+//    named tracks) — the pictures in Figures 7-9 of the paper, but generated
+//    from a real run;
+//  - a TraceDocument, the obs-layer TraceRecorder's multi-process event set:
+//    span ("X"), instant ("i"), and counter ("C") events grouped under named
+//    processes ("M" process_name / thread_name metadata records), so a whole
+//    server or cluster run opens in Perfetto as per-GPU/per-link tracks with
+//    bandwidth and queue-depth graphs overlaid.
+//
+// Output is byte-stable: event/track names are JSON-escaped (including
+// control characters), events are sorted by timestamp with deterministic
+// tie-breaking (parent spans before their children), and track ids are
+// assigned from the sorted track set, never from arrival order.
 #ifndef SRC_UTIL_CHROME_TRACE_H_
 #define SRC_UTIL_CHROME_TRACE_H_
 
@@ -19,15 +31,44 @@ struct TimelineEvent {
   Nanos duration = 0;
 };
 
+enum class TracePhase {
+  kSpan,     // complete slice ("X"): [ts, ts+duration) on a thread track
+  kInstant,  // point-in-time marker ("i") on a thread track
+  kCounter,  // sampled value ("C"); `track` names the counter track, `name`
+             // the series key inside it, `value` the sample
+};
+
+// One event of a multi-process trace. `pid` selects the process group
+// (e.g. one per server in a cluster run); `track` names the thread-level
+// track within it.
+struct TraceEvent {
+  TracePhase phase = TracePhase::kSpan;
+  int pid = 0;
+  std::string track;
+  std::string name;
+  Nanos ts = 0;
+  Nanos duration = 0;  // spans only
+  double value = 0.0;  // counters only
+};
+
+// A full trace: process names (index = pid; missing/empty entries render as
+// "pid <n>") plus the event set. Produced by obs::TraceRecorder.
+struct TraceDocument {
+  std::vector<std::string> process_names;
+  std::vector<TraceEvent> events;
+};
+
 class ChromeTraceWriter {
  public:
   // Renders events as a Chrome trace JSON document (trace-event format,
   // "traceEvents" array, microsecond timestamps).
   static std::string ToJson(const std::vector<TimelineEvent>& events);
+  static std::string ToJson(const TraceDocument& doc);
 
   // Writes the JSON to `path`; returns false on I/O failure.
   static bool WriteTo(const std::string& path,
                       const std::vector<TimelineEvent>& events);
+  static bool WriteTo(const std::string& path, const TraceDocument& doc);
 };
 
 }  // namespace deepplan

@@ -113,5 +113,49 @@ TEST(ClusterTest, RoutingPolicyNames) {
                "LeastOutstanding");
 }
 
+TEST(ClusterTest, TelemetryRecordsEveryRoutingDecision) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  Cluster cluster(topology, perf, BaseOptions(RoutingPolicy::kRoundRobin, 2));
+  const int type = cluster.RegisterModelType(ModelZoo::BertBase());
+  cluster.AddInstances(type, 40);
+
+  TraceRecorder recorder(/*enabled=*/true);
+  MetricsRegistry registry;
+  cluster.EnableTelemetry(&recorder, &registry);
+
+  const Trace trace = SmallTrace(40, 60, 5, 3);
+  const ServingMetrics m = cluster.Run(trace);
+  EXPECT_EQ(m.count(), trace.size());
+
+  // One instant event on the router track per request.
+  std::size_t instants = 0;
+  for (const TraceEvent& e : recorder.document().events) {
+    if (e.phase == TracePhase::kInstant && e.track == "router") {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(instants, trace.size());
+
+  // Per-back-end routed counters sum to the request count and match where
+  // the requests actually landed.
+  std::int64_t routed = 0;
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    const std::int64_t n =
+        registry.counter("cluster.routed.server" + std::to_string(s));
+    EXPECT_EQ(n, static_cast<std::int64_t>(cluster.server(s).metrics().count()));
+    routed += n;
+  }
+  EXPECT_EQ(routed, static_cast<std::int64_t>(trace.size()));
+
+  // Router plus one process per back-end, all named in the export.
+  EXPECT_EQ(recorder.document().process_names.size(),
+            1u + static_cast<std::size_t>(cluster.num_servers()));
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"server0\""), std::string::npos);
+  EXPECT_NE(json.find("\"server1\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace deepplan

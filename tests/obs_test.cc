@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/profiler.h"
+#include "src/core/transmission.h"
+#include "src/engine/engine.h"
+#include "src/engine/strategies.h"
+#include "src/model/zoo.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_recorder.h"
+#include "src/util/chrome_trace.h"
+#include "tests/json_checker.h"
+
+// Global allocation counter: the disabled-recorder test pins the "zero cost
+// when off" contract by proving dropped events never touch the heap.
+namespace {
+std::size_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace deepplan {
+namespace {
+
+using testutil::JsonChecker;
+
+// ---------------------------------------------------------------- recorder
+
+TEST(TraceRecorderTest, DisabledRecorderAllocatesNothing) {
+  TraceRecorder off(/*enabled=*/false);
+  EXPECT_FALSE(off.enabled());
+  const std::size_t before = g_allocations;
+  const int pid = off.RegisterProcess("server0");
+  off.Span(pid, "exec/gpu0", "warm i3", Micros(10), Micros(5));
+  off.Instant(pid, "router", "i3->s1", Micros(10));
+  off.Counter(pid, "bw/pcie", "gbps", Micros(10), 12.5);
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(pid, 0);
+  EXPECT_EQ(after, before);
+  EXPECT_TRUE(off.empty());
+  EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsSpansInstantsAndCounters) {
+  TraceRecorder rec(/*enabled=*/true);
+  const int pid = rec.RegisterProcess("engine");
+  rec.Span(pid, "exec/gpu0", "layer0", Micros(1), Micros(2));
+  rec.Instant(pid, "router", "decision", Micros(3));
+  rec.Counter(pid, "bw/pcie", "gbps", Micros(4), 10.0);
+  ASSERT_EQ(rec.size(), 3u);
+  const std::string json = rec.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Counter events carry the sample in args under the series key, and the
+  // counter's name is the track (one Perfetto counter track per link).
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bw/pcie\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"gbps\":10}"), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, EmitsProcessAndThreadMetadata) {
+  TraceRecorder rec(/*enabled=*/true);
+  const int pid = rec.RegisterProcess("PT+DHA");
+  rec.Span(pid, "exec/gpu0", "warm", 0, Micros(1));
+  const std::string json = rec.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"PT+DHA\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec/gpu0\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ParentSpanSortsBeforeEnclosedChildAtEqualStart) {
+  TraceRecorder rec(/*enabled=*/true);
+  const int pid = rec.RegisterProcess("p");
+  // Appended child-first; the writer must still order the enclosing span
+  // first so nesting renders correctly.
+  rec.Span(pid, "t", "child", Micros(5), Micros(1));
+  rec.Span(pid, "t", "parent", Micros(5), Micros(10));
+  const std::string json = rec.ToJson();
+  const std::size_t parent = json.find("\"name\":\"parent\"");
+  const std::size_t child = json.find("\"name\":\"child\"");
+  ASSERT_NE(parent, std::string::npos);
+  ASSERT_NE(child, std::string::npos);
+  EXPECT_LT(parent, child) << json;
+}
+
+TEST(TraceRecorderTest, ExportIsByteStable) {
+  const auto fill = [] {
+    TraceRecorder rec(/*enabled=*/true);
+    const int a = rec.RegisterProcess("a");
+    const int b = rec.RegisterProcess("b");
+    rec.Span(b, "exec/gpu1", "x", Micros(2), Micros(2));
+    rec.Span(a, "exec/gpu0", "x", Micros(2), Micros(2));
+    rec.Counter(a, "bw/pcie", "gbps", Micros(1), 3.5);
+    rec.Instant(b, "router", "d", Micros(2));
+    return rec.ToJson();
+  };
+  EXPECT_EQ(fill(), fill());
+}
+
+TEST(TraceRecorderTest, AdoptRemapsProcessIds) {
+  TraceRecorder master(/*enabled=*/true);
+  const int a = master.RegisterProcess("strategyA");
+  master.Span(a, "exec/gpu0", "warm", 0, Micros(1));
+
+  TraceRecorder task(/*enabled=*/true);
+  const int b = task.RegisterProcess("strategyB");
+  EXPECT_EQ(b, 0);  // task recorders number their own processes from zero
+  task.Span(b, "exec/gpu0", "warm", 0, Micros(1));
+
+  master.Adopt(std::move(task));
+  ASSERT_EQ(master.document().process_names.size(), 2u);
+  EXPECT_EQ(master.document().process_names[1], "strategyB");
+  ASSERT_EQ(master.size(), 2u);
+  // The adopted event moved past the processes already registered here.
+  EXPECT_EQ(master.document().events[1].pid, 1);
+  const std::string json = master.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"strategyA\""), std::string::npos);
+  EXPECT_NE(json.find("\"strategyB\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EscapesControlCharactersInNames) {
+  TraceRecorder rec(/*enabled=*/true);
+  const int pid = rec.RegisterProcess("p");
+  rec.Span(pid, "t", std::string("bad\x01name\tquote\""), 0, Micros(1));
+  const std::string json = rec.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\t"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\""), std::string::npos) << json;
+  // The raw control byte must not leak into the document.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("server.requests"), 0);
+  reg.AddCounter("server.requests");
+  reg.AddCounter("server.requests", 4);
+  EXPECT_EQ(reg.counter("server.requests"), 5);
+
+  reg.SetGauge("server.queue_depth.gpu0", 3.0);
+  reg.SetGauge("server.queue_depth.gpu0", 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("server.queue_depth.gpu0"), 1.0);
+
+  for (int i = 1; i <= 100; ++i) {
+    reg.Observe("server.latency_ms", static_cast<double>(i));
+  }
+  const HistogramSummary h = reg.histogram("server.latency_ms");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.mean, 50.5);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_NEAR(h.p50, 50.0, 1.1);
+  EXPECT_NEAR(h.p99, 99.0, 1.1);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistryTest, JsonExportIsSortedAndValid) {
+  MetricsRegistry reg;
+  EXPECT_EQ(MetricsRegistry().ToJson(), "{}");  // empty sections are omitted
+  reg.AddCounter("b.second");
+  reg.AddCounter("a.first");
+  reg.SetGauge("g.depth", 2.0);
+  reg.Observe("h.latency", 7.0);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Keys render in sorted order regardless of first-touch order.
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(reg.ToJson(), json);  // export does not perturb the registry
+}
+
+// ---------------------------------------------------------------- end to end
+
+// One PT+DHA cold start on the 2-GPU A5000 box with telemetry attached: the
+// golden path of the observability stack. The exported document must be
+// valid, Perfetto-loadable (metadata + spans + counters) and byte-stable.
+class ColdStartTraceTest : public ::testing::Test {
+ protected:
+  static std::string RunOnce(TraceRecorder* out_recorder,
+                             MetricsRegistry* out_registry,
+                             bool record_timeline,
+                             std::vector<TimelineEvent>* out_timeline) {
+    const Topology topology = Topology::A5000Box();
+    const PerfModel perf(topology.gpu(), topology.pcie());
+    Simulator sim;
+    ServerFabric fabric(&sim, &topology);
+    Engine engine(&sim, &fabric, &perf);
+
+    TraceRecorder local(/*enabled=*/true);
+    TraceRecorder* recorder = out_recorder != nullptr ? out_recorder : &local;
+    const int pid = recorder->RegisterProcess("PT+DHA cold start");
+    engine.set_telemetry(recorder, pid);
+    fabric.fabric().set_telemetry(recorder, out_registry, pid);
+
+    const Model model = ModelZoo::BertBase();
+    ProfilerOptions popts;
+    popts.noise_stddev = 0.0;
+    const ModelProfile profile = Profiler(&perf, popts).Profile(model);
+    const Strategy strategy = Strategy::kDeepPlanPtDha;
+    const int degree = StrategyDegree(strategy, topology, /*primary=*/0);
+    PipelineOptions pipeline;
+    pipeline.nvlink = topology.nvlink();
+    const ExecutionPlan plan = MakeStrategyPlan(strategy, profile, degree, pipeline);
+    ColdRunOptions options = MakeColdRunOptions(strategy);
+    options.record_timeline = record_timeline;
+    InferenceResult result;
+    engine.RunCold(model, plan, /*primary=*/0,
+                   TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
+                   options, [&](const InferenceResult& r) { result = r; });
+    sim.Run();
+    EXPECT_GT(result.latency, 0);
+    if (out_timeline != nullptr) {
+      *out_timeline = result.timeline;
+    }
+    return recorder->ToJson();
+  }
+};
+
+TEST_F(ColdStartTraceTest, GoldenTwoGpuTraceIsPerfettoLoadable) {
+  TraceRecorder recorder(/*enabled=*/true);
+  MetricsRegistry registry;
+  const std::string json = RunOnce(&recorder, &registry,
+                                   /*record_timeline=*/false, nullptr);
+  EXPECT_FALSE(recorder.empty());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Per-GPU PCIe load tracks (PT splits the model over both GPUs), the
+  // primary's exec track, NVLink migration, and per-link bandwidth counters.
+  EXPECT_NE(json.find("\"pcie/gpu0\""), std::string::npos);
+  EXPECT_NE(json.find("\"pcie/gpu1\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec/gpu0\""), std::string::npos);
+  EXPECT_NE(json.find("nvlink/"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("bw/"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // The fabric counted the PT transfers.
+  EXPECT_GT(registry.counter("fabric.transfers"), 0);
+  EXPECT_GT(registry.counter("fabric.bytes"), 0);
+}
+
+TEST_F(ColdStartTraceTest, IdenticalRunsExportIdenticalBytes) {
+  const std::string a = RunOnce(nullptr, nullptr, false, nullptr);
+  const std::string b = RunOnce(nullptr, nullptr, false, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ColdStartTraceTest, RecorderMirrorsTimelineWithoutRecordingIt) {
+  // The recorder re-emits the engine's per-operation timeline even when the
+  // per-run InferenceResult timeline stays off; span counts must agree.
+  std::vector<TimelineEvent> timeline;
+  RunOnce(nullptr, nullptr, /*record_timeline=*/true, &timeline);
+  ASSERT_FALSE(timeline.empty());
+
+  TraceRecorder recorder(/*enabled=*/true);
+  std::vector<TimelineEvent> no_timeline;
+  RunOnce(&recorder, nullptr, /*record_timeline=*/false, &no_timeline);
+  EXPECT_TRUE(no_timeline.empty());
+  std::size_t spans = 0;
+  for (const TraceEvent& e : recorder.document().events) {
+    if (e.phase == TracePhase::kSpan) {
+      ++spans;
+    }
+  }
+  EXPECT_EQ(spans, timeline.size());
+}
+
+TEST(FabricTelemetryTest, ContendedLinkEmitsChangingCounterSamples) {
+  Simulator sim;
+  Fabric fabric(&sim);
+  // Uplink X carries both transfers; Y is B's private downstream link. The
+  // per-link counter records total allocation, so the saturated uplink holds
+  // steady at capacity while Y's track shows B's fair share moving as the
+  // contention on X comes and goes: 6 (sharing) -> 12 (A done) -> 0 (B done).
+  const LinkId x = fabric.AddLink("pcie/uplink", 12.0e9);
+  const LinkId y = fabric.AddLink("pcie/gpu1", 20.0e9);
+  TraceRecorder recorder(/*enabled=*/true);
+  MetricsRegistry registry;
+  fabric.set_telemetry(&recorder, &registry, recorder.RegisterProcess("fabric"));
+  fabric.Start({x}, 300'000'000, 0, [](Nanos) {});
+  sim.ScheduleAt(Millis(10), [&] {
+    fabric.Start({x, y}, 600'000'000, 0, [](Nanos) {});
+  });
+  sim.Run();
+  std::vector<double> y_samples;
+  for (const TraceEvent& e : recorder.document().events) {
+    if (e.phase == TracePhase::kCounter && e.track == "bw/pcie/gpu1") {
+      y_samples.push_back(e.value);
+    }
+  }
+  EXPECT_EQ(registry.counter("fabric.transfers"), 2);
+  EXPECT_EQ(registry.counter("fabric.bytes"), 900'000'000);
+  ASSERT_GE(y_samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(y_samples[0], 6.0);   // fair half of the shared uplink
+  EXPECT_DOUBLE_EQ(y_samples[1], 12.0);  // A finished, B gets the full uplink
+  EXPECT_DOUBLE_EQ(y_samples.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -241,5 +241,71 @@ TEST_F(ServerTest, MixedModelTypes) {
   EXPECT_GT(m.Goodput(Millis(100)), 0.9);
 }
 
+// ---------------------------------------------------------------- telemetry
+
+TEST_F(ServerTest, TelemetryCountersMatchServingMetrics) {
+  const Topology topo = Topology::P3_8xlarge();
+  const PerfModel perf(topo.gpu(), topo.pcie());
+  ServerOptions options = BaseOptions(Strategy::kDeepPlanPtDha);
+  options.usable_bytes_per_gpu = 2LL * 1024 * 1024 * 1024;  // force churn
+  Server server(topo, perf, options);
+  const int type = server.RegisterModelType(ModelZoo::BertBase());
+  server.AddInstances(type, 40);
+
+  TraceRecorder recorder(/*enabled=*/true);
+  MetricsRegistry registry;
+  server.set_telemetry(&recorder, &registry, recorder.RegisterProcess("server"));
+
+  PoissonOptions w;
+  w.rate_per_sec = 60;
+  w.num_instances = 40;
+  w.duration = Seconds(5);
+  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+  ASSERT_GT(m.ColdStartCount(), 0u);
+  ASSERT_GT(m.EvictionCount(), 0u);
+
+  // The registry's counters are the live view of what ServingMetrics records.
+  EXPECT_EQ(registry.counter("server.requests"),
+            static_cast<std::int64_t>(m.count()));
+  EXPECT_EQ(registry.counter("server.cold_starts"),
+            static_cast<std::int64_t>(m.ColdStartCount()));
+  EXPECT_EQ(registry.counter("server.evictions"),
+            static_cast<std::int64_t>(m.EvictionCount()));
+  EXPECT_EQ(registry.counter("server.warm_hits"),
+            static_cast<std::int64_t>(m.count() - m.ColdStartCount()));
+  EXPECT_EQ(registry.histogram("server.latency_ms").count, m.count());
+
+  // The recorder saw the cold-start phase decomposition and queue depths.
+  EXPECT_FALSE(recorder.empty());
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("coldstart/gpu"), std::string::npos);
+  EXPECT_NE(json.find("\"transfer i"), std::string::npos);
+  EXPECT_NE(json.find("queue/gpu"), std::string::npos);
+  EXPECT_NE(json.find("bw/"), std::string::npos);
+}
+
+TEST_F(ServerTest, LatencyBreakdownComponentsTileTotal) {
+  const Topology topo = Topology::P3_8xlarge();
+  const PerfModel perf(topo.gpu(), topo.pcie());
+  ServerOptions options = BaseOptions(Strategy::kDeepPlanPtDha);
+  options.usable_bytes_per_gpu = 2LL * 1024 * 1024 * 1024;
+  Server server(topo, perf, options);
+  const int type = server.RegisterModelType(ModelZoo::BertBase());
+  server.AddInstances(type, 40);
+  PoissonOptions w;
+  w.rate_per_sec = 60;
+  w.num_instances = 40;
+  w.duration = Seconds(5);
+  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+  ASSERT_GT(m.ColdStartCount(), 0u);
+  const LatencyBreakdown b = m.Breakdown();
+  // The decomposition is additive per request, so it is additive in the mean.
+  EXPECT_NEAR(b.mean_queue_ms + b.mean_cold_ms + b.mean_exec_ms, b.mean_total_ms,
+              1e-6);
+  EXPECT_GT(b.mean_cold_ms, 0.0);
+  EXPECT_GT(b.mean_exec_ms, 0.0);
+  EXPECT_GE(b.p99_total_ms, b.p99_exec_ms);
+}
+
 }  // namespace
 }  // namespace deepplan

@@ -15,6 +15,7 @@
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/util/time.h"
+#include "tests/json_checker.h"
 
 namespace deepplan {
 namespace {
@@ -306,121 +307,7 @@ TEST(JsonTest, ObjectsKeepInsertionOrderAndNest) {
 
 // ---------------------------------------------------------------- chrome trace
 
-// Minimal recursive-descent JSON syntax checker: enough to prove the emitted
-// trace document parses (objects, arrays, strings, numbers, literals).
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    pos_ = 0;
-    if (!Value()) {
-      return false;
-    }
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Eat(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool String() {
-    if (!Eat('"')) {
-      return false;
-    }
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;  // skip the escaped character
-        if (pos_ >= text_.size()) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool Number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool Literal(const char* word) {
-    const std::size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-  bool Value() {
-    SkipWs();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      if (Eat('}')) {
-        return true;
-      }
-      do {
-        SkipWs();
-        if (!String() || !Eat(':') || !Value()) {
-          return false;
-        }
-      } while (Eat(','));
-      return Eat('}');
-    }
-    if (c == '[') {
-      ++pos_;
-      if (Eat(']')) {
-        return true;
-      }
-      do {
-        if (!Value()) {
-          return false;
-        }
-      } while (Eat(','));
-      return Eat(']');
-    }
-    if (c == '"') {
-      return String();
-    }
-    if (c == 't') {
-      return Literal("true");
-    }
-    if (c == 'f') {
-      return Literal("false");
-    }
-    if (c == 'n') {
-      return Literal("null");
-    }
-    return Number();
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 std::vector<TimelineEvent> SampleTimeline() {
   return {
@@ -434,7 +321,8 @@ TEST(ChromeTraceTest, EmittedJsonParses) {
   const std::string json = ChromeTraceWriter::ToJson(SampleTimeline());
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   // Also parses for an empty timeline.
-  const std::string empty = ChromeTraceWriter::ToJson({});
+  const std::string empty =
+      ChromeTraceWriter::ToJson(std::vector<TimelineEvent>{});
   EXPECT_TRUE(JsonChecker(empty).Valid()) << empty;
   EXPECT_NE(empty.find("\"traceEvents\""), std::string::npos);
 }
