@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format --dry-run -Werror over the
+# tracked C++ sources against the repo .clang-format. Never rewrites files.
+# Skips gracefully (exit 0 with a notice) when clang-format is not installed,
+# so minimal containers with only a gcc toolchain still pass CI.
+# Usage: scripts/check_format.sh [clang-format-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: '$CLANG_FORMAT' not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files -- '*.cc' '*.h')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no C++ sources tracked"
+  exit 0
+fi
+
+echo "check_format: $("$CLANG_FORMAT" --version), ${#files[@]} files"
+"$CLANG_FORMAT" --dry-run -Werror --style=file "${files[@]}"
+echo "check_format: OK"

@@ -10,6 +10,13 @@
 #   DEEPPLAN_TSAN=1  first build the ThreadSanitizer preset
 #                    (cmake -DDEEPPLAN_SANITIZE=thread) into <build-dir>-tsan
 #                    and run the sweep determinism and telemetry tests under it.
+#   DEEPPLAN_ASAN=1  build the AddressSanitizer preset into <build-dir>-asan
+#                    and run the full test suite under it.
+#   DEEPPLAN_UBSAN=1 build the UndefinedBehaviorSanitizer preset into
+#                    <build-dir>-ubsan and run the full test suite under it.
+#   DEEPPLAN_TIDY=1  configure <build-dir>-tidy with -DDEEPPLAN_TIDY=ON and
+#                    compile src/ under clang-tidy --warnings-as-errors=*
+#                    (skipped with a notice when clang-tidy is not installed).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -28,6 +35,30 @@ if [ "${DEEPPLAN_TSAN:-0}" = "1" ]; then
   "$BUILD_DIR-tsan/tests/obs_test"
 fi
 
+# Sanitizer matrix: full test suite under asan / ubsan on demand.
+for SAN in address undefined; do
+  case "$SAN" in
+    address)   flag="${DEEPPLAN_ASAN:-0}";  suffix="asan" ;;
+    undefined) flag="${DEEPPLAN_UBSAN:-0}"; suffix="ubsan" ;;
+  esac
+  if [ "$flag" = "1" ]; then
+    echo "== test suite ($SAN sanitizer)"
+    cmake -B "$BUILD_DIR-$suffix" -S . -DDEEPPLAN_SANITIZE="$SAN" >/dev/null
+    cmake --build "$BUILD_DIR-$suffix" -j >/dev/null
+    ctest --test-dir "$BUILD_DIR-$suffix" --output-on-failure
+  fi
+done
+
+if [ "${DEEPPLAN_TIDY:-0}" = "1" ]; then
+  echo "== clang-tidy (src/ via DEEPPLAN_TIDY=ON)"
+  cmake -B "$BUILD_DIR-tidy" -S . -DDEEPPLAN_TIDY=ON >/dev/null
+  cmake --build "$BUILD_DIR-tidy" -j >/dev/null
+fi
+
+# Formatting gate: check-only, skips with a notice when clang-format is
+# absent.
+scripts/check_format.sh
+
 mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
 # Keep the main sweep untraced (byte-stable baseline outputs) even when the
@@ -43,9 +74,12 @@ done
 
 # Telemetry: capture a short traced replay and validate the artifact parses
 # and carries the expected tracks (load it in ui.perfetto.dev to explore).
+# DEEPPLAN_VALIDATE=1 runs the simulation invariant checker alongside; it
+# writes nothing to stdout, so the bench output stays byte-identical.
 echo "== trace validation (fig15_azure_trace, 2 minutes)"
 TRACE_FILE="$RESULTS_DIR/trace_fig15.json"
-DEEPPLAN_TRACE="$TRACE_FILE" "$BUILD_DIR/bench/fig15_azure_trace" --minutes=2 \
+DEEPPLAN_TRACE="$TRACE_FILE" DEEPPLAN_VALIDATE=1 \
+  "$BUILD_DIR/bench/fig15_azure_trace" --minutes=2 \
   >"$RESULTS_DIR/fig15_azure_trace_traced.txt" 2>&1
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$TRACE_FILE" <<'EOF'
@@ -69,5 +103,11 @@ else
   grep -q 'bw/' "$TRACE_FILE"
   echo "trace OK (grep checks; python3 unavailable)"
 fi
+
+# Deep structural lint (slice nesting, async pairing, metadata coverage) via
+# the dedicated tool — catches artifact corruption the track check above
+# cannot.
+echo "== trace_lint"
+"$BUILD_DIR/tools/trace_lint" "$TRACE_FILE"
 
 echo "results written to $RESULTS_DIR/"

@@ -1,0 +1,355 @@
+#include "src/check/trace_lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/util/json_parse.h"
+
+namespace deepplan {
+namespace check {
+
+namespace {
+
+// Timestamps are microseconds rendered at nanosecond precision; allow half a
+// nanosecond of floating-point slack in interval comparisons.
+constexpr double kTsSlackUs = 5e-4;
+
+class Linter {
+ public:
+  Linter(const TraceLintOptions& options, TraceLintResult* result)
+      : options_(options), result_(result) {}
+
+  void Error(std::size_t index, const std::string& what) {
+    ++result_->num_errors;
+    if (result_->errors.size() < options_.max_reported_errors) {
+      std::ostringstream os;
+      os << "event " << index << ": " << what;
+      result_->errors.push_back(os.str());
+    }
+  }
+
+  void DocError(const std::string& what) {
+    ++result_->num_errors;
+    if (result_->errors.size() < options_.max_reported_errors) {
+      result_->errors.push_back(what);
+    }
+  }
+
+  void Lint(const std::string& json_text) {
+    const JsonParseResult parsed = ParseJson(json_text);
+    if (!parsed.ok) {
+      DocError("not valid JSON: " + parsed.error);
+      return;
+    }
+    if (!parsed.value.is_object()) {
+      DocError("top level is not an object");
+      return;
+    }
+    const JsonValue* events = parsed.value.Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      DocError("missing \"traceEvents\" array");
+      return;
+    }
+    result_->num_events = events->items().size();
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+      LintEvent(i, events->items()[i]);
+    }
+    CheckMetadataCoverage();
+    CheckNesting();
+    CheckAsyncBalance();
+    result_->num_tracks = thread_tracks_.size();
+  }
+
+ private:
+  struct Span {
+    std::size_t index;
+    double ts;
+    double end;
+    std::string name;
+  };
+
+  static const JsonValue* Field(const JsonValue& e, const char* key) {
+    return e.is_object() ? e.Find(key) : nullptr;
+  }
+
+  bool RequireNumber(std::size_t i, const JsonValue& e, const char* key,
+                     double* out) {
+    const JsonValue* v = Field(e, key);
+    if (v == nullptr || !v->is_number()) {
+      Error(i, std::string("missing numeric \"") + key + "\"");
+      return false;
+    }
+    if (out != nullptr) {
+      *out = v->AsNumber();
+    }
+    return true;
+  }
+
+  bool RequireString(std::size_t i, const JsonValue& e, const char* key,
+                     std::string* out) {
+    const JsonValue* v = Field(e, key);
+    if (v == nullptr || !v->is_string()) {
+      Error(i, std::string("missing string \"") + key + "\"");
+      return false;
+    }
+    if (out != nullptr) {
+      *out = v->AsString();
+    }
+    return true;
+  }
+
+  void LintEvent(std::size_t i, const JsonValue& e) {
+    if (!e.is_object()) {
+      Error(i, "not an object");
+      return;
+    }
+    std::string ph;
+    if (!RequireString(i, e, "ph", &ph)) {
+      return;
+    }
+    double pid = 0.0;
+    if (!RequireNumber(i, e, "pid", &pid)) {
+      return;
+    }
+    if (ph == "M") {
+      LintMetadata(i, e, pid);
+      return;
+    }
+    double ts = 0.0;
+    if (!RequireNumber(i, e, "ts", &ts)) {
+      return;
+    }
+    // The writer emits events sorted by timestamp (metadata first).
+    if (seen_ts_ && ts < last_ts_ - kTsSlackUs) {
+      std::ostringstream os;
+      os << "ts " << ts << "us out of order (previous event at " << last_ts_
+         << "us)";
+      Error(i, os.str());
+    }
+    seen_ts_ = true;
+    last_ts_ = std::max(last_ts_, ts);
+
+    if (ph == "X" || ph == "i") {
+      double tid = 0.0;
+      std::string name;
+      if (!RequireNumber(i, e, "tid", &tid) ||
+          !RequireString(i, e, "name", &name)) {
+        return;
+      }
+      const auto track = std::make_pair(static_cast<long long>(pid),
+                                        static_cast<long long>(tid));
+      thread_tracks_.insert(track);
+      used_pids_.insert(track.first);
+      if (ph == "X") {
+        ++result_->num_spans;
+        double dur = 0.0;
+        if (!RequireNumber(i, e, "dur", &dur)) {
+          return;
+        }
+        if (dur < 0.0) {
+          std::ostringstream os;
+          os << "negative dur " << dur << "us";
+          Error(i, os.str());
+          return;
+        }
+        spans_[track].push_back(Span{i, ts, ts + dur, name});
+      }
+      return;
+    }
+    if (ph == "C") {
+      ++result_->num_counters;
+      used_pids_.insert(static_cast<long long>(pid));
+      if (!RequireString(i, e, "name", nullptr)) {
+        return;
+      }
+      const JsonValue* args = Field(e, "args");
+      if (args == nullptr || !args->is_object() || args->fields().empty()) {
+        Error(i, "counter without args series");
+        return;
+      }
+      for (const auto& [series, value] : args->fields()) {
+        if (!value.is_number()) {
+          Error(i, "counter series \"" + series + "\" is not numeric");
+        }
+      }
+      return;
+    }
+    if (ph == "b" || ph == "e") {
+      ++result_->num_asyncs;
+      double tid = 0.0;
+      std::string cat;
+      if (!RequireNumber(i, e, "tid", &tid) ||
+          !RequireString(i, e, "cat", &cat) ||
+          !RequireString(i, e, "name", nullptr)) {
+        return;
+      }
+      const JsonValue* id = Field(e, "id");
+      if (id == nullptr || (!id->is_number() && !id->is_string())) {
+        Error(i, "async event without id");
+        return;
+      }
+      const auto track = std::make_pair(static_cast<long long>(pid),
+                                        static_cast<long long>(tid));
+      thread_tracks_.insert(track);
+      used_pids_.insert(track.first);
+      std::ostringstream key;
+      key << pid << "/" << cat << "/";
+      if (id->is_number()) {
+        key << id->AsNumber();
+      } else {
+        key << id->AsString();
+      }
+      auto& state = asyncs_[key.str()];
+      if (ph == "b") {
+        ++state.open;
+        state.last_begin = ts;
+      } else {
+        if (state.open == 0) {
+          Error(i, "async end without matching begin (" + key.str() + ")");
+        } else {
+          --state.open;
+          if (ts < state.last_begin - kTsSlackUs) {
+            Error(i, "async end before its begin (" + key.str() + ")");
+          }
+        }
+      }
+      return;
+    }
+    Error(i, "unknown phase \"" + ph + "\"");
+  }
+
+  void LintMetadata(std::size_t i, const JsonValue& e, double pid) {
+    std::string name;
+    if (!RequireString(i, e, "name", &name)) {
+      return;
+    }
+    const JsonValue* args = Field(e, "args");
+    const JsonValue* arg_name =
+        args != nullptr && args->is_object() ? args->Find("name") : nullptr;
+    if (arg_name == nullptr || !arg_name->is_string()) {
+      Error(i, "metadata without args.name");
+      return;
+    }
+    if (name == "process_name") {
+      named_pids_.insert(static_cast<long long>(pid));
+      has_process_names_ = true;
+      return;
+    }
+    if (name == "thread_name") {
+      double tid = 0.0;
+      if (!RequireNumber(i, e, "tid", &tid)) {
+        return;
+      }
+      named_tracks_.insert(std::make_pair(static_cast<long long>(pid),
+                                          static_cast<long long>(tid)));
+      return;
+    }
+    Error(i, "unknown metadata record \"" + name + "\"");
+  }
+
+  void CheckMetadataCoverage() {
+    for (const auto& track : thread_tracks_) {
+      if (named_tracks_.count(track) == 0) {
+        std::ostringstream os;
+        os << "no thread_name metadata for pid " << track.first << " tid "
+           << track.second;
+        DocError(os.str());
+      }
+    }
+    if (has_process_names_) {
+      for (const long long pid : used_pids_) {
+        if (named_pids_.count(pid) == 0) {
+          std::ostringstream os;
+          os << "no process_name metadata for pid " << pid;
+          DocError(os.str());
+        }
+      }
+    }
+  }
+
+  void CheckNesting() {
+    for (auto& [track, spans] : spans_) {
+      // Events arrive writer-sorted; re-sort defensively (ts, longer first)
+      // so the lint result does not depend on prior ordering errors.
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const Span& a, const Span& b) {
+                         if (a.ts != b.ts) {
+                           return a.ts < b.ts;
+                         }
+                         return a.end > b.end;
+                       });
+      std::vector<const Span*> stack;
+      for (const Span& span : spans) {
+        while (!stack.empty() && stack.back()->end <= span.ts + kTsSlackUs) {
+          stack.pop_back();
+        }
+        if (!stack.empty() && span.end > stack.back()->end + kTsSlackUs) {
+          std::ostringstream os;
+          os << "slice \"" << span.name << "\" [" << span.ts << ", "
+             << span.end << ")us on pid " << track.first << " tid "
+             << track.second << " partially overlaps \"" << stack.back()->name
+             << "\" [" << stack.back()->ts << ", " << stack.back()->end
+             << ")us — slices must nest or be disjoint";
+          Error(span.index, os.str());
+        }
+        stack.push_back(&span);
+      }
+    }
+  }
+
+  void CheckAsyncBalance() {
+    for (const auto& [key, state] : asyncs_) {
+      if (state.open != 0) {
+        DocError("async begin without matching end (" + key + ")");
+      }
+    }
+  }
+
+  struct AsyncState {
+    int open = 0;
+    double last_begin = 0.0;
+  };
+
+  const TraceLintOptions& options_;
+  TraceLintResult* result_;
+
+  bool seen_ts_ = false;
+  double last_ts_ = 0.0;
+  std::set<std::pair<long long, long long>> thread_tracks_;
+  std::set<std::pair<long long, long long>> named_tracks_;
+  std::set<long long> used_pids_;
+  std::set<long long> named_pids_;
+  bool has_process_names_ = false;
+  std::map<std::pair<long long, long long>, std::vector<Span>> spans_;
+  std::map<std::string, AsyncState> asyncs_;
+};
+
+}  // namespace
+
+TraceLintResult LintChromeTrace(const std::string& json_text,
+                                const TraceLintOptions& options) {
+  TraceLintResult result;
+  Linter(options, &result).Lint(json_text);
+  return result;
+}
+
+TraceLintResult LintChromeTraceFile(const std::string& path,
+                                    const TraceLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceLintResult result;
+    ++result.num_errors;
+    result.errors.push_back("cannot read " + path);
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintChromeTrace(buffer.str(), options);
+}
+
+}  // namespace check
+}  // namespace deepplan

@@ -1,0 +1,62 @@
+// Offline re-validation of exported Chrome/Perfetto JSON traces: the
+// standalone `trace_lint` tool (tools/trace_lint_main.cc) and CI run this
+// over captured artifacts so a malformed trace fails loudly instead of
+// rendering wrong in ui.perfetto.dev. Checks, per document:
+//
+//   structure  — top-level object with a "traceEvents" array of objects;
+//                every event carries a known "ph" and the fields that phase
+//                requires (pid everywhere; tid+name+ts for thread events;
+//                dur >= 0 for complete slices; one numeric series per
+//                counter sample; cat+id for async begin/end)
+//   ordering   — non-metadata events sorted by ts (the writer guarantees
+//                byte-stable sorted output; unsorted output breaks both
+//                determinism diffs and stream-processing consumers)
+//   metadata   — every (pid, tid) referenced by a thread event has a
+//                thread_name record, and when process_name records exist
+//                every referenced pid has one
+//   nesting    — complete slices ("X") on one (pid, tid) track are properly
+//                nested or disjoint (partially-overlapping slices are
+//                dropped or mis-rendered by trace viewers)
+//   async      — begin/end pairs ("b"/"e") balance per (pid, cat, id) with
+//                end no earlier than begin
+#ifndef SRC_CHECK_TRACE_LINT_H_
+#define SRC_CHECK_TRACE_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace deepplan {
+namespace check {
+
+struct TraceLintOptions {
+  // Stop collecting (but keep counting) errors past this many.
+  std::size_t max_reported_errors = 20;
+};
+
+struct TraceLintResult {
+  bool ok() const { return num_errors == 0; }
+
+  std::size_t num_errors = 0;
+  std::vector<std::string> errors;  // first max_reported_errors, with context
+
+  std::size_t num_events = 0;    // entries of traceEvents
+  std::size_t num_spans = 0;     // "X"
+  std::size_t num_counters = 0;  // "C"
+  std::size_t num_asyncs = 0;    // "b" + "e"
+  std::size_t num_tracks = 0;    // distinct (pid, tid) thread tracks
+};
+
+// Lints `json_text` as one Chrome-trace JSON document.
+TraceLintResult LintChromeTrace(const std::string& json_text,
+                                const TraceLintOptions& options = {});
+
+// Convenience for tools: reads `path` and lints it; an unreadable file is a
+// lint error.
+TraceLintResult LintChromeTraceFile(const std::string& path,
+                                    const TraceLintOptions& options = {});
+
+}  // namespace check
+}  // namespace deepplan
+
+#endif  // SRC_CHECK_TRACE_LINT_H_

@@ -1,0 +1,127 @@
+// Runtime simulation invariant checker (SimValidator). Components in the sim
+// and serving layers call the hooks below at state-transition points; each
+// hook re-derives an invariant the DESIGN doc claims and aborts with a
+// detailed diagnostic (offending values + sim timestamp) when it does not
+// hold. The checks are compiled in always and gated at runtime:
+//
+//   DEEPPLAN_VALIDATE=1   enable (any value other than "0")
+//   DEEPPLAN_VALIDATE=0   disable
+//   unset                 enabled in Debug builds (!NDEBUG), off otherwise
+//
+// Validation never writes to stdout and never perturbs simulation state, so
+// enabling it cannot change any benchmark output byte.
+//
+// Invariant classes (see DESIGN.md "Correctness & static analysis"):
+//   causality   — no event fires before the current sim time; the event-queue
+//                 pop sequence and per-stream op starts are monotone
+//   fabric      — fair shares are non-negative, per-link allocations never
+//                 exceed capacity, every in-flight transfer drains at a
+//                 positive rate, and bytes moved integrate to transfer size
+//   gpu memory  — free blocks + allocations tile the arena exactly
+//                 (free + resident == capacity, no overlap, no gap,
+//                 neighbouring free blocks coalesced)
+//   residency   — eviction only of resident, idle instances (no double-evict)
+//   serving     — each request's queue/evict/load/exec spans tile
+//                 [arrival, completion] exactly; warm requests carry no
+//                 cold-start components; breakdown means stay additive
+//
+// This layer depends only on src/util so every other module can call into it.
+#ifndef SRC_CHECK_VALIDATOR_H_
+#define SRC_CHECK_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace deepplan {
+namespace check {
+
+// True when invariant validation is active (see the gating table above).
+// The environment is read once; the result is cached for the process.
+bool ValidationEnabled();
+
+// Test hook: 1 forces validation on, 0 forces it off, -1 restores the
+// environment-derived default.
+void SetValidationForTesting(int mode);
+
+// Total number of invariant checks evaluated so far in this process (all
+// threads). Healthy-run tests assert this moved to prove coverage.
+std::uint64_t ChecksRun();
+
+// Prints "<invariant> violated: <detail>" to stderr and aborts.
+[[noreturn]] void Fail(const char* invariant, const std::string& detail);
+
+// Per-link snapshot of a fabric allocation round.
+struct FabricLinkShare {
+  std::string name;
+  double capacity = 0.0;   // bytes/sec
+  double allocated = 0.0;  // sum of fair shares across the link, bytes/sec
+  int transfers = 0;       // in-flight transfers crossing the link
+};
+
+// One span of a GPU device-memory arena (either a free block or a live
+// allocation); spans are validated to tile [0, capacity] exactly.
+struct ArenaSpan {
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  bool free = false;
+};
+
+class SimValidator {
+ public:
+  static bool enabled() { return ValidationEnabled(); }
+
+  // -- causality --------------------------------------------------------
+  // A schedule request must not target the past.
+  static void OnSchedule(Nanos now, Nanos when);
+  // A popped event must not fire before the clock it is about to advance.
+  static void OnEventFire(Nanos now, Nanos when);
+  // Successive event-queue pops must be non-decreasing in time.
+  static void OnQueuePop(Nanos prev_popped, Nanos when);
+  // Ops on one stream start in monotone order.
+  static void OnStreamOpStart(const std::string& stream, Nanos prev_start,
+                              Nanos start);
+  // A sync event fires at most once, never before its creation epoch.
+  static void OnSyncEventFire(const char* what, bool already_fired, Nanos now);
+
+  // -- fabric flow conservation ----------------------------------------
+  // After every progressive-filling round: shares non-negative, per-link
+  // sums within capacity, every active transfer draining (rate > 0).
+  static void OnFabricAllocation(Nanos now,
+                                 const std::vector<FabricLinkShare>& links);
+  static void OnTransferRate(Nanos now, std::uint64_t transfer, double rate);
+  // At completion, bytes moved must integrate to the transfer size (within
+  // the ns-rounding residue the fabric itself tolerates).
+  static void OnTransferComplete(Nanos now, std::uint64_t transfer,
+                                 double moved_bytes, double total_bytes);
+
+  // -- GPU memory accounting -------------------------------------------
+  // `spans` is the concatenation of free blocks and live allocations, in any
+  // order; they must tile [0, capacity] exactly and sum to used + free.
+  static void OnArenaUpdate(std::int64_t capacity, std::int64_t used,
+                            std::vector<ArenaSpan> spans);
+
+  // -- instance residency ----------------------------------------------
+  static void OnEvict(int instance, bool resident, bool busy);
+  static void OnMakeResident(int instance, std::int64_t used,
+                             std::int64_t capacity);
+
+  // -- serving accounting ----------------------------------------------
+  // The four phases must tile [arrival, completion]: arrival <= start,
+  // evict/load >= 0, start + evict + load <= completion; warm requests must
+  // carry no cold-start components.
+  static void OnRequestComplete(Nanos arrival, Nanos start, Nanos evict,
+                                Nanos load, Nanos completion, bool cold,
+                                int evictions);
+  // Mean latency components must stay additive (queue + cold + exec ==
+  // total, within floating-point tolerance).
+  static void OnBreakdown(double mean_queue_ms, double mean_cold_ms,
+                          double mean_exec_ms, double mean_total_ms);
+};
+
+}  // namespace check
+}  // namespace deepplan
+
+#endif  // SRC_CHECK_VALIDATOR_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -17,13 +18,13 @@ PipelineResult SimulatePipeline(const ModelProfile& profile, const ExecutionPlan
   const int parts = plan.num_partitions();
   // Per-partition PCIe load stream head (time the lane is next free) and
   // per-partition NVLink migration stream head.
-  std::vector<Nanos> pcie_head(parts, 0);
-  std::vector<Nanos> nvlink_head(parts, 0);
+  std::vector<Nanos> pcie_head(Idx(parts), 0);
+  std::vector<Nanos> nvlink_head(Idx(parts), 0);
 
   auto pcie_scale = [&](int partition) {
     double share = 1.0;
     if (partition < static_cast<int>(options.pcie_share.size())) {
-      share = options.pcie_share[partition];
+      share = options.pcie_share[Idx(partition)];
     }
     DP_CHECK(share > 0.0 && share <= 1.0);
     return share;
@@ -43,17 +44,17 @@ PipelineResult SimulatePipeline(const ModelProfile& profile, const ExecutionPlan
     const int p = plan.partition(i);
     const auto load =
         static_cast<Nanos>(static_cast<double>(lp.load) / pcie_scale(p));
-    pcie_head[p] += load;
+    pcie_head[Idx(p)] += load;
     if (p == 0) {
-      t.ready = pcie_head[p];
+      t.ready = pcie_head[Idx(p)];
     } else {
       // NVLink forward after PCIe arrival, in order on the migration stream.
       const double secs =
           static_cast<double>(lp.param_bytes) / options.nvlink.bw_bytes_per_sec;
       const Nanos fwd =
           options.nvlink.transfer_latency + static_cast<Nanos>(secs * kNanosPerSecond);
-      nvlink_head[p] = std::max(nvlink_head[p], pcie_head[p]) + fwd;
-      t.ready = nvlink_head[p];
+      nvlink_head[Idx(p)] = std::max(nvlink_head[Idx(p)], pcie_head[Idx(p)]) + fwd;
+      t.ready = nvlink_head[Idx(p)];
     }
     result.load_done = std::max(result.load_done, t.ready);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -49,17 +50,17 @@ std::vector<GpuId> TransmissionPlanner::ChooseSecondaries(const Topology& topolo
   if (degree == 1) {
     return out;
   }
-  std::vector<bool> switch_used(topology.num_switches(), false);
-  switch_used[topology.switch_of(primary)] = true;
+  std::vector<bool> switch_used(Idx(topology.num_switches()), false);
+  switch_used[Idx(topology.switch_of(primary))] = true;
   for (GpuId g : topology.ParallelCandidates(primary)) {
     if (static_cast<int>(out.size()) + 1 >= degree) {
       break;
     }
     const int s = topology.switch_of(g);
-    if (switch_used[s]) {
+    if (switch_used[Idx(s)]) {
       continue;  // avoid pairing GPUs behind one PCIe switch (Table 2)
     }
-    switch_used[s] = true;
+    switch_used[Idx(s)] = true;
     out.push_back(g);
   }
   DP_CHECK(static_cast<int>(out.size()) == degree - 1);

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/sim/stream.h"
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -37,45 +38,51 @@ void DistributedEngine::RunCold(const Model& model, const ExecutionPlan& plan,
   auto run = std::make_shared<Run>();
   run->start = sim_->now();
   run->result.cold = true;
-  run->result.partitions.resize(plan.num_partitions());
+  run->result.partitions.resize(Idx(plan.num_partitions()));
   run->arrived.resize(n);
   run->exec = std::make_unique<Stream>(sim_, "exec/distributed");
 
   // Per-partition PCIe load chains to each partition's own GPU.
-  std::vector<std::vector<std::size_t>> part_layers(plan.num_partitions());
+  std::vector<std::vector<std::size_t>> part_layers(Idx(plan.num_partitions()));
   for (std::size_t i = 0; i < n; ++i) {
     if (plan.method(i) == ExecMethod::kLoad && model.layer(i).has_params()) {
-      part_layers[plan.partition(i)].push_back(i);
+      part_layers[Idx(plan.partition(i))].push_back(i);
       run->arrived[i] = std::make_unique<SyncEvent>(sim_);
-      run->result.partitions[plan.partition(i)].bytes += model.layer(i).param_bytes;
+      run->result.partitions[Idx(plan.partition(i))].bytes += model.layer(i).param_bytes;
     }
   }
   for (int p = 0; p < plan.num_partitions(); ++p) {
-    if (part_layers[p].empty()) {
+    if (part_layers[Idx(p)].empty()) {
       continue;
     }
-    const GpuId target = gpus[p];
+    const GpuId target = gpus[Idx(p)];
     // Capture the per-layer byte list by value: the chain outlives this frame.
     std::vector<std::pair<std::size_t, std::int64_t>> items;
-    items.reserve(part_layers[p].size());
-    for (const std::size_t li : part_layers[p]) {
+    items.reserve(part_layers[Idx(p)].size());
+    for (const std::size_t li : part_layers[Idx(p)]) {
       items.emplace_back(li, model.layer(li).param_bytes);
     }
+    // Weak self-capture: a strong one would be a shared_ptr cycle leaking the
+    // closure and the run state it captures (see Engine::RunCold). In-flight
+    // completions hold the strong reference until the chain drains.
     auto chain = std::make_shared<std::function<void(std::size_t)>>();
+    std::weak_ptr<std::function<void(std::size_t)>> weak_chain = chain;
     *chain = [this, run, p, target, items = std::move(items),
-              chain](std::size_t k) {
+              weak_chain](std::size_t k) {
       if (k >= items.size()) {
         return;
       }
+      auto self = weak_chain.lock();
+      DP_CHECK(self != nullptr);  // the caller holds a strong reference
       fabric_->fabric().Start(
           fabric_->HostToGpuPath(target), items[k].second,
           perf_->calibration().pcie_transfer_overhead,
-          [this, run, p, li = items[k].first, k, chain](Nanos) {
+          [this, run, p, li = items[k].first, k, self](Nanos) {
             run->arrived[li]->Fire();
-            run->result.partitions[p].pcie_done = sim_->now() - run->start;
+            run->result.partitions[Idx(p)].pcie_done = sim_->now() - run->start;
             run->result.load_done =
                 std::max(run->result.load_done, sim_->now() - run->start);
-            (*chain)(k + 1);
+            (*self)(k + 1);
           });
     };
     (*chain)(0);
@@ -88,8 +95,8 @@ void DistributedEngine::RunCold(const Model& model, const ExecutionPlan& plan,
     const Layer& layer = model.layer(i);
     const int p = plan.partition(i);
     if (p != prev_part) {
-      const GpuId from = gpus[prev_part];
-      const GpuId to = gpus[p];
+      const GpuId from = gpus[Idx(prev_part)];
+      const GpuId to = gpus[Idx(p)];
       const std::int64_t bytes =
           i > 0 ? BoundaryBytes(model.layer(i - 1), options.batch) : 4096;
       run->exec->Enqueue([this, from, to, bytes, options,

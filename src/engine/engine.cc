@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/sim/stream.h"
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -20,11 +21,11 @@ ServerFabric::ServerFabric(Simulator* sim, const Topology* topology)
         "pcie/gpu" + std::to_string(g), topology_->pcie().effective_bw_bytes_per_sec));
   }
   const int n = topology_->num_gpus();
-  nvlink_.assign(n, std::vector<LinkId>(n, -1));
+  nvlink_.assign(Idx(n), std::vector<LinkId>(Idx(n), -1));
   for (GpuId a = 0; a < n; ++a) {
     for (GpuId b = 0; b < n; ++b) {
       if (a != b && topology_->HasNvlink(a, b)) {
-        nvlink_[a][b] =
+        nvlink_[Idx(a)][Idx(b)] =
             fabric_.AddLink("nvlink/" + std::to_string(a) + "-" + std::to_string(b),
                             topology_->nvlink().bw_bytes_per_sec);
       }
@@ -34,20 +35,20 @@ ServerFabric::ServerFabric(Simulator* sim, const Topology* topology)
 
 std::vector<LinkId> ServerFabric::HostToGpuPath(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
-  return {uplink_of_switch_[topology_->switch_of(gpu)], pcie_of_gpu_[gpu]};
+  return {uplink_of_switch_[Idx(topology_->switch_of(gpu))], pcie_of_gpu_[Idx(gpu)]};
 }
 
 std::vector<LinkId> ServerFabric::GpuToGpuPath(GpuId from, GpuId to) const {
   DP_CHECK(from >= 0 && from < topology_->num_gpus());
   DP_CHECK(to >= 0 && to < topology_->num_gpus());
-  const LinkId link = nvlink_[from][to];
+  const LinkId link = nvlink_[Idx(from)][Idx(to)];
   DP_CHECK(link >= 0 && "no NVLink between GPUs");
   return {link};
 }
 
 LinkId ServerFabric::pcie_link(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
-  return pcie_of_gpu_[gpu];
+  return pcie_of_gpu_[Idx(gpu)];
 }
 
 Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
@@ -97,18 +98,18 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   auto run = std::make_shared<ColdRun>();
   run->start = sim_->now();
   run->result.cold = true;
-  run->result.partitions.resize(plan.num_partitions());
+  run->result.partitions.resize(Idx(plan.num_partitions()));
   run->arrived.resize(n);
   run->at_secondary.resize(n);
   run->all_loaded = std::make_unique<SyncEvent>(sim_);
   run->exec = std::make_unique<Stream>(sim_, "exec/gpu" + std::to_string(primary));
-  run->part_items.resize(plan.num_partitions());
+  run->part_items.resize(Idx(plan.num_partitions()));
 
   for (std::size_t i = 0; i < n; ++i) {
     const Layer& layer = model.layer(i);
     if (plan.method(i) == ExecMethod::kLoad && layer.has_params()) {
       const int p = plan.partition(i);
-      auto& items = run->part_items[p];
+      auto& items = run->part_items[Idx(p)];
       const int group = options.transfer_group_layers;
       if (!items.empty() &&
           static_cast<int>(items.back().layer_indices.size()) < group) {
@@ -121,7 +122,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       run->arrived[i] = std::make_unique<SyncEvent>(sim_);
       run->at_secondary[i] = std::make_unique<SyncEvent>(sim_);
       ++run->pending_arrivals;
-      run->result.partitions[p].bytes += layer.param_bytes;
+      run->result.partitions[Idx(p)].bytes += layer.param_bytes;
     }
   }
   if (run->pending_arrivals == 0) {
@@ -130,7 +131,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
 
   auto on_arrival = [this, run](std::size_t layer_index, int partition) {
     run->arrived[layer_index]->Fire();
-    auto& ps = run->result.partitions[partition];
+    auto& ps = run->result.partitions[Idx(partition)];
     ps.arrival_done = std::max(ps.arrival_done, sim_->now() - run->start);
     run->result.load_done = std::max(run->result.load_done, sim_->now() - run->start);
     if (--run->pending_arrivals == 0) {
@@ -143,44 +144,54 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   // The per-transfer DMA-setup overhead is the fabric latency term, so it
   // serializes into the chain exactly as back-to-back cudaMemcpyAsync calls.
   for (int p = 0; p < plan.num_partitions(); ++p) {
-    if (run->part_items[p].empty()) {
+    if (run->part_items[Idx(p)].empty()) {
       continue;
     }
-    const GpuId target = p == 0 ? primary : secondaries[p - 1];
-    run->result.partitions[p].pcie_start = 0;
+    const GpuId target = p == 0 ? primary : secondaries[Idx(p - 1)];
+    run->result.partitions[Idx(p)].pcie_start = 0;
     const bool record = options.record_timeline;
+    // The stored closure must hold only a weak reference to itself: a strong
+    // self-capture is a shared_ptr cycle that leaks the closure and every
+    // ColdRun it captures. Each in-flight fabric completion re-locks a strong
+    // reference, so the chain stays alive exactly until it drains.
     auto chain = std::make_shared<std::function<void(std::size_t)>>();
-    *chain = [this, run, p, target, chain, on_arrival, record](std::size_t k) {
-      const auto& items = run->part_items[p];
+    std::weak_ptr<std::function<void(std::size_t)>> weak_chain = chain;
+    *chain = [this, run, p, target, weak_chain, on_arrival, record](std::size_t k) {
+      const auto& items = run->part_items[Idx(p)];
       if (k >= items.size()) {
         return;
       }
+      auto self = weak_chain.lock();
+      DP_CHECK(self != nullptr);  // the caller holds a strong reference
       const Nanos op_start = sim_->now() - run->start;
       fabric_->fabric().Start(
           fabric_->HostToGpuPath(target), items[k].bytes,
           perf_->calibration().pcie_transfer_overhead,
-          [this, run, p, k, chain, on_arrival, record, target, op_start](Nanos) {
-            run->result.partitions[p].pcie_done = sim_->now() - run->start;
+          [this, run, p, k, self, on_arrival, record, target, op_start](Nanos) {
+            run->result.partitions[Idx(p)].pcie_done = sim_->now() - run->start;
             if (record) {
               run->result.timeline.push_back(
-                  TimelineEvent{"load " + run->part_items[p][k].name,
+                  TimelineEvent{"load " + run->part_items[Idx(p)][k].name,
                                 "pcie/gpu" + std::to_string(target), op_start,
                                 sim_->now() - run->start - op_start});
             }
             if (recorder_ != nullptr) {
-              recorder_->Span(pid_, "pcie/gpu" + std::to_string(target),
-                              "load " + run->part_items[p][k].name,
-                              run->start + op_start,
-                              sim_->now() - run->start - op_start);
+              // Async interval, not a complete slice: another run's chain may
+              // be draining through this PCIe lane at the same time.
+              const std::uint64_t aid = next_async_id_++;
+              const std::string track = "pcie/gpu" + std::to_string(target);
+              const std::string name = "load " + run->part_items[Idx(p)][k].name;
+              recorder_->AsyncBegin(pid_, track, name, aid, run->start + op_start);
+              recorder_->AsyncEnd(pid_, track, name, aid, sim_->now());
             }
-            for (const std::size_t li : run->part_items[p][k].layer_indices) {
+            for (const std::size_t li : run->part_items[Idx(p)][k].layer_indices) {
               if (p == 0) {
                 on_arrival(li, p);
               } else {
                 run->at_secondary[li]->Fire();
               }
             }
-            (*chain)(k + 1);
+            (*self)(k + 1);
           });
     };
     (*chain)(0);
@@ -190,16 +201,16 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   // primary, either per layer (parallel-pipeline) or as one bulk transfer.
   const NvlinkSpec& nvlink = fabric_->topology().nvlink();
   for (int p = 1; p < plan.num_partitions(); ++p) {
-    if (run->part_items[p].empty()) {
+    if (run->part_items[Idx(p)].empty()) {
       continue;
     }
-    run->migration.resize(std::max<std::size_t>(run->migration.size(), p + 1));
-    run->migration[p] = std::make_unique<Stream>(sim_, "migrate/p" + std::to_string(p));
-    Stream* mig = run->migration[p].get();
-    const GpuId src = secondaries[p - 1];
+    run->migration.resize(std::max<std::size_t>(run->migration.size(), Idx(p) + 1));
+    run->migration[Idx(p)] = std::make_unique<Stream>(sim_, "migrate/p" + std::to_string(p));
+    Stream* mig = run->migration[Idx(p)].get();
+    const GpuId src = secondaries[Idx(p - 1)];
     if (options.migration == MigrationMode::kPipelined) {
       const bool record = options.record_timeline;
-      for (const LoadItem& item : run->part_items[p]) {
+      for (const LoadItem& item : run->part_items[Idx(p)]) {
         for (const std::size_t li : item.layer_indices) {
           mig->EnqueueWait(run->at_secondary[li].get());
         }
@@ -217,11 +228,13 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                       op_start, sim_->now() - run->start - op_start});
                 }
                 if (recorder_ != nullptr) {
-                  recorder_->Span(
-                      pid_,
-                      "nvlink/" + std::to_string(src) + "->" + std::to_string(primary),
-                      "migrate " + item.name, run->start + op_start,
-                      sim_->now() - run->start - op_start);
+                  const std::uint64_t aid = next_async_id_++;
+                  const std::string track =
+                      "nvlink/" + std::to_string(src) + "->" + std::to_string(primary);
+                  recorder_->AsyncBegin(pid_, track, "migrate " + item.name, aid,
+                                        run->start + op_start);
+                  recorder_->AsyncEnd(pid_, track, "migrate " + item.name, aid,
+                                      sim_->now());
                 }
                 for (const std::size_t li : item.layer_indices) {
                   on_arrival(li, p);
@@ -232,7 +245,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       }
     } else {
       std::int64_t bytes = 0;
-      for (const LoadItem& item : run->part_items[p]) {
+      for (const LoadItem& item : run->part_items[Idx(p)]) {
         for (const std::size_t li : item.layer_indices) {
           mig->EnqueueWait(run->at_secondary[li].get());
         }
@@ -243,7 +256,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
         fabric_->fabric().Start(
             fabric_->GpuToGpuPath(src, primary), bytes, nvlink.transfer_latency,
             [run, p, on_arrival, op_done = std::move(op_done)](Nanos) {
-              for (const LoadItem& item : run->part_items[p]) {
+              for (const LoadItem& item : run->part_items[Idx(p)]) {
                 for (const std::size_t li : item.layer_indices) {
                   on_arrival(li, p);
                 }

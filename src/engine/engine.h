@@ -11,6 +11,7 @@
 #ifndef SRC_ENGINE_ENGINE_H_
 #define SRC_ENGINE_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -126,6 +127,10 @@ class Engine {
   const PerfModel* perf_;
   TraceRecorder* recorder_ = nullptr;
   int pid_ = 0;
+  // Pairs async begin/end events for load/migrate intervals: concurrent cold
+  // runs share PCIe/NVLink tracks, so their transfer slices may overlap and
+  // cannot be exported as complete (nesting) slices.
+  std::uint64_t next_async_id_ = 0;
 };
 
 }  // namespace deepplan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -21,11 +22,11 @@ Topology Topology::Custom(std::string name, GpuSpec gpu, PcieSpec pcie,
                         ? 0
                         : *std::max_element(t.switch_of_.begin(), t.switch_of_.end()) + 1;
   const int n = t.num_gpus();
-  t.nvlink_adj_.assign(n, std::vector<bool>(n, false));
+  t.nvlink_adj_.assign(Idx(n), std::vector<bool>(Idx(n), false));
   for (const auto& [a, b] : nvlink_pairs) {
     DP_CHECK(a >= 0 && a < n && b >= 0 && b < n && a != b);
-    t.nvlink_adj_[a][b] = true;
-    t.nvlink_adj_[b][a] = true;
+    t.nvlink_adj_[Idx(a)][Idx(b)] = true;
+    t.nvlink_adj_[Idx(b)][Idx(a)] = true;
   }
   return t;
 }
@@ -85,7 +86,7 @@ Topology Topology::HgxA100() {
 
 int Topology::switch_of(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < num_gpus());
-  return switch_of_[gpu];
+  return switch_of_[Idx(gpu)];
 }
 
 bool Topology::SameSwitch(GpuId a, GpuId b) const {
@@ -94,7 +95,7 @@ bool Topology::SameSwitch(GpuId a, GpuId b) const {
 
 bool Topology::HasNvlink(GpuId a, GpuId b) const {
   DP_CHECK(a >= 0 && a < num_gpus() && b >= 0 && b < num_gpus());
-  return nvlink_adj_[a][b];
+  return nvlink_adj_[Idx(a)][Idx(b)];
 }
 
 std::vector<GpuId> Topology::ParallelCandidates(GpuId primary) const {
@@ -117,13 +118,13 @@ std::vector<GpuId> Topology::ParallelCandidates(GpuId primary) const {
 }
 
 int Topology::MaxParallelDegree(GpuId primary) const {
-  std::vector<bool> switch_used(num_switches_, false);
-  switch_used[switch_of(primary)] = true;
+  std::vector<bool> switch_used(Idx(num_switches_), false);
+  switch_used[Idx(switch_of(primary))] = true;
   int degree = 1;
   for (GpuId g : ParallelCandidates(primary)) {
     const int s = switch_of(g);
-    if (!switch_used[s]) {
-      switch_used[s] = true;
+    if (!switch_used[Idx(s)]) {
+      switch_used[Idx(s)] = true;
       ++degree;
     }
   }

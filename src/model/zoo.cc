@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -98,7 +99,7 @@ Model ModelZoo::ResNet(std::string name, const std::vector<int>& blocks_per_stag
   std::int64_t c_in = 64;
   for (int stage = 0; stage < 4; ++stage) {
     const std::int64_t width = widths[stage];
-    for (int blk = 0; blk < blocks_per_stage[stage]; ++blk) {
+    for (int blk = 0; blk < blocks_per_stage[Idx(stage)]; ++blk) {
       const std::string p =
           "stage" + std::to_string(stage + 1) + ".block" + std::to_string(blk) + ".";
       const bool first = blk == 0;

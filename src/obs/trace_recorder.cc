@@ -39,6 +39,26 @@ void TraceRecorder::Counter(int pid, std::string_view track, std::string_view se
                                    std::string(series), ts, 0, value});
 }
 
+void TraceRecorder::AsyncBegin(int pid, std::string_view track,
+                               std::string_view name, std::uint64_t id, Nanos ts) {
+  if (!enabled_) {
+    return;
+  }
+  doc_.events.push_back(TraceEvent{TracePhase::kAsyncBegin, pid,
+                                   std::string(track), std::string(name), ts, 0,
+                                   0.0, id});
+}
+
+void TraceRecorder::AsyncEnd(int pid, std::string_view track,
+                             std::string_view name, std::uint64_t id, Nanos ts) {
+  if (!enabled_) {
+    return;
+  }
+  doc_.events.push_back(TraceEvent{TracePhase::kAsyncEnd, pid,
+                                   std::string(track), std::string(name), ts, 0,
+                                   0.0, id});
+}
+
 void TraceRecorder::Adopt(TraceRecorder&& other) {
   if (!enabled_) {
     return;

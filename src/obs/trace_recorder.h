@@ -49,6 +49,15 @@ class TraceRecorder {
   void Counter(int pid, std::string_view track, std::string_view series, Nanos ts,
                double value);
 
+  // An async interval [begin, end] on `track`, paired by `id`. Unlike spans,
+  // async intervals with distinct ids may overlap on one track — the server
+  // uses them for per-request queue waits, which overlap whenever several
+  // requests queue at once.
+  void AsyncBegin(int pid, std::string_view track, std::string_view name,
+                  std::uint64_t id, Nanos ts);
+  void AsyncEnd(int pid, std::string_view track, std::string_view name,
+                std::uint64_t id, Nanos ts);
+
   std::size_t size() const { return doc_.events.size(); }
   bool empty() const { return doc_.events.empty(); }
   const TraceDocument& document() const { return doc_; }

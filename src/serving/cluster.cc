@@ -1,5 +1,6 @@
 #include "src/serving/cluster.h"
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -44,8 +45,8 @@ struct Cluster::Impl {
         int best = rr_cursor % n;
         for (int k = 0; k < n; ++k) {
           const int i = (rr_cursor + k) % n;
-          if (servers[i]->OutstandingRequests() <
-              servers[best]->OutstandingRequests()) {
+          if (servers[Idx(i)]->OutstandingRequests() <
+              servers[Idx(best)]->OutstandingRequests()) {
             best = i;
           }
         }
@@ -91,7 +92,7 @@ void Cluster::AddInstances(int model_type, int count) {
       // would collapse onto a subset of GPUs, so the home follows the
       // instance's rank within the shard instead.
       const int rank_in_shard = id / n;
-      c.servers[s]->AddInstanceWithHome(model_type,
+      c.servers[Idx(s)]->AddInstanceWithHome(model_type,
                                         rank_in_shard % c.num_gpus_per_server);
     }
   }
@@ -103,7 +104,7 @@ int Cluster::num_instances() const { return impl_->num_instances; }
 
 const Server& Cluster::server(int index) const {
   DP_CHECK(index >= 0 && index < num_servers());
-  return *impl_->servers[index];
+  return *impl_->servers[Idx(index)];
 }
 
 void Cluster::EnableTelemetry(TraceRecorder* recorder, MetricsRegistry* registry) {
@@ -129,7 +130,7 @@ ServingMetrics Cluster::Run(const Trace& trace) {
            id += static_cast<int>(c.servers.size())) {
         shard.push_back(id);
       }
-      c.servers[s]->WarmupInstances(shard);
+      c.servers[Idx(s)]->WarmupInstances(shard);
     }
   } else {
     for (auto& server : c.servers) {
@@ -152,7 +153,7 @@ ServingMetrics Cluster::Run(const Trace& trace) {
       if (impl.registry != nullptr) {
         impl.registry->AddCounter("cluster.routed.server" + std::to_string(target));
       }
-      impl.servers[target]->Submit(a.instance);
+      impl.servers[Idx(target)]->Submit(a.instance);
     });
   }
   c.sim.Run();

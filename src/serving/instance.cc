@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/check/validator.h"
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -25,7 +27,7 @@ InstanceManager::InstanceManager(int num_gpus, std::int64_t usable_bytes_per_gpu
       rng_state_(seed == 0 ? 1 : seed) {
   DP_CHECK(num_gpus > 0);
   DP_CHECK(usable_bytes_per_gpu > 0);
-  arenas_.reserve(num_gpus);
+  arenas_.reserve(Idx(num_gpus));
   for (int g = 0; g < num_gpus; ++g) {
     // Alignment 1: instance footprints are hundreds of MB, sub-byte rounding
     // noise would only obscure the capacity numbers.
@@ -47,7 +49,7 @@ int InstanceManager::PickVictim(GpuId gpu, int protected_id) {
     case EvictionPolicy::kLru: {
       int victim = candidates[0];
       for (const int id : candidates) {
-        if (instances_[id].last_used < instances_[victim].last_used) {
+        if (instances_[Idx(id)].last_used < instances_[Idx(victim)].last_used) {
           victim = id;
         }
       }
@@ -56,7 +58,7 @@ int InstanceManager::PickVictim(GpuId gpu, int protected_id) {
     case EvictionPolicy::kFifo: {
       int victim = candidates[0];
       for (const int id : candidates) {
-        if (instances_[id].resident_since < instances_[victim].resident_since) {
+        if (instances_[Idx(id)].resident_since < instances_[Idx(victim)].resident_since) {
           victim = id;
         }
       }
@@ -90,22 +92,22 @@ int InstanceManager::AddInstance(int model_type, GpuId home_gpu,
 
 const InstanceState& InstanceManager::instance(int id) const {
   DP_CHECK(id >= 0 && id < num_instances());
-  return instances_[id];
+  return instances_[Idx(id)];
 }
 
 InstanceState& InstanceManager::instance(int id) {
   DP_CHECK(id >= 0 && id < num_instances());
-  return instances_[id];
+  return instances_[Idx(id)];
 }
 
 std::int64_t InstanceManager::used_bytes(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < static_cast<int>(arenas_.size()));
-  return arenas_[gpu].used_bytes();
+  return arenas_[Idx(gpu)].used_bytes();
 }
 
 const GpuAllocator& InstanceManager::arena(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < static_cast<int>(arenas_.size()));
-  return arenas_[gpu];
+  return arenas_[Idx(gpu)];
 }
 
 bool InstanceManager::MakeResident(int id, Nanos now, std::vector<int>* evicted) {
@@ -117,7 +119,7 @@ bool InstanceManager::MakeResident(int id, Nanos now, std::vector<int>* evicted)
   const GpuId gpu = target.home_gpu;
   // Evict until a *contiguous* block fits: total free bytes are not enough
   // when the arena is fragmented by mixed-size instances.
-  std::optional<AllocId> block = arenas_[gpu].Allocate(target.footprint);
+  std::optional<AllocId> block = arenas_[Idx(gpu)].Allocate(target.footprint);
   while (!block.has_value()) {
     const int victim = PickVictim(gpu, id);
     if (victim < 0) {
@@ -127,12 +129,13 @@ bool InstanceManager::MakeResident(int id, Nanos now, std::vector<int>* evicted)
     if (evicted != nullptr) {
       evicted->push_back(victim);
     }
-    block = arenas_[gpu].Allocate(target.footprint);
+    block = arenas_[Idx(gpu)].Allocate(target.footprint);
   }
   target.alloc = *block;
   target.resident = true;
   target.last_used = now;
   target.resident_since = now;
+  check::SimValidator::OnMakeResident(id, arenas_[Idx(gpu)].used_bytes(), capacity_);
   return true;
 }
 
@@ -142,10 +145,11 @@ void InstanceManager::SetBusy(int id, bool busy) { instance(id).busy = busy; }
 
 void InstanceManager::Evict(int id) {
   InstanceState& s = instance(id);
+  check::SimValidator::OnEvict(id, s.resident, s.busy);
   DP_CHECK(s.resident);
   DP_CHECK(!s.busy);
   s.resident = false;
-  arenas_[s.home_gpu].Free(s.alloc);
+  arenas_[Idx(s.home_gpu)].Free(s.alloc);
   s.alloc = 0;
 }
 

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "src/check/validator.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
 
 void ServingMetrics::Record(const RequestRecord& record) {
+  check::SimValidator::OnRequestComplete(record.arrival, record.start,
+                                         record.evict, record.load,
+                                         record.completion, record.cold,
+                                         record.evictions);
   DP_CHECK(record.completion >= record.start);
   DP_CHECK(record.start >= record.arrival);
   DP_CHECK(record.evict >= 0 && record.load >= 0 && record.evictions >= 0);
@@ -99,6 +104,8 @@ LatencyBreakdown ServingMetrics::Breakdown() const {
   b.p99_exec_ms = exec.Percentile(99.0);
   b.mean_total_ms = total.Mean();
   b.p99_total_ms = total.Percentile(99.0);
+  check::SimValidator::OnBreakdown(b.mean_queue_ms, b.mean_cold_ms,
+                                   b.mean_exec_ms, b.mean_total_ms);
   return b;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/core/profiler.h"
 #include "src/core/transmission.h"
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -45,6 +46,9 @@ struct Server::Impl {
   TraceRecorder* recorder = nullptr;
   MetricsRegistry* registry = nullptr;
   int pid = 0;
+  // Pairs async queue-wait begin/end events; waits overlap whenever several
+  // requests queue behind one GPU, so they cannot be complete slices.
+  std::uint64_t next_queue_span_id = 0;
 
   Impl(Simulator* external_sim, const Topology& topo, const PerfModel& perf_model,
        ServerOptions opts)
@@ -54,8 +58,8 @@ struct Server::Impl {
     engine = std::make_unique<Engine>(sim, fabric.get(), &perf);
     instances = std::make_unique<InstanceManager>(
         topology.num_gpus(), options.usable_bytes_per_gpu, options.eviction_policy);
-    queues.resize(topology.num_gpus());
-    gpu_busy.assign(topology.num_gpus(), false);
+    queues.resize(Idx(topology.num_gpus()));
+    gpu_busy.assign(Idx(topology.num_gpus()), false);
   }
 
   void Dispatch(GpuId gpu);
@@ -109,10 +113,10 @@ void Server::AddInstances(int model_type, int count) {
 int Server::AddInstanceWithHome(int model_type, GpuId home) {
   Impl& s = *impl_;
   DP_CHECK(model_type >= 0 && model_type < static_cast<int>(s.models.size()));
-  const ModelEntry& entry = s.models[model_type];
+  const ModelEntry& entry = s.models[Idx(model_type)];
   const int id = s.instances->AddInstance(model_type, home, entry.footprint);
-  s.instance_model.resize(id + 1);
-  s.instance_model[id] = model_type;
+  s.instance_model.resize(Idx(id + 1));
+  s.instance_model[Idx(id)] = model_type;
   return id;
 }
 
@@ -123,11 +127,11 @@ int Server::WarmCapacity() const { return impl_->instances->ResidentCount(); }
 void Server::Impl::NoteQueueDepth(GpuId gpu) {
   if (recorder != nullptr) {
     recorder->Counter(pid, "queue/gpu" + std::to_string(gpu), "depth", sim->now(),
-                      static_cast<double>(queues[gpu].size()));
+                      static_cast<double>(queues[Idx(gpu)].size()));
   }
   if (registry != nullptr) {
     registry->SetGauge("server.queue_depth.gpu" + std::to_string(gpu),
-                       static_cast<double>(queues[gpu].size()));
+                       static_cast<double>(queues[Idx(gpu)].size()));
   }
 }
 
@@ -154,7 +158,13 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
       // execution overlaps the transfer under pipelining).
       const std::string track = "coldstart/gpu" + std::to_string(gpu);
       const std::string suffix = " i" + std::to_string(instance);
-      recorder->Span(pid, track, "queue" + suffix, req.arrival, start - req.arrival);
+      // Queue waits of back-to-back cold starts overlap (B arrives while A is
+      // still queued), so they go out as async intervals, which Perfetto
+      // permits to overlap on one track — complete slices must nest.
+      const std::uint64_t qid = next_queue_span_id++;
+      const std::string queued = "queued/gpu" + std::to_string(gpu);
+      recorder->AsyncBegin(pid, queued, "queue" + suffix, qid, req.arrival);
+      recorder->AsyncEnd(pid, queued, "queue" + suffix, qid, start);
       if (evict_delay > 0) {
         recorder->Span(pid, track, "evict x" + std::to_string(num_evicted) + suffix,
                        start, evict_delay);
@@ -171,22 +181,22 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
     registry->Observe("server.latency_ms", ToMillis(record.Latency()));
   }
   --outstanding;
-  gpu_busy[gpu] = false;
+  gpu_busy[Idx(gpu)] = false;
   Dispatch(gpu);
 }
 
 void Server::Impl::Dispatch(GpuId gpu) {
-  if (gpu_busy[gpu] || queues[gpu].empty()) {
+  if (gpu_busy[Idx(gpu)] || queues[Idx(gpu)].empty()) {
     return;
   }
-  const PendingRequest req = queues[gpu].front();
-  queues[gpu].pop_front();
-  gpu_busy[gpu] = true;
+  const PendingRequest req = queues[Idx(gpu)].front();
+  queues[Idx(gpu)].pop_front();
+  gpu_busy[Idx(gpu)] = true;
   NoteQueueDepth(gpu);
 
   const int instance = req.instance;
-  const int type = instance_model[instance];
-  const ModelEntry& entry = models[type];
+  const int type = instance_model[Idx(instance)];
+  const ModelEntry& entry = models[Idx(type)];
   const Nanos start = sim->now();
   instances->SetBusy(instance, true);
 
@@ -218,14 +228,14 @@ void Server::Impl::Dispatch(GpuId gpu) {
       options.eviction_cost * static_cast<Nanos>(evicted.size());
   sim->ScheduleAfter(evict_delay, [this, gpu, instance, req, start, type,
                                    evict_delay, num_evicted]() {
-    const ModelEntry& entry = models[type];
+    const ModelEntry& cold_entry = models[Idx(type)];
     std::vector<GpuId> secondaries;
-    if (entry.plan.num_partitions() > 1) {
+    if (cold_entry.plan.num_partitions() > 1) {
       secondaries = TransmissionPlanner::ChooseSecondaries(
-          topology, gpu, entry.plan.num_partitions());
+          topology, gpu, cold_entry.plan.num_partitions());
     }
-    engine->RunCold(entry.model, entry.plan, gpu, secondaries,
-                    MakeColdRunOptions(entry.strategy, options.batch),
+    engine->RunCold(cold_entry.model, cold_entry.plan, gpu, secondaries,
+                    MakeColdRunOptions(cold_entry.strategy, options.batch),
                     [this, gpu, instance, req, start, evict_delay,
                      num_evicted](const InferenceResult& result) {
                       FinishRequest(gpu, instance, req, start, /*cold=*/true,
@@ -235,9 +245,9 @@ void Server::Impl::Dispatch(GpuId gpu) {
 }
 
 void Server::Warmup() {
-  std::vector<int> all(impl_->instances->num_instances());
+  std::vector<int> all(Idx(impl_->instances->num_instances()));
   for (int id = 0; id < static_cast<int>(all.size()); ++id) {
-    all[id] = id;
+    all[Idx(id)] = id;
   }
   WarmupInstances(all);
 }
@@ -268,7 +278,7 @@ void Server::Submit(int instance) {
   DP_CHECK(instance >= 0 && instance < s.instances->num_instances());
   const GpuId gpu = s.instances->instance(instance).home_gpu;
   ++s.outstanding;
-  s.queues[gpu].push_back(PendingRequest{instance, s.sim->now()});
+  s.queues[Idx(gpu)].push_back(PendingRequest{instance, s.sim->now()});
   if (s.registry != nullptr) {
     s.registry->AddCounter("server.requests");
   }

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include "src/check/validator.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -43,6 +44,8 @@ std::pair<Nanos, EventQueue::Callback> EventQueue::PopNext() {
   SkipCancelled();
   DP_CHECK(!heap_.empty());
   const Entry top = heap_.top();
+  check::SimValidator::OnQueuePop(last_popped_, top.when);
+  last_popped_ = top.when;
   heap_.pop();
   Callback cb = std::move(callbacks_[top.id]);
   callbacks_[top.id] = nullptr;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -50,6 +51,8 @@ class EventQueue {
   std::vector<bool> live_;
   EventId next_id_ = 0;
   std::size_t live_count_ = 0;
+  // Latest popped timestamp; the validator asserts pops are monotone.
+  Nanos last_popped_ = std::numeric_limits<Nanos>::min();
 };
 
 }  // namespace deepplan

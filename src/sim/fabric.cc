@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/check/validator.h"
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -24,12 +26,12 @@ LinkId Fabric::AddLink(std::string name, double capacity_bytes_per_sec) {
 
 const std::string& Fabric::link_name(LinkId id) const {
   DP_CHECK(id >= 0 && id < num_links());
-  return links_[id].name;
+  return links_[Idx(id)].name;
 }
 
 double Fabric::link_capacity(LinkId id) const {
   DP_CHECK(id >= 0 && id < num_links());
-  return links_[id].capacity;
+  return links_[Idx(id)].capacity;
 }
 
 void Fabric::set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
@@ -62,6 +64,7 @@ TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos lat
   Transfer t;
   t.id = id;
   t.path = std::move(path);
+  t.total_bytes = static_cast<double>(bytes);
   t.remaining_bytes = static_cast<double>(bytes);
   t.last_update = sim_->now();
   t.started = sim_->now();
@@ -115,7 +118,7 @@ void Fabric::ComputeRates() {
         continue;
       }
       for (LinkId l : active_[i].path) {
-        ++users[l];
+        ++users[Idx(l)];
       }
     }
     double best_share = std::numeric_limits<double>::infinity();
@@ -144,9 +147,24 @@ void Fabric::ComputeRates() {
       frozen[i] = true;
       --remaining;
       for (LinkId l : t.path) {
-        residual[l] = std::max(0.0, residual[l] - best_share);
+        residual[Idx(l)] = std::max(0.0, residual[Idx(l)] - best_share);
       }
     }
+  }
+  if (check::ValidationEnabled()) {
+    std::vector<check::FabricLinkShare> shares(links_.size());
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      shares[l].name = links_[l].name;
+      shares[l].capacity = links_[l].capacity;
+    }
+    for (const auto& t : active_) {
+      check::SimValidator::OnTransferRate(sim_->now(), t.id, t.rate);
+      for (LinkId l : t.path) {
+        shares[Idx(l)].allocated += t.rate;
+        ++shares[Idx(l)].transfers;
+      }
+    }
+    check::SimValidator::OnFabricAllocation(sim_->now(), shares);
   }
 }
 
@@ -177,6 +195,9 @@ void Fabric::ScheduleCompletions() {
 void Fabric::Complete(std::size_t index) {
   SettleProgress();
   Transfer t = std::move(active_[index]);
+  check::SimValidator::OnTransferComplete(sim_->now(), t.id,
+                                          t.total_bytes - t.remaining_bytes,
+                                          t.total_bytes);
   DP_CHECK(t.remaining_bytes <= kEpsilonBytes + 1.0);  // allow ns-rounding residue
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
   if (!active_.empty()) {
@@ -207,7 +228,7 @@ void Fabric::EmitLinkCounters() {
   std::vector<double> allocated(links_.size(), 0.0);
   for (const auto& t : active_) {
     for (LinkId l : t.path) {
-      allocated[static_cast<std::size_t>(l)] += t.rate;
+      allocated[Idx(l)] += t.rate;
     }
   }
   for (std::size_t l = 0; l < links_.size(); ++l) {

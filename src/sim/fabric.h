@@ -63,6 +63,7 @@ class Fabric {
   struct Transfer {
     TransferId id;
     std::vector<LinkId> path;
+    double total_bytes = 0.0;
     double remaining_bytes;
     double rate = 0.0;       // current allocation, bytes/sec
     Nanos last_update = 0;   // sim time when remaining_bytes was settled

@@ -1,7 +1,9 @@
 #include "src/sim/gpu_allocator.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "src/check/validator.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -34,6 +36,7 @@ std::optional<AllocId> GpuAllocator::Allocate(std::int64_t bytes) {
     const AllocId id = next_id_++;
     allocs_[id] = Allocation{offset, need};
     used_ += need;
+    ValidateArena();
     return id;
   }
   return std::nullopt;
@@ -58,10 +61,27 @@ void GpuAllocator::Free(AllocId id) {
     auto prev = std::prev(after);
     if (prev->first + prev->second == offset) {
       prev->second += bytes;
+      ValidateArena();
       return;
     }
   }
   free_blocks_[offset] = bytes;
+  ValidateArena();
+}
+
+void GpuAllocator::ValidateArena() const {
+  if (!check::ValidationEnabled()) {
+    return;
+  }
+  std::vector<check::ArenaSpan> spans;
+  spans.reserve(free_blocks_.size() + allocs_.size());
+  for (const auto& [offset, bytes] : free_blocks_) {
+    spans.push_back(check::ArenaSpan{offset, bytes, true});
+  }
+  for (const auto& [id, alloc] : allocs_) {
+    spans.push_back(check::ArenaSpan{alloc.offset, alloc.bytes, false});
+  }
+  check::SimValidator::OnArenaUpdate(capacity_, used_, spans);
 }
 
 std::int64_t GpuAllocator::LargestFreeBlock() const {

@@ -49,6 +49,10 @@ class GpuAllocator {
 
   std::int64_t AlignUp(std::int64_t bytes) const;
 
+  // Feeds the full span map to the validator (tiling/coalescing invariants).
+  // No-op unless validation is enabled.
+  void ValidateArena() const;
+
   std::int64_t capacity_;
   std::int64_t alignment_;
   std::int64_t used_ = 0;

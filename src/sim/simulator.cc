@@ -1,15 +1,18 @@
 #include "src/sim/simulator.h"
 
+#include "src/check/validator.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
 
 EventQueue::EventId Simulator::ScheduleAfter(Nanos delay, Callback cb) {
+  check::SimValidator::OnSchedule(now_, now_ + delay);
   DP_CHECK(delay >= 0);
   return queue_.Schedule(now_ + delay, std::move(cb));
 }
 
 EventQueue::EventId Simulator::ScheduleAt(Nanos when, Callback cb) {
+  check::SimValidator::OnSchedule(now_, when);
   DP_CHECK(when >= now_);
   return queue_.Schedule(when, std::move(cb));
 }
@@ -24,6 +27,7 @@ Nanos Simulator::RunUntil(Nanos deadline) {
       return now_;
     }
     auto [when, cb] = queue_.PopNext();
+    check::SimValidator::OnEventFire(now_, when);
     DP_CHECK(when >= now_);
     now_ = when;
     cb();

@@ -1,10 +1,12 @@
 #include "src/sim/stream.h"
 
+#include "src/check/validator.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
 
 void SyncEvent::Fire() {
+  check::SimValidator::OnSyncEventFire("SyncEvent::Fire", fired_, sim_->now());
   DP_CHECK(!fired_);
   fired_ = true;
   fire_time_ = sim_->now();
@@ -68,6 +70,8 @@ void Stream::MaybeStartNext() {
     return;
   }
   running_ = true;
+  check::SimValidator::OnStreamOpStart(name_, last_start_, sim_->now());
+  last_start_ = sim_->now();
   Op op = std::move(queue_.front());
   queue_.pop_front();
   // The done callback may fire synchronously (marker/record ops); guard

@@ -78,6 +78,8 @@ class Stream {
   std::deque<Op> queue_;
   bool running_ = false;
   Nanos wait_time_ = 0;
+  // When the most recent op started; the validator asserts in-order starts.
+  Nanos last_start_ = -1;
 };
 
 }  // namespace deepplan

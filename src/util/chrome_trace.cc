@@ -71,7 +71,10 @@ bool EventBefore(const TraceEvent& a, const TraceEvent& b) {
   if (a.name != b.name) {
     return a.name < b.name;
   }
-  return a.phase < b.phase;
+  if (a.phase != b.phase) {
+    return a.phase < b.phase;  // async begins before same-timestamp ends
+  }
+  return a.id < b.id;
 }
 
 }  // namespace
@@ -173,6 +176,16 @@ std::string ChromeTraceWriter::ToJson(const TraceDocument& doc) {
         os << "\",\"ts\":" << Json::Num(ToMicros(e.ts)) << ",\"args\":{\"";
         AppendEscaped(os, e.name);
         os << "\":" << Json::Num(e.value) << "}}";
+        break;
+      case TracePhase::kAsyncBegin:
+      case TracePhase::kAsyncEnd:
+        os << "{\"ph\":\"" << (e.phase == TracePhase::kAsyncBegin ? "b" : "e")
+           << "\",\"pid\":" << e.pid << ",\"tid\":" << tids[{e.pid, e.track}]
+           << ",\"cat\":\"";
+        AppendEscaped(os, e.track);
+        os << "\",\"id\":" << e.id << ",\"name\":\"";
+        AppendEscaped(os, e.name);
+        os << "\",\"ts\":" << Json::Num(ToMicros(e.ts)) << "}";
         break;
     }
   }

@@ -17,6 +17,7 @@
 #ifndef SRC_UTIL_CHROME_TRACE_H_
 #define SRC_UTIL_CHROME_TRACE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,15 @@ struct TimelineEvent {
 };
 
 enum class TracePhase {
-  kSpan,     // complete slice ("X"): [ts, ts+duration) on a thread track
-  kInstant,  // point-in-time marker ("i") on a thread track
-  kCounter,  // sampled value ("C"); `track` names the counter track, `name`
-             // the series key inside it, `value` the sample
+  kSpan,        // complete slice ("X"): [ts, ts+duration) on a thread track
+  kInstant,     // point-in-time marker ("i") on a thread track
+  kCounter,     // sampled value ("C"); `track` names the counter track, `name`
+                // the series key inside it, `value` the sample
+  kAsyncBegin,  // async interval start ("b"): intervals with distinct ids may
+                // overlap on one track (e.g. concurrent queue waits), which
+                // complete slices must not
+  kAsyncEnd,    // async interval end ("e"); pairs with kAsyncBegin by
+                // (pid, track, id)
 };
 
 // One event of a multi-process trace. `pid` selects the process group
@@ -47,8 +53,9 @@ struct TraceEvent {
   std::string track;
   std::string name;
   Nanos ts = 0;
-  Nanos duration = 0;  // spans only
-  double value = 0.0;  // counters only
+  Nanos duration = 0;       // spans only
+  double value = 0.0;       // counters only
+  std::uint64_t id = 0;     // async begin/end pairing key
 };
 
 // A full trace: process names (index = pid; missing/empty entries render as

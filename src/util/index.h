@@ -1,0 +1,20 @@
+// Signed-to-unsigned subscript cast. The codebase indexes containers with
+// `int` ids (GpuId, partition, instance) whose non-negativity DP_CHECKs
+// guard; `Idx` makes the sign conversion explicit at each subscript so the
+// src/ tree compiles clean under -Wsign-conversion without scattering
+// static_cast noise.
+#ifndef SRC_UTIL_INDEX_H_
+#define SRC_UTIL_INDEX_H_
+
+#include <cstddef>
+
+namespace deepplan {
+
+template <typename T>
+constexpr std::size_t Idx(T i) {
+  return static_cast<std::size_t>(i);
+}
+
+}  // namespace deepplan
+
+#endif  // SRC_UTIL_INDEX_H_

@@ -9,7 +9,11 @@ std::string FormatDuration(Nanos ns) {
   char buf[64];
   const double v = static_cast<double>(ns);
   if (ns < 0) {
-    return "-" + FormatDuration(-ns);
+    // Prepend via insert rather than `"-" + ...`: the char* operator+ trips a
+    // GCC 12 -Wstringop false positive when inlined at -O2.
+    std::string positive = FormatDuration(-ns);
+    positive.insert(positive.begin(), '-');
+    return positive;
   }
   if (ns < kNanosPerMicro) {
     std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
@@ -30,7 +34,9 @@ std::string FormatBytes(std::int64_t bytes) {
   constexpr double kMiB = kKiB * 1024.0;
   constexpr double kGiB = kMiB * 1024.0;
   if (bytes < 0) {
-    return "-" + FormatBytes(-bytes);
+    std::string positive = FormatBytes(-bytes);
+    positive.insert(positive.begin(), '-');
+    return positive;
   }
   if (v < kKiB) {
     std::snprintf(buf, sizeof(buf), "%ldB", static_cast<long>(bytes));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -18,13 +19,13 @@ Trace GenerateAzureTrace(const AzureTraceOptions& options) {
   // Per-instance popularity: Zipf weights, shuffled so instance id does not
   // correlate with popularity.
   const int n = options.num_instances;
-  std::vector<double> weight(n);
+  std::vector<double> weight(Idx(n));
   for (int i = 0; i < n; ++i) {
-    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_exponent);
+    weight[Idx(i)] = 1.0 / std::pow(static_cast<double>(i + 1), options.zipf_exponent);
   }
   for (int i = n - 1; i > 0; --i) {
     const auto j = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(i + 1)));
-    std::swap(weight[i], weight[j]);
+    std::swap(weight[Idx(i)], weight[Idx(j)]);
   }
   double weight_sum = 0.0;
   for (double w : weight) {
@@ -36,7 +37,7 @@ Trace GenerateAzureTrace(const AzureTraceOptions& options) {
     Nanos start;
     Nanos end;
   };
-  std::vector<std::vector<Spike>> spikes(n);
+  std::vector<std::vector<Spike>> spikes(Idx(n));
   const double hours = ToSeconds(options.duration) / 3600.0;
   for (int i = 0; i < n; ++i) {
     const auto count =
@@ -44,11 +45,11 @@ Trace GenerateAzureTrace(const AzureTraceOptions& options) {
     for (std::uint64_t s = 0; s < count; ++s) {
       const Nanos start = static_cast<Nanos>(rng.NextDouble() *
                                              static_cast<double>(options.duration));
-      spikes[i].push_back(Spike{start, start + options.spike_duration});
+      spikes[Idx(i)].push_back(Spike{start, start + options.spike_duration});
     }
   }
   auto spike_boost = [&](int i, Nanos t) {
-    for (const Spike& s : spikes[i]) {
+    for (const Spike& s : spikes[Idx(i)]) {
       if (t >= s.start && t < s.end) {
         return options.spike_multiplier;
       }
@@ -82,7 +83,7 @@ Trace GenerateAzureTrace(const AzureTraceOptions& options) {
     double pick = rng.NextDouble() * weight_sum;
     int inst = 0;
     for (; inst < n - 1; ++inst) {
-      pick -= weight[inst];
+      pick -= weight[Idx(inst)];
       if (pick <= 0) {
         break;
       }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/index.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -21,10 +22,10 @@ double Trace::MeanRate() const {
 }
 
 std::vector<std::size_t> Trace::PerInstanceCounts(int num_instances) const {
-  std::vector<std::size_t> counts(num_instances, 0);
+  std::vector<std::size_t> counts(Idx(num_instances), 0);
   for (const Arrival& a : arrivals_) {
     if (a.instance >= 0 && a.instance < num_instances) {
-      ++counts[a.instance];
+      ++counts[Idx(a.instance)];
     }
   }
   return counts;

@@ -1,0 +1,337 @@
+// Tests for the src/check correctness tooling: the runtime invariant
+// validator (each invariant class must abort on a broken fixture and stay
+// silent on a healthy run) and the offline Chrome-trace linter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/check/trace_lint.h"
+#include "src/check/validator.h"
+#include "src/serving/instance.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/util/chrome_trace.h"
+
+namespace deepplan {
+namespace {
+
+using check::ArenaSpan;
+using check::FabricLinkShare;
+using check::LintChromeTrace;
+using check::LintChromeTraceFile;
+using check::SimValidator;
+using check::TraceLintResult;
+
+// Forces validation on (or off) for one test body and restores the
+// environment-derived default afterwards.
+class ScopedValidation {
+ public:
+  explicit ScopedValidation(int mode) { check::SetValidationForTesting(mode); }
+  ~ScopedValidation() { check::SetValidationForTesting(-1); }
+};
+
+// ------------------------------------------------------ broken fixtures
+// One EXPECT_DEATH per invariant class. The validator is forced on inside
+// the death statement (it runs in the forked child).
+
+TEST(ValidatorDeathTest, CausalityPastScheduledEvent) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnSchedule(/*now=*/100, /*when=*/50);
+      },
+      "causality violated.*scheduled in the past");
+}
+
+TEST(ValidatorDeathTest, CausalityQueuePopNotMonotone) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnQueuePop(/*prev_popped=*/200, /*when=*/150);
+      },
+      "causality violated.*pop order not monotone");
+}
+
+TEST(ValidatorDeathTest, CausalityDoubleSyncEventFire) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnSyncEventFire("SyncEvent::Fire",
+                                      /*already_fired=*/true, /*now=*/7);
+      },
+      "causality violated.*fired twice");
+}
+
+TEST(ValidatorDeathTest, FabricOversubscribedLink) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        std::vector<FabricLinkShare> links(1);
+        links[0].name = "pcie0";
+        links[0].capacity = 1e9;
+        links[0].allocated = 1.5e9;  // 150% of capacity
+        links[0].transfers = 2;
+        SimValidator::OnFabricAllocation(/*now=*/0, links);
+      },
+      "fabric flow conservation violated.*oversubscribed");
+}
+
+TEST(ValidatorDeathTest, FabricStalledTransfer) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnTransferRate(/*now=*/0, /*transfer=*/3, /*rate=*/0.0);
+      },
+      "fabric flow conservation violated.*non-positive fair share");
+}
+
+TEST(ValidatorDeathTest, FabricBytesDoNotIntegrate) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnTransferComplete(/*now=*/10, /*transfer=*/1,
+                                         /*moved_bytes=*/900.0,
+                                         /*total_bytes=*/1000.0);
+      },
+      "fabric flow conservation violated.*moved 900 of 1000");
+}
+
+TEST(ValidatorDeathTest, ArenaSpansLeaveGap) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        std::vector<ArenaSpan> spans;
+        spans.push_back({/*offset=*/0, /*bytes=*/400, /*free=*/false});
+        spans.push_back({/*offset=*/600, /*bytes=*/400, /*free=*/true});
+        SimValidator::OnArenaUpdate(/*capacity=*/1000, /*used=*/400, spans);
+      },
+      "gpu memory accounting violated.*gap in arena");
+}
+
+TEST(ValidatorDeathTest, ArenaFreeBlocksNotCoalesced) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        std::vector<ArenaSpan> spans;
+        spans.push_back({/*offset=*/0, /*bytes=*/500, /*free=*/true});
+        spans.push_back({/*offset=*/500, /*bytes=*/500, /*free=*/true});
+        SimValidator::OnArenaUpdate(/*capacity=*/1000, /*used=*/0, spans);
+      },
+      "gpu memory accounting violated.*not coalesced");
+}
+
+TEST(ValidatorDeathTest, ResidencyDoubleEvict) {
+  // Real-component fixture: evicting the same instance twice must trip the
+  // validator before the plain DP_CHECK does.
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        InstanceManager mgr(1, 1000);
+        const int a = mgr.AddInstance(0, 0, 400);
+        std::vector<int> evicted;
+        mgr.MakeResident(a, 1, &evicted);
+        mgr.Evict(a);
+        mgr.Evict(a);
+      },
+      "instance residency violated.*non-resident instance");
+}
+
+TEST(ValidatorDeathTest, ResidencyEvictBusyInstance) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnEvict(/*instance=*/4, /*resident=*/true,
+                              /*busy=*/true);
+      },
+      "instance residency violated.*busy instance");
+}
+
+TEST(ValidatorDeathTest, ServingWarmRequestWithColdComponents) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnRequestComplete(/*arrival=*/0, /*start=*/10,
+                                        /*evict=*/0, /*load=*/500,
+                                        /*completion=*/1000, /*cold=*/false,
+                                        /*evictions=*/0);
+      },
+      "serving accounting violated.*warm request carries cold-start");
+}
+
+TEST(ValidatorDeathTest, ServingBreakdownNotAdditive) {
+  EXPECT_DEATH(
+      {
+        ScopedValidation on(1);
+        SimValidator::OnBreakdown(/*mean_queue_ms=*/1.0, /*mean_cold_ms=*/2.0,
+                                  /*mean_exec_ms=*/3.0,
+                                  /*mean_total_ms=*/10.0);
+      },
+      "serving accounting violated.*breakdown not additive");
+}
+
+// ------------------------------------------------------- healthy fixtures
+
+// A contended fabric run plus an eviction churn loop exercise the causality,
+// fabric, arena, and residency hooks end to end; with validation forced on,
+// the run must complete (no abort) and the check counter must advance.
+TEST(ValidatorTest, HealthyRunPassesAndCountsChecks) {
+  ScopedValidation on(1);
+  const std::uint64_t before = check::ChecksRun();
+
+  Simulator sim;
+  Fabric fabric(&sim);
+  const LinkId uplink = fabric.AddLink("uplink", 12.6e9);
+  const LinkId gpu0 = fabric.AddLink("gpu0", 12e9);
+  const LinkId gpu1 = fabric.AddLink("gpu1", 12e9);
+  int completions = 0;
+  fabric.Start({uplink, gpu0}, 126'000'000, 0, [&](Nanos) { ++completions; });
+  fabric.Start({uplink, gpu1}, 126'000'000, 0, [&](Nanos) { ++completions; });
+  sim.ScheduleAfter(Millis(1),
+                    [&] { fabric.Start({uplink, gpu0}, 1'000'000, 0,
+                                       [&](Nanos) { ++completions; }); });
+  sim.Run();
+  EXPECT_EQ(completions, 3);
+
+  InstanceManager mgr(2, 1000);
+  std::vector<int> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(mgr.AddInstance(0, i % 2, 400));
+  }
+  std::vector<int> evicted;
+  for (int round = 0; round < 3; ++round) {
+    for (const int id : ids) {
+      ASSERT_TRUE(mgr.MakeResident(id, round * 10 + id, &evicted));
+    }
+  }
+  EXPECT_FALSE(evicted.empty());  // churn actually evicted something
+
+  EXPECT_GT(check::ChecksRun(), before);
+}
+
+TEST(ValidatorTest, DisabledModeRunsNoChecksAndNeverAborts) {
+  ScopedValidation off(0);
+  const std::uint64_t before = check::ChecksRun();
+  // Blatantly broken inputs: with validation off these must be ignored.
+  SimValidator::OnSchedule(/*now=*/100, /*when=*/-5);
+  SimValidator::OnEvict(/*instance=*/0, /*resident=*/false, /*busy=*/true);
+  SimValidator::OnBreakdown(1.0, 2.0, 3.0, 100.0);
+  EXPECT_EQ(check::ChecksRun(), before);
+}
+
+// --------------------------------------------------------- trace linting
+
+// Renders a healthy multi-phase document through the real writer.
+std::string HealthyTraceJson() {
+  TraceDocument doc;
+  doc.process_names = {"server0"};
+  TraceEvent outer;
+  outer.phase = TracePhase::kSpan;
+  outer.track = "exec/gpu0";
+  outer.name = "request";
+  outer.ts = Micros(10);
+  outer.duration = Micros(100);
+  doc.events.push_back(outer);
+  TraceEvent inner = outer;  // properly nested child slice
+  inner.name = "layer";
+  inner.ts = Micros(20);
+  inner.duration = Micros(30);
+  doc.events.push_back(inner);
+  TraceEvent counter;
+  counter.phase = TracePhase::kCounter;
+  counter.track = "bw/pcie";
+  counter.name = "bytes_per_sec";
+  counter.ts = Micros(15);
+  counter.value = 12e9;
+  doc.events.push_back(counter);
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    TraceEvent begin;  // overlapping async intervals are legal
+    begin.phase = TracePhase::kAsyncBegin;
+    begin.track = "pcie/gpu0";
+    begin.name = "load";
+    begin.ts = Micros(10 + id);
+    begin.id = id;
+    doc.events.push_back(begin);
+    TraceEvent end = begin;
+    end.phase = TracePhase::kAsyncEnd;
+    end.ts = Micros(50 + id);
+    doc.events.push_back(end);
+  }
+  return ChromeTraceWriter::ToJson(doc);
+}
+
+TEST(TraceLintTest, AcceptsWriterOutput) {
+  const TraceLintResult r = LintChromeTrace(HealthyTraceJson());
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(r.num_spans, 2u);
+  EXPECT_EQ(r.num_counters, 1u);
+  EXPECT_EQ(r.num_asyncs, 4u);
+  EXPECT_GE(r.num_tracks, 2u);
+}
+
+// Hand-written minimal documents, each broken in exactly one way. Every
+// fixture carries the thread_name metadata the linter requires so only the
+// intended defect is reported.
+constexpr char kMeta[] =
+    R"({"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"t"}})";
+
+std::string Doc(const std::string& events) {
+  return std::string("{\"traceEvents\":[") + kMeta + "," + events + "]}";
+}
+
+TEST(TraceLintTest, RejectsInvalidJson) {
+  const TraceLintResult r = LintChromeTrace("{\"traceEvents\":[");
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("not valid JSON"), std::string::npos);
+}
+
+TEST(TraceLintTest, RejectsMissingTraceEvents) {
+  const TraceLintResult r = LintChromeTrace("{\"other\":[]}");
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceLintTest, RejectsOutOfOrderTimestamps) {
+  const TraceLintResult r = LintChromeTrace(Doc(
+      R"({"ph":"X","pid":0,"tid":0,"name":"a","ts":50,"dur":1},)"
+      R"({"ph":"X","pid":0,"tid":0,"name":"b","ts":10,"dur":1})"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("out of order"), std::string::npos);
+}
+
+TEST(TraceLintTest, RejectsPartiallyOverlappingSlices) {
+  const TraceLintResult r = LintChromeTrace(Doc(
+      R"({"ph":"X","pid":0,"tid":0,"name":"a","ts":10,"dur":50},)"
+      R"({"ph":"X","pid":0,"tid":0,"name":"b","ts":30,"dur":50})"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("partially overlaps"), std::string::npos);
+}
+
+TEST(TraceLintTest, RejectsUnbalancedAsync) {
+  const TraceLintResult r = LintChromeTrace(Doc(
+      R"({"ph":"b","pid":0,"tid":0,"name":"load","cat":"pcie","id":"1","ts":10})"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("async begin without matching end"),
+            std::string::npos);
+}
+
+TEST(TraceLintTest, RejectsEventMissingRequiredFields) {
+  const TraceLintResult r = LintChromeTrace(Doc(R"({"ph":"X","ts":10})"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TraceLintTest, UnreadableFileIsALintError) {
+  const TraceLintResult r =
+      LintChromeTraceFile("/nonexistent/deepplan-trace.json");
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("cannot read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -1,0 +1,37 @@
+// trace_lint: re-validates exported Chrome/Perfetto JSON traces (structure,
+// sorted timestamps, pid/tid metadata, slice nesting, async balance) so CI
+// can lint any captured artifact. Exit 0 when every file is clean.
+//
+//   trace_lint results/trace_fig15.json [more.json ...]
+#include <cstdio>
+
+#include "src/check/trace_lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const deepplan::check::TraceLintResult result =
+        deepplan::check::LintChromeTraceFile(argv[i]);
+    if (result.ok()) {
+      std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu async) on %zu tracks\n",
+                  argv[i], result.num_events, result.num_spans,
+                  result.num_counters, result.num_asyncs, result.num_tracks);
+      continue;
+    }
+    ++failures;
+    std::fprintf(stderr, "FAIL %s: %zu error(s)\n", argv[i],
+                 result.num_errors);
+    for (const std::string& error : result.errors) {
+      std::fprintf(stderr, "  %s\n", error.c_str());
+    }
+    if (result.num_errors > result.errors.size()) {
+      std::fprintf(stderr, "  ... and %zu more\n",
+                   result.num_errors - result.errors.size());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
