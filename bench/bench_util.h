@@ -55,21 +55,40 @@ inline ExecutionPlan PlanFor(const Topology& topology, Strategy strategy,
 // Runs one cold start of `strategy` for `model` using a pre-computed profile,
 // on a fresh simulator/fabric. Self-contained and thread-safe: every call
 // builds its own Simulator/ServerFabric/Engine, so SweepRunner tasks can call
-// it concurrently.
+// it concurrently. When `causal` points at an enabled graph the run records
+// its happens-before DAG there as one cold request under `causal_process`
+// (critical-path profiling, --profile_out).
 inline ColdMeasurement RunColdWithProfile(const Topology& topology,
                                           const PerfModel& perf, const Model& model,
                                           Strategy strategy,
                                           const ModelProfile& profile,
-                                          int batch = 1) {
+                                          int batch = 1,
+                                          CausalGraph* causal = nullptr,
+                                          int causal_process = 0,
+                                          int causal_instance = 0) {
   int degree = 0;
   ColdMeasurement m{{}, PlanFor(topology, strategy, profile, &degree)};
   Simulator sim;
   ServerFabric fabric(&sim, &topology);
   Engine engine(&sim, &fabric, &perf);
+  ColdRunOptions options = MakeColdRunOptions(strategy, batch);
+  int request = -1;
+  if (causal != nullptr && causal->enabled()) {
+    engine.set_causal(causal);
+    request = causal->BeginRequest(causal_process, causal_instance, sim.now());
+    causal->MarkCold(request);
+    options.causal_request = request;
+    options.causal_root = causal->arrival_node(request);
+  }
   engine.RunCold(model, m.plan, /*primary=*/0,
                  TransmissionPlanner::ChooseSecondaries(topology, 0, degree),
-                 MakeColdRunOptions(strategy, batch),
-                 [&m](const InferenceResult& r) { m.result = r; });
+                 options,
+                 [&m, &sim, causal, request](const InferenceResult& r) {
+                   m.result = r;
+                   if (request >= 0) {
+                     causal->EndRequest(request, sim.now(), r.causal_terminal);
+                   }
+                 });
   sim.Run();
   return m;
 }

@@ -12,7 +12,10 @@
 // are byte-identical for any thread count. With --trace_out=<path> (default:
 // $DEEPPLAN_TRACE), the three loose-SLO points at concurrency 140 — the knee
 // of the figure — record telemetry; their recorders stitch into one Chrome
-// trace and their metrics snapshots land in the matching BENCH points.
+// trace and their metrics snapshots land in the matching BENCH points. With
+// --profile_out=<path> (default: $DEEPPLAN_PROFILE) the same knee points
+// record causal journals; the stitched journal is written to <path> and the
+// critical-path attribution report prints after the tables.
 #include <cstdlib>
 #include <iostream>
 #include <utility>
@@ -31,10 +34,11 @@ struct Point {
   int capacity = 0;
   TraceRecorder recorder{false};
   MetricsRegistry registry;
+  CausalGraph causal{false};
 };
 
 Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
-               std::uint64_t seed, bool tracing) {
+               std::uint64_t seed, bool tracing, bool profiling) {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
   ServerOptions options;
@@ -51,6 +55,12 @@ Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
                          p.recorder.RegisterProcess(
                              std::string(StrategyName(strategy)) + " c" +
                              std::to_string(concurrency)));
+  }
+  if (profiling) {
+    p.causal = CausalGraph(/*enabled=*/true);
+    server.set_causal(&p.causal, p.causal.RegisterProcess(
+                                     std::string(StrategyName(strategy)) + " c" +
+                                     std::to_string(concurrency)));
   }
 
   PoissonOptions w;
@@ -86,6 +96,10 @@ int main(int argc, char** argv) {
   flags.DefineString("trace_out", trace_env != nullptr ? trace_env : "",
                      "write a Chrome/Perfetto trace JSON here (default: "
                      "$DEEPPLAN_TRACE; empty disables telemetry)");
+  const char* profile_env = std::getenv("DEEPPLAN_PROFILE");
+  flags.DefineString("profile_out", profile_env != nullptr ? profile_env : "",
+                     "write the causal journal JSON here (default: "
+                     "$DEEPPLAN_PROFILE; empty disables profiling)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -93,6 +107,8 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate");
   const std::string trace_out = flags.GetString("trace_out");
   const bool tracing = !trace_out.empty();
+  const std::string profile_out = flags.GetString("profile_out");
+  const bool profiling = !profile_out.empty();
 
   // Enumerate every independent point up front, then sweep them in parallel.
   std::vector<PointSpec> specs;
@@ -122,7 +138,7 @@ int main(int argc, char** argv) {
       runner.Map(static_cast<int>(specs.size()), [&](int i) {
         const PointSpec& s = specs[static_cast<std::size_t>(i)];
         return RunPoint(s.strategy, s.concurrency, requests, rate, 42,
-                        tracing && s.Traced());
+                        tracing && s.Traced(), profiling && s.Traced());
       });
 
   std::cout << "Figure 13: BERT-Base serving, " << rate
@@ -170,6 +186,25 @@ int main(int argc, char** argv) {
   tight.Print(std::cout);
   std::cout << "\nPaper reference: PipeSwitch p99 ~94 ms at 120; PT+DHA "
                "within ~35 ms even at 140.\n";
+  if (profiling) {
+    // Stitch the recorded points' graphs in spec order (deterministic for
+    // any DEEPPLAN_JOBS) and print the critical-path attribution report.
+    CausalGraph merged(/*enabled=*/true);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].Traced()) {
+        merged.Adopt(std::move(points[i].causal));
+      }
+    }
+    std::cout << "\n";
+    PrintProfileReport(BuildProfileReport(merged), std::cout);
+    if (merged.WriteTo(profile_out)) {
+      std::cerr << "wrote profile journal " << profile_out << " ("
+                << merged.nodes().size() << " nodes)\n";
+    } else {
+      std::cerr << "cannot write profile journal " << profile_out << "\n";
+      return 1;
+    }
+  }
   report.Write(&std::cerr);
   if (tracing) {
     TraceRecorder merged(/*enabled=*/true);

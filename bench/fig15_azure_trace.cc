@@ -14,7 +14,10 @@
 // --trace_out=<path> (default: $DEEPPLAN_TRACE), each replay records into its
 // own TraceRecorder/MetricsRegistry; the recorders are stitched in strategy
 // order into one Perfetto-loadable Chrome trace, and each strategy's metrics
-// snapshot lands in its BENCH point.
+// snapshot lands in its BENCH point. With --profile_out=<path> (default:
+// $DEEPPLAN_PROFILE) each replay additionally records a causal journal; the
+// stitched journal is written to <path> and the critical-path attribution
+// report prints after the tables.
 #include <cstdlib>
 #include <iostream>
 #include <utility>
@@ -30,9 +33,11 @@ struct Outcome {
   MinuteSeries series;
   TraceRecorder recorder{false};
   MetricsRegistry registry;
+  CausalGraph causal{false};
 };
 
-Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracing) {
+Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracing,
+               bool profiling) {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
   ServerOptions options;
@@ -52,6 +57,11 @@ Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracin
     out.recorder = TraceRecorder(/*enabled=*/true);
     server.set_telemetry(&out.recorder, &out.registry,
                          out.recorder.RegisterProcess(StrategyName(strategy)));
+  }
+  if (profiling) {
+    out.causal = CausalGraph(/*enabled=*/true);
+    server.set_causal(&out.causal,
+                      out.causal.RegisterProcess(StrategyName(strategy)));
   }
   out.metrics = server.Run(trace);
   out.series = out.metrics.PerMinute(Millis(100));
@@ -76,12 +86,18 @@ int main(int argc, char** argv) {
   flags.DefineString("trace_out", trace_env != nullptr ? trace_env : "",
                      "write a Chrome/Perfetto trace JSON here (default: "
                      "$DEEPPLAN_TRACE; empty disables telemetry)");
+  const char* profile_env = std::getenv("DEEPPLAN_PROFILE");
+  flags.DefineString("profile_out", profile_env != nullptr ? profile_env : "",
+                     "write the causal journal JSON here (default: "
+                     "$DEEPPLAN_PROFILE; empty disables profiling)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   const int instances = static_cast<int>(flags.GetInt("instances"));
   const std::string trace_out = flags.GetString("trace_out");
   const bool tracing = !trace_out.empty();
+  const std::string profile_out = flags.GetString("profile_out");
+  const bool profiling = !profile_out.empty();
 
   Trace trace;
   if (!flags.GetString("trace").empty()) {
@@ -129,7 +145,7 @@ int main(int argc, char** argv) {
   std::vector<Outcome> outcomes =
       runner.Map(static_cast<int>(strategies.size()), [&](int i) {
         return Replay(strategies[static_cast<std::size_t>(i)], trace, instances,
-                      tracing);
+                      tracing, profiling);
       });
 
   for (std::size_t s = 0; s < strategies.size(); ++s) {
@@ -186,6 +202,23 @@ int main(int argc, char** argv) {
   }
   std::cout << "Paper reference: DeepPlan variants hold 98-99% goodput; "
                "PipeSwitch drops to ~81% in loaded minutes.\n";
+  if (profiling) {
+    // Stitch the per-strategy graphs in strategy order (deterministic for
+    // any DEEPPLAN_JOBS) and print the critical-path attribution report.
+    CausalGraph merged(/*enabled=*/true);
+    for (Outcome& out : outcomes) {
+      merged.Adopt(std::move(out.causal));
+    }
+    std::cout << "\n";
+    PrintProfileReport(BuildProfileReport(merged), std::cout);
+    if (merged.WriteTo(profile_out)) {
+      std::cerr << "wrote profile journal " << profile_out << " ("
+                << merged.nodes().size() << " nodes)\n";
+    } else {
+      std::cerr << "cannot write profile journal " << profile_out << "\n";
+      return 1;
+    }
+  }
   report.Write(&std::cerr);
   if (tracing) {
     TraceRecorder merged(/*enabled=*/true);

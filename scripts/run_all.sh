@@ -61,9 +61,11 @@ scripts/check_format.sh
 
 mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
-# Keep the main sweep untraced (byte-stable baseline outputs) even when the
-# caller has a global DEEPPLAN_TRACE; the dedicated step below captures one.
+# Keep the main sweep untraced and unprofiled (byte-stable baseline outputs)
+# even when the caller has a global DEEPPLAN_TRACE/DEEPPLAN_PROFILE; the
+# dedicated steps below capture each artifact.
 unset DEEPPLAN_TRACE
+unset DEEPPLAN_PROFILE
 for bench in "$BUILD_DIR"/bench/*; do
   if [ -x "$bench" ] && [ -f "$bench" ]; then
     name="$(basename "$bench")"
@@ -71,6 +73,32 @@ for bench in "$BUILD_DIR"/bench/*; do
     "$bench" >"$RESULTS_DIR/$name.txt" 2>&1
   fi
 done
+
+# Regression gate: every checked-in golden under bench/golden/ must match the
+# fresh BENCH output point-for-point (wall_clock_ms and jobs are ignored by
+# the differ, so goldens gate across hosts). DEEPPLAN_BENCH_TOL widens the
+# relative tolerance; the simulator is deterministic, so the default is exact.
+# Runs before the traced/profiled replays below, which overwrite some BENCH
+# files with short-run variants. Skips gracefully when no goldens exist.
+echo "== bench_diff regression gate"
+GOLDEN_DIR="bench/golden"
+GOLDEN_FOUND=0
+if [ -d "$GOLDEN_DIR" ]; then
+  for golden in "$GOLDEN_DIR"/BENCH_*.json; do
+    [ -e "$golden" ] || continue
+    GOLDEN_FOUND=1
+    name="$(basename "$golden")"
+    if [ -f "$RESULTS_DIR/$name" ]; then
+      "$BUILD_DIR/tools/bench_diff" --tol="${DEEPPLAN_BENCH_TOL:-0}" \
+        "$golden" "$RESULTS_DIR/$name"
+    else
+      echo "skip $name: no fresh counterpart in $RESULTS_DIR"
+    fi
+  done
+fi
+if [ "$GOLDEN_FOUND" = "0" ]; then
+  echo "skip: no goldens under $GOLDEN_DIR"
+fi
 
 # Telemetry: capture a short traced replay and validate the artifact parses
 # and carries the expected tracks (load it in ui.perfetto.dev to explore).
@@ -109,5 +137,22 @@ fi
 # cannot.
 echo "== trace_lint"
 "$BUILD_DIR/tools/trace_lint" "$TRACE_FILE"
+
+# Critical-path profiling: capture a causal journal from a short profiled
+# replay, re-analyze it with the offline tool, and lint the report JSON
+# schema (attribution must tile each request's latency exactly). The profiled
+# run writes its BENCH file into a scratch subdir so the baseline BENCH
+# output above stays pristine.
+echo "== profile leg (fig15_azure_trace, 2 minutes)"
+PROFILE_JOURNAL="$RESULTS_DIR/profile_fig15.json"
+PROFILE_REPORT="$RESULTS_DIR/profile_fig15_report.json"
+mkdir -p "$RESULTS_DIR/profiled"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" DEEPPLAN_VALIDATE=1 \
+  "$BUILD_DIR/bench/fig15_azure_trace" --minutes=2 \
+  --profile_out="$PROFILE_JOURNAL" \
+  >"$RESULTS_DIR/fig15_azure_trace_profiled.txt" 2>&1
+"$BUILD_DIR/tools/profile_report" "$PROFILE_JOURNAL" \
+  --json="$PROFILE_REPORT" >"$RESULTS_DIR/profile_fig15_report.txt"
+"$BUILD_DIR/tools/trace_lint" --profile "$PROFILE_REPORT"
 
 echo "results written to $RESULTS_DIR/"

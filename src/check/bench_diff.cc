@@ -1,0 +1,171 @@
+#include "src/check/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/json_parse.h"
+
+namespace deepplan {
+namespace check {
+
+namespace {
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "bool";
+    case JsonValue::Kind::kNumber:
+      return "number";
+    case JsonValue::Kind::kString:
+      return "string";
+    case JsonValue::Kind::kArray:
+      return "array";
+    case JsonValue::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+class Differ {
+ public:
+  Differ(const BenchDiffOptions& options, BenchDiffResult* result)
+      : options_(options), result_(result) {}
+
+  void Compare(const std::string& path, const JsonValue& golden,
+               const JsonValue& candidate) {
+    if (golden.kind() != candidate.kind()) {
+      std::ostringstream os;
+      os << KindName(golden.kind()) << " -> " << KindName(candidate.kind());
+      Report(path, os.str());
+      return;
+    }
+    switch (golden.kind()) {
+      case JsonValue::Kind::kNull:
+        break;
+      case JsonValue::Kind::kBool:
+        if (golden.AsBool() != candidate.AsBool()) {
+          Report(path, golden.AsBool() ? "true -> false" : "false -> true");
+        }
+        break;
+      case JsonValue::Kind::kNumber:
+        CompareNumbers(path, golden.AsNumber(), candidate.AsNumber());
+        break;
+      case JsonValue::Kind::kString:
+        if (golden.AsString() != candidate.AsString()) {
+          Report(path,
+                 "\"" + golden.AsString() + "\" -> \"" + candidate.AsString() +
+                     "\"");
+        }
+        break;
+      case JsonValue::Kind::kArray:
+        CompareArrays(path, golden, candidate);
+        break;
+      case JsonValue::Kind::kObject:
+        CompareObjects(path, golden, candidate);
+        break;
+    }
+  }
+
+ private:
+  bool Ignored(const std::string& key) const {
+    return std::find(options_.ignored_keys.begin(),
+                     options_.ignored_keys.end(),
+                     key) != options_.ignored_keys.end();
+  }
+
+  void Report(const std::string& path, const std::string& detail) {
+    result_->diffs.push_back({path, detail});
+  }
+
+  void CompareNumbers(const std::string& path, double golden,
+                      double candidate) {
+    const double diff = std::abs(golden - candidate);
+    if (diff <= options_.abs_tol) {
+      return;
+    }
+    const double scale = std::max(std::abs(golden), std::abs(candidate));
+    if (scale > 0.0 && diff / scale <= options_.rel_tol) {
+      return;
+    }
+    std::ostringstream os;
+    os << golden << " -> " << candidate;
+    if (scale > 0.0) {
+      os << " (rel diff " << diff / scale << " > tol " << options_.rel_tol
+         << ")";
+    }
+    Report(path, os.str());
+  }
+
+  void CompareArrays(const std::string& path, const JsonValue& golden,
+                     const JsonValue& candidate) {
+    const auto& g = golden.items();
+    const auto& c = candidate.items();
+    if (g.size() != c.size()) {
+      std::ostringstream os;
+      os << "array length " << g.size() << " -> " << c.size();
+      Report(path, os.str());
+      return;
+    }
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      std::ostringstream os;
+      os << path << "[" << i << "]";
+      Compare(os.str(), g[i], c[i]);
+    }
+  }
+
+  void CompareObjects(const std::string& path, const JsonValue& golden,
+                      const JsonValue& candidate) {
+    for (const auto& [key, value] : golden.fields()) {
+      if (Ignored(key)) {
+        continue;
+      }
+      const std::string child = path.empty() ? key : path + "." + key;
+      const JsonValue* other = candidate.Find(key);
+      if (other == nullptr) {
+        Report(child, "missing in candidate");
+        continue;
+      }
+      Compare(child, value, *other);
+    }
+    for (const auto& [key, value] : candidate.fields()) {
+      (void)value;
+      if (Ignored(key)) {
+        continue;
+      }
+      if (golden.Find(key) == nullptr) {
+        Report(path.empty() ? key : path + "." + key,
+               "not present in golden");
+      }
+    }
+  }
+
+  const BenchDiffOptions& options_;
+  BenchDiffResult* result_;
+};
+
+}  // namespace
+
+BenchDiffResult DiffBenchReports(const std::string& golden,
+                                 const std::string& candidate,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  const JsonParseResult g = ParseJson(golden);
+  if (!g.ok) {
+    result.parse_error = "golden: " + g.error;
+    return result;
+  }
+  const JsonParseResult c = ParseJson(candidate);
+  if (!c.ok) {
+    result.parse_error = "candidate: " + c.error;
+    return result;
+  }
+  result.parsed = true;
+  Differ(options, &result).Compare("", g.value, c.value);
+  return result;
+}
+
+}  // namespace check
+}  // namespace deepplan

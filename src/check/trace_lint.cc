@@ -163,7 +163,8 @@ class Linter {
     if (ph == "C") {
       ++result_->num_counters;
       used_pids_.insert(static_cast<long long>(pid));
-      if (!RequireString(i, e, "name", nullptr)) {
+      std::string name;
+      if (!RequireString(i, e, "name", &name)) {
         return;
       }
       const JsonValue* args = Field(e, "args");
@@ -174,6 +175,25 @@ class Linter {
       for (const auto& [series, value] : args->fields()) {
         if (!value.is_number()) {
           Error(i, "counter series \"" + series + "\" is not numeric");
+          continue;
+        }
+        // Counters namespaced "cum/" promise to be cumulative: samples on
+        // one (pid, name, series) track must never decrease.
+        if (name.rfind("cum/", 0) == 0) {
+          std::ostringstream key;
+          key << pid << "/" << name << "/" << series;
+          auto [it, fresh] =
+              cumulative_.emplace(key.str(), value.AsNumber());
+          if (!fresh) {
+            if (value.AsNumber() < it->second - 1e-9) {
+              std::ostringstream os;
+              os << "cumulative counter \"" << name << "\" series \"" << series
+                 << "\" decreased: " << it->second << " -> "
+                 << value.AsNumber();
+              Error(i, os.str());
+            }
+            it->second = std::max(it->second, value.AsNumber());
+          }
         }
       }
       return;
@@ -326,6 +346,7 @@ class Linter {
   bool has_process_names_ = false;
   std::map<std::pair<long long, long long>, std::vector<Span>> spans_;
   std::map<std::string, AsyncState> asyncs_;
+  std::map<std::string, double> cumulative_;  // (pid/name/series) -> last value
 };
 
 }  // namespace
@@ -349,6 +370,185 @@ TraceLintResult LintChromeTraceFile(const std::string& path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return LintChromeTrace(buffer.str(), options);
+}
+
+namespace {
+
+// Small schema-checking helper for LintProfileReport.
+class ProfileLinter {
+ public:
+  ProfileLinter(const TraceLintOptions& options, TraceLintResult* result)
+      : options_(options), result_(result) {}
+
+  void Error(const std::string& what) {
+    ++result_->num_errors;
+    if (result_->errors.size() < options_.max_reported_errors) {
+      result_->errors.push_back(what);
+    }
+  }
+
+  const JsonValue* Number(const JsonValue& obj, const std::string& context,
+                          const char* key) {
+    const JsonValue* v = obj.Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Error(context + ": missing numeric \"" + key + "\"");
+      return nullptr;
+    }
+    return v;
+  }
+
+  // Sums the seven attribution components; returns false on schema error.
+  bool AttributionSum(const JsonValue& obj, const std::string& context,
+                      double* out) {
+    static const char* const kFields[] = {
+        "queue_ns", "evict_ns",  "pcie_ns", "pcie_contention_ns",
+        "nvlink_ns", "exec_ns", "sync_ns"};
+    const JsonValue* attribution = obj.Find("attribution");
+    if (attribution == nullptr || !attribution->is_object()) {
+      Error(context + ": missing \"attribution\" object");
+      return false;
+    }
+    double sum = 0.0;
+    for (const char* field : kFields) {
+      const JsonValue* v = Number(*attribution, context, field);
+      if (v == nullptr) {
+        return false;
+      }
+      if (v->AsNumber() < 0.0) {
+        Error(context + ": negative component \"" + std::string(field) + "\"");
+        return false;
+      }
+      sum += v->AsNumber();
+    }
+    *out = sum;
+    return true;
+  }
+
+  void Lint(const std::string& json_text) {
+    const JsonParseResult parsed = ParseJson(json_text);
+    if (!parsed.ok) {
+      Error("not valid JSON: " + parsed.error);
+      return;
+    }
+    const JsonValue* report =
+        parsed.value.is_object() ? parsed.value.Find("profile_report") : nullptr;
+    if (report == nullptr || !report->is_object()) {
+      Error("missing \"profile_report\" object");
+      return;
+    }
+    const JsonValue* requests = Number(*report, "profile_report", "requests");
+    Number(*report, "profile_report", "cold_requests");
+    const JsonValue* total_latency =
+        Number(*report, "profile_report", "total_latency_ns");
+    const JsonValue* bottleneck = report->Find("bottleneck");
+    if (bottleneck == nullptr || !bottleneck->is_string()) {
+      Error("profile_report: missing string \"bottleneck\"");
+    }
+    double totals_sum = 0.0;
+    const JsonValue* totals = report->Find("totals");
+    if (totals == nullptr || !totals->is_object()) {
+      Error("profile_report: missing \"totals\" object");
+    } else {
+      // Reuse the attribution checker by wrapping totals under the expected
+      // key name.
+      JsonValue wrapper = JsonValue::Object({{"attribution", *totals}});
+      if (AttributionSum(wrapper, "totals", &totals_sum) &&
+          total_latency != nullptr &&
+          totals_sum != total_latency->AsNumber()) {
+        std::ostringstream os;
+        os << "totals components sum to " << totals_sum
+           << "ns but total_latency_ns is " << total_latency->AsNumber();
+        Error(os.str());
+      }
+    }
+    for (const char* key : {"processes", "per_request", "utilization"}) {
+      const JsonValue* arr = report->Find(key);
+      if (arr == nullptr || !arr->is_array()) {
+        Error(std::string("profile_report: missing \"") + key + "\" array");
+      }
+    }
+    const JsonValue* per_request = report->Find("per_request");
+    if (per_request != nullptr && per_request->is_array()) {
+      if (requests != nullptr &&
+          static_cast<double>(per_request->items().size()) !=
+              requests->AsNumber()) {
+        Error("\"requests\" disagrees with per_request length");
+      }
+      for (std::size_t i = 0; i < per_request->items().size(); ++i) {
+        const JsonValue& entry = per_request->items()[i];
+        std::ostringstream ctx;
+        ctx << "per_request[" << i << "]";
+        if (!entry.is_object()) {
+          Error(ctx.str() + ": not an object");
+          continue;
+        }
+        const JsonValue* latency = Number(entry, ctx.str(), "latency_ns");
+        double sum = 0.0;
+        if (latency != nullptr &&
+            AttributionSum(entry, ctx.str(), &sum) &&
+            sum != latency->AsNumber()) {
+          std::ostringstream os;
+          os << ctx.str() << ": attribution sums to " << sum
+             << "ns but latency_ns is " << latency->AsNumber();
+          Error(os.str());
+        }
+      }
+    }
+    const JsonValue* utilization = report->Find("utilization");
+    if (utilization != nullptr && utilization->is_array()) {
+      for (std::size_t i = 0; i < utilization->items().size(); ++i) {
+        const JsonValue& entry = utilization->items()[i];
+        std::ostringstream ctx;
+        ctx << "utilization[" << i << "]";
+        if (!entry.is_object()) {
+          Error(ctx.str() + ": not an object");
+          continue;
+        }
+        const JsonValue* resource = entry.Find("resource");
+        if (resource == nullptr || !resource->is_string()) {
+          Error(ctx.str() + ": missing string \"resource\"");
+        }
+        const JsonValue* busy = Number(entry, ctx.str(), "busy_ns");
+        const JsonValue* contended = Number(entry, ctx.str(), "contended_ns");
+        const JsonValue* span = Number(entry, ctx.str(), "span_ns");
+        if (busy != nullptr && contended != nullptr &&
+            contended->AsNumber() > busy->AsNumber()) {
+          Error(ctx.str() + ": contended_ns exceeds busy_ns");
+        }
+        if (busy != nullptr && span != nullptr &&
+            busy->AsNumber() > span->AsNumber()) {
+          Error(ctx.str() + ": busy_ns exceeds span_ns");
+        }
+      }
+    }
+  }
+
+ private:
+  const TraceLintOptions& options_;
+  TraceLintResult* result_;
+};
+
+}  // namespace
+
+TraceLintResult LintProfileReport(const std::string& json_text,
+                                  const TraceLintOptions& options) {
+  TraceLintResult result;
+  ProfileLinter(options, &result).Lint(json_text);
+  return result;
+}
+
+TraceLintResult LintProfileReportFile(const std::string& path,
+                                      const TraceLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceLintResult result;
+    ++result.num_errors;
+    result.errors.push_back("cannot read " + path);
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintProfileReport(buffer.str(), options);
 }
 
 }  // namespace check

@@ -19,6 +19,14 @@
 //                dropped or mis-rendered by trace viewers)
 //   async      — begin/end pairs ("b"/"e") balance per (pid, cat, id) with
 //                end no earlier than begin
+//   counters   — cumulative counter tracks (name prefixed "cum/", e.g.
+//                "cum/fabric.bytes", "cum/requests") never decrease per
+//                (pid, name, series)
+//
+// LintProfileReport validates the {"profile_report":{...}} JSON emitted by
+// tools/profile_report and the bench --profile_out flag: required fields and
+// types, attribution components summing exactly to each request's latency,
+// and utilization entries staying within their observation span.
 #ifndef SRC_CHECK_TRACE_LINT_H_
 #define SRC_CHECK_TRACE_LINT_H_
 
@@ -55,6 +63,13 @@ TraceLintResult LintChromeTrace(const std::string& json_text,
 // lint error.
 TraceLintResult LintChromeTraceFile(const std::string& path,
                                     const TraceLintOptions& options = {});
+
+// Schema check for profile-report JSON (see header comment). Reuses
+// TraceLintResult for error accounting; the trace-specific counters stay 0.
+TraceLintResult LintProfileReport(const std::string& json_text,
+                                  const TraceLintOptions& options = {});
+TraceLintResult LintProfileReportFile(const std::string& path,
+                                      const TraceLintOptions& options = {});
 
 }  // namespace check
 }  // namespace deepplan

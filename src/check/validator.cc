@@ -319,5 +319,18 @@ void SimValidator::OnBreakdown(double mean_queue_ms, double mean_cold_ms,
   }
 }
 
+void SimValidator::OnAttribution(int request, Nanos latency, Nanos attributed) {
+  if (!enabled()) {
+    return;
+  }
+  Count();
+  if (attributed != latency) {
+    std::ostringstream os;
+    os << "request " << request << " attribution components sum to "
+       << attributed << "ns but end-to-end latency is " << latency << "ns";
+    Fail("profiling attribution", os.str());
+  }
+}
+
 }  // namespace check
 }  // namespace deepplan

@@ -119,6 +119,11 @@ class SimValidator {
   // total, within floating-point tolerance).
   static void OnBreakdown(double mean_queue_ms, double mean_cold_ms,
                           double mean_exec_ms, double mean_total_ms);
+
+  // -- profiling attribution -------------------------------------------
+  // The critical-path engine's components must sum exactly (integer ns) to
+  // the request's end-to-end latency.
+  static void OnAttribution(int request, Nanos latency, Nanos attributed);
 };
 
 }  // namespace check

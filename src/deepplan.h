@@ -25,8 +25,12 @@
 #include "src/model/layer.h"
 #include "src/model/model.h"
 #include "src/model/zoo.h"
+#include "src/obs/causal_graph.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/profile_report.h"
 #include "src/obs/trace_recorder.h"
+#include "src/obs/utilization.h"
 #include "src/perf/pcie_events.h"
 #include "src/perf/perf_model.h"
 #include "src/serving/instance.h"

@@ -84,6 +84,16 @@ struct ColdRun {
   std::vector<std::unique_ptr<Stream>> migration;  // per partition (index 0 unused)
   std::vector<std::vector<LoadItem>> part_items;
   int pending_arrivals = 0;
+  // Causal-graph cursors (only populated when the run records profiling
+  // nodes): chains thread happens-before edges through these.
+  int causal_request = -1;
+  CpNodeId causal_root = -1;
+  std::vector<CpNodeId> layer_source;      // node that delivered each layer
+  std::vector<CpNodeId> secondary_source;  // PCIe node per layer (partitions>0)
+  std::vector<CpNodeId> pcie_prev;         // per-partition PCIe chain cursor
+  std::vector<CpNodeId> mig_prev;          // per-partition migration cursor
+  CpNodeId last_exec = -1;
+  CpNodeId all_loaded_source = -1;  // node whose arrival fired all_loaded
 };
 
 }  // namespace
@@ -104,6 +114,21 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   run->all_loaded = std::make_unique<SyncEvent>(sim_);
   run->exec = std::make_unique<Stream>(sim_, "exec/gpu" + std::to_string(primary));
   run->part_items.resize(Idx(plan.num_partitions()));
+
+  // Causal profiling is per-run: active only when a graph is attached AND
+  // this run was given a request to hang its nodes off.
+  if (causal_ != nullptr && causal_->enabled() && options.causal_request >= 0) {
+    run->causal_request = options.causal_request;
+    run->causal_root = options.causal_root >= 0
+                           ? options.causal_root
+                           : causal_->arrival_node(options.causal_request);
+    run->layer_source.assign(n, -1);
+    run->secondary_source.assign(n, -1);
+    run->pcie_prev.assign(Idx(plan.num_partitions()), run->causal_root);
+    run->mig_prev.assign(Idx(plan.num_partitions()), run->causal_root);
+    run->last_exec = run->causal_root;
+    run->all_loaded_source = run->causal_root;
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     const Layer& layer = model.layer(i);
@@ -135,6 +160,11 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     ps.arrival_done = std::max(ps.arrival_done, sim_->now() - run->start);
     run->result.load_done = std::max(run->result.load_done, sim_->now() - run->start);
     if (--run->pending_arrivals == 0) {
+      if (run->causal_request >= 0) {
+        // The node that delivered the last layer is what a non-pipelined
+        // Baseline's gated exec ops causally wait on.
+        run->all_loaded_source = run->layer_source[layer_index];
+      }
       run->all_loaded->Fire();
     }
   };
@@ -184,6 +214,21 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
               recorder_->AsyncBegin(pid_, track, name, aid, run->start + op_start);
               recorder_->AsyncEnd(pid_, track, name, aid, sim_->now());
             }
+            if (run->causal_request >= 0) {
+              const LoadItem& item = run->part_items[Idx(p)][k];
+              const CpNodeId node = causal_->AddNode(
+                  run->causal_request, CpKind::kPcie, "load " + item.name,
+                  "pcie/gpu" + std::to_string(target), run->start + op_start,
+                  sim_->now(), item.bytes,
+                  fabric_->fabric().SoloDuration(
+                      fabric_->HostToGpuPath(target), item.bytes,
+                      perf_->calibration().pcie_transfer_overhead));
+              causal_->AddEdge(run->pcie_prev[Idx(p)], node);
+              run->pcie_prev[Idx(p)] = node;
+              for (const std::size_t li : item.layer_indices) {
+                (p == 0 ? run->layer_source : run->secondary_source)[li] = node;
+              }
+            }
             for (const std::size_t li : run->part_items[Idx(p)][k].layer_indices) {
               if (p == 0) {
                 on_arrival(li, p);
@@ -219,8 +264,8 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
           const Nanos op_start = sim_->now() - run->start;
           fabric_->fabric().Start(
               fabric_->GpuToGpuPath(src, primary), item.bytes, nvlink.transfer_latency,
-              [this, run, item, p, src, primary, record, op_start, on_arrival,
-               op_done = std::move(op_done)](Nanos) {
+              [this, run, item, p, src, primary, nvlink, record, op_start,
+               on_arrival, op_done = std::move(op_done)](Nanos) {
                 if (record) {
                   run->result.timeline.push_back(TimelineEvent{
                       "migrate " + item.name,
@@ -235,6 +280,25 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                                         run->start + op_start);
                   recorder_->AsyncEnd(pid_, track, "migrate " + item.name, aid,
                                       sim_->now());
+                }
+                if (run->causal_request >= 0) {
+                  const CpNodeId node = causal_->AddNode(
+                      run->causal_request, CpKind::kNvlink, "migrate " + item.name,
+                      "nvlink/" + std::to_string(src) + "->" +
+                          std::to_string(primary),
+                      run->start + op_start, sim_->now(), item.bytes,
+                      fabric_->fabric().SoloDuration(
+                          fabric_->GpuToGpuPath(src, primary), item.bytes,
+                          nvlink.transfer_latency));
+                  causal_->AddEdge(run->mig_prev[Idx(p)], node);
+                  // The migration waited on this item's PCIe delivery to the
+                  // secondary GPU (one PCIe node covers the whole item).
+                  causal_->AddEdge(
+                      run->secondary_source[item.layer_indices.front()], node);
+                  run->mig_prev[Idx(p)] = node;
+                  for (const std::size_t li : item.layer_indices) {
+                    run->layer_source[li] = node;
+                  }
                 }
                 for (const std::size_t li : item.layer_indices) {
                   on_arrival(li, p);
@@ -253,9 +317,33 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       }
       mig->Enqueue([this, run, p, src, primary, bytes, nvlink,
                     on_arrival](std::function<void()> op_done) {
+        const Nanos op_start = sim_->now() - run->start;
         fabric_->fabric().Start(
             fabric_->GpuToGpuPath(src, primary), bytes, nvlink.transfer_latency,
-            [run, p, on_arrival, op_done = std::move(op_done)](Nanos) {
+            [this, run, p, src, primary, bytes, nvlink, op_start, on_arrival,
+             op_done = std::move(op_done)](Nanos) {
+              if (run->causal_request >= 0) {
+                const CpNodeId node = causal_->AddNode(
+                    run->causal_request, CpKind::kNvlink,
+                    "migrate bulk p" + std::to_string(p),
+                    "nvlink/" + std::to_string(src) + "->" +
+                        std::to_string(primary),
+                    run->start + op_start, sim_->now(), bytes,
+                    fabric_->fabric().SoloDuration(
+                        fabric_->GpuToGpuPath(src, primary), bytes,
+                        nvlink.transfer_latency));
+                causal_->AddEdge(run->mig_prev[Idx(p)], node);
+                for (const LoadItem& item : run->part_items[Idx(p)]) {
+                  causal_->AddEdge(
+                      run->secondary_source[item.layer_indices.front()], node);
+                }
+                run->mig_prev[Idx(p)] = node;
+                for (const LoadItem& item : run->part_items[Idx(p)]) {
+                  for (const std::size_t li : item.layer_indices) {
+                    run->layer_source[li] = node;
+                  }
+                }
+              }
               for (const LoadItem& item : run->part_items[Idx(p)]) {
                 for (const std::size_t li : item.layer_indices) {
                   on_arrival(li, p);
@@ -279,13 +367,17 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     const Nanos exec = plan.method(i) == ExecMethod::kDirectHostAccess
                            ? perf_->ExecDha(layer, options.batch)
                            : perf_->ExecInMemory(layer, options.batch);
-    if (options.record_timeline || recorder_ != nullptr) {
+    if (options.record_timeline || recorder_ != nullptr ||
+        run->causal_request >= 0) {
       const bool dha = plan.method(i) == ExecMethod::kDirectHostAccess;
       const bool record = options.record_timeline;
-      run->exec->Enqueue([this, run, exec, dha, primary, record,
+      const bool pipelined = options.pipelined;
+      run->exec->Enqueue([this, run, exec, dha, primary, record, i, loads,
+                          pipelined,
                           name = layer.name](std::function<void()> op_done) {
         const Nanos op_start = sim_->now() - run->start;
-        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, record, name,
+        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, record,
+                                   i, loads, pipelined, name,
                                    op_done = std::move(op_done)]() {
           if (record) {
             run->result.timeline.push_back(
@@ -299,6 +391,20 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                             run->start + op_start,
                             sim_->now() - run->start - op_start);
           }
+          if (run->causal_request >= 0) {
+            const CpNodeId node = causal_->AddNode(
+                run->causal_request, CpKind::kExec,
+                (dha ? "exec(DHA) " : "exec ") + name,
+                "exec/gpu" + std::to_string(primary), run->start + op_start,
+                sim_->now());
+            causal_->AddEdge(run->last_exec, node);
+            if (loads) {
+              causal_->AddEdge(pipelined ? run->layer_source[i]
+                                         : run->all_loaded_source,
+                               node);
+            }
+            run->last_exec = node;
+          }
           op_done();
         });
       });
@@ -310,6 +416,9 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   run->exec->EnqueueMarker([this, run, done = std::move(done)]() {
     run->result.latency = sim_->now() - run->start;
     run->result.stall = run->exec->wait_time();
+    if (run->causal_request >= 0 && run->last_exec != run->causal_root) {
+      run->result.causal_terminal = run->last_exec;
+    }
     done(run->result);
   });
 }

@@ -18,6 +18,7 @@
 
 #include "src/core/plan.h"
 #include "src/hw/topology.h"
+#include "src/obs/causal_graph.h"
 #include "src/obs/trace_recorder.h"
 #include "src/model/model.h"
 #include "src/perf/perf_model.h"
@@ -74,6 +75,10 @@ struct InferenceResult {
   // Per-operation timeline (only populated when ColdRunOptions.record_timeline
   // is set); exportable via ChromeTraceWriter.
   std::vector<TimelineEvent> timeline;
+  // Last exec node recorded in the causal graph (-1 unless a graph was
+  // attached and ColdRunOptions.causal_request was set); the caller passes it
+  // to CausalGraph::EndRequest as the request's terminal node.
+  CpNodeId causal_terminal = -1;
 };
 
 struct ColdRunOptions {
@@ -90,6 +95,12 @@ struct ColdRunOptions {
   // the per-copy DMA setup like PipeSwitch's transmission groups, at the
   // cost of coarser pipelining. See bench/ablation_group_size.
   int transfer_group_layers = 1;
+  // Causal-graph wiring (profiling): the request this cold run belongs to in
+  // the graph attached via set_causal, and the node the run's first
+  // operations hang off (an evict node, or the request's arrival node).
+  // -1 disables node emission for this run.
+  int causal_request = -1;
+  CpNodeId causal_root = -1;
 };
 
 class Engine {
@@ -103,6 +114,13 @@ class Engine {
   // independent of ColdRunOptions::record_timeline, which stays per-run and
   // run-relative. nullptr detaches; the disabled cost is one pointer test.
   void set_telemetry(TraceRecorder* recorder, int pid = 0);
+
+  // Attaches a causal graph: cold runs whose options carry a causal_request
+  // then record every PCIe transfer, NVLink migration, and layer execution as
+  // a happens-before DAG node (with solo durations on transfers for
+  // contention attribution). nullptr detaches; disabled cost is one pointer
+  // test per operation.
+  void set_causal(CausalGraph* graph) { causal_ = graph; }
 
   // Cold start: provision `model` according to `plan` onto `primary`
   // (partitions k>0 load via secondaries[k-1]) and execute one inference.
@@ -126,6 +144,7 @@ class Engine {
   ServerFabric* fabric_;
   const PerfModel* perf_;
   TraceRecorder* recorder_ = nullptr;
+  CausalGraph* causal_ = nullptr;
   int pid_ = 0;
   // Pairs async begin/end events for load/migrate intervals: concurrent cold
   // runs share PCIe/NVLink tracks, so their transfer slices may overlap and

@@ -1,0 +1,389 @@
+#include "src/obs/causal_graph.h"
+
+#include <fstream>
+
+#include "src/util/json.h"
+#include "src/util/json_parse.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+const char* CpKindName(CpKind kind) {
+  switch (kind) {
+    case CpKind::kArrival:
+      return "arrival";
+    case CpKind::kEvict:
+      return "evict";
+    case CpKind::kPcie:
+      return "pcie";
+    case CpKind::kNvlink:
+      return "nvlink";
+    case CpKind::kExec:
+      return "exec";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool KindFromName(const std::string& name, CpKind* kind) {
+  for (const CpKind k : {CpKind::kArrival, CpKind::kEvict, CpKind::kPcie,
+                         CpKind::kNvlink, CpKind::kExec}) {
+    if (name == CpKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int CausalGraph::RegisterProcess(std::string_view name) {
+  if (!enabled_) {
+    return 0;
+  }
+  process_names_.emplace_back(name);
+  return static_cast<int>(process_names_.size() - 1);
+}
+
+int CausalGraph::BeginRequest(int process, int instance, Nanos arrival) {
+  if (!enabled_) {
+    return -1;
+  }
+  CpRequest req;
+  req.id = static_cast<int>(requests_.size());
+  req.process = process;
+  req.instance = instance;
+  req.arrival = arrival;
+  requests_.push_back(req);
+  const CpNodeId root = AddNode(req.id, CpKind::kArrival, "arrival", "",
+                                arrival, arrival);
+  requests_.back().arrival_node = root;
+  return req.id;
+}
+
+CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
+                              std::string resource, Nanos start, Nanos end,
+                              std::int64_t bytes, Nanos solo) {
+  if (!enabled_ || request < 0) {
+    return -1;
+  }
+  DP_CHECK(request < static_cast<int>(requests_.size()));
+  CpNode node;
+  node.id = static_cast<CpNodeId>(nodes_.size());
+  node.request = request;
+  node.kind = kind;
+  node.label = std::move(label);
+  node.resource = std::move(resource);
+  node.start = start;
+  node.end = end;
+  node.bytes = bytes;
+  node.solo = solo;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void CausalGraph::AddEdge(CpNodeId from, CpNodeId to) {
+  if (!enabled_ || from < 0 || to < 0) {
+    return;
+  }
+  DP_CHECK(from < static_cast<CpNodeId>(nodes_.size()));
+  DP_CHECK(to < static_cast<CpNodeId>(nodes_.size()));
+  edges_.emplace_back(from, to);
+}
+
+void CausalGraph::MarkCold(int request) {
+  if (!enabled_ || request < 0) {
+    return;
+  }
+  DP_CHECK(request < static_cast<int>(requests_.size()));
+  requests_[static_cast<std::size_t>(request)].cold = true;
+}
+
+void CausalGraph::EndRequest(int request, Nanos completion, CpNodeId terminal) {
+  if (!enabled_ || request < 0) {
+    return;
+  }
+  DP_CHECK(request < static_cast<int>(requests_.size()));
+  CpRequest& req = requests_[static_cast<std::size_t>(request)];
+  req.completion = completion;
+  req.terminal_node = terminal >= 0 ? terminal : req.arrival_node;
+}
+
+CpNodeId CausalGraph::arrival_node(int request) const {
+  if (!enabled_ || request < 0) {
+    return -1;
+  }
+  DP_CHECK(request < static_cast<int>(requests_.size()));
+  return requests_[static_cast<std::size_t>(request)].arrival_node;
+}
+
+void CausalGraph::Adopt(CausalGraph&& other) {
+  if (!enabled_) {
+    return;
+  }
+  const int process_base = static_cast<int>(process_names_.size());
+  const int request_base = static_cast<int>(requests_.size());
+  const CpNodeId node_base = static_cast<CpNodeId>(nodes_.size());
+  for (std::string& name : other.process_names_) {
+    process_names_.push_back(std::move(name));
+  }
+  for (CpRequest& req : other.requests_) {
+    req.id += request_base;
+    req.process += process_base;
+    if (req.arrival_node >= 0) {
+      req.arrival_node += node_base;
+    }
+    if (req.terminal_node >= 0) {
+      req.terminal_node += node_base;
+    }
+    requests_.push_back(std::move(req));
+  }
+  for (CpNode& node : other.nodes_) {
+    node.id += node_base;
+    node.request += request_base;
+    nodes_.push_back(std::move(node));
+  }
+  for (const auto& [from, to] : other.edges_) {
+    edges_.emplace_back(from + node_base, to + node_base);
+  }
+  other = CausalGraph(other.enabled_);
+}
+
+std::string CausalGraph::ToJson() const {
+  JsonArray processes;
+  for (const std::string& name : process_names_) {
+    processes.Add(name);
+  }
+  JsonArray requests;
+  for (const CpRequest& req : requests_) {
+    requests.AddRaw(JsonObject()
+                        .Set("id", req.id)
+                        .Set("process", req.process)
+                        .Set("instance", req.instance)
+                        .Set("cold", req.cold)
+                        .Set("arrival_ns", static_cast<std::int64_t>(req.arrival))
+                        .Set("completion_ns",
+                             static_cast<std::int64_t>(req.completion))
+                        .Set("arrival_node", req.arrival_node)
+                        .Set("terminal_node", req.terminal_node)
+                        .Render());
+  }
+  JsonArray nodes;
+  for (const CpNode& node : nodes_) {
+    nodes.AddRaw(JsonObject()
+                     .Set("id", node.id)
+                     .Set("request", node.request)
+                     .Set("kind", CpKindName(node.kind))
+                     .Set("label", node.label)
+                     .Set("resource", node.resource)
+                     .Set("start_ns", static_cast<std::int64_t>(node.start))
+                     .Set("end_ns", static_cast<std::int64_t>(node.end))
+                     .Set("bytes", node.bytes)
+                     .Set("solo_ns", static_cast<std::int64_t>(node.solo))
+                     .Render());
+  }
+  JsonArray edges;
+  for (const auto& [from, to] : edges_) {
+    edges.AddRaw(JsonArray().Add(from).Add(to).Render());
+  }
+  JsonObject journal;
+  journal.SetRaw("processes", processes.Render())
+      .SetRaw("requests", requests.Render())
+      .SetRaw("nodes", nodes.Render())
+      .SetRaw("edges", edges.Render());
+  JsonObject doc;
+  doc.SetRaw("causal_journal", journal.Render());
+  return doc.Render();
+}
+
+bool CausalGraph::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+bool GetInt(const JsonValue& obj, const char* key, std::int64_t* out,
+            std::string* error, const char* context) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    *error = std::string(context) + ": missing numeric \"" + key + "\"";
+    return false;
+  }
+  *out = static_cast<std::int64_t>(v->AsNumber());
+  return true;
+}
+
+bool GetString(const JsonValue& obj, const char* key, std::string* out,
+               std::string* error, const char* context) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    *error = std::string(context) + ": missing string \"" + key + "\"";
+    return false;
+  }
+  *out = v->AsString();
+  return true;
+}
+
+}  // namespace
+
+bool CausalGraph::FromJson(const std::string& text, CausalGraph* out,
+                           std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  const JsonParseResult parsed = ParseJson(text);
+  if (!parsed.ok) {
+    *error = "not valid JSON: " + parsed.error;
+    return false;
+  }
+  const JsonValue* journal =
+      parsed.value.is_object() ? parsed.value.Find("causal_journal") : nullptr;
+  if (journal == nullptr || !journal->is_object()) {
+    *error = "missing \"causal_journal\" object";
+    return false;
+  }
+  CausalGraph graph(/*enabled=*/true);
+  const JsonValue* processes = journal->Find("processes");
+  if (processes == nullptr || !processes->is_array()) {
+    *error = "missing \"processes\" array";
+    return false;
+  }
+  for (const JsonValue& p : processes->items()) {
+    if (!p.is_string()) {
+      *error = "process name is not a string";
+      return false;
+    }
+    graph.process_names_.push_back(p.AsString());
+  }
+  const JsonValue* nodes = journal->Find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    *error = "missing \"nodes\" array";
+    return false;
+  }
+  for (const JsonValue& n : nodes->items()) {
+    if (!n.is_object()) {
+      *error = "node is not an object";
+      return false;
+    }
+    CpNode node;
+    std::int64_t id = 0, request = 0, start = 0, end = 0, bytes = 0, solo = 0;
+    std::string kind;
+    if (!GetInt(n, "id", &id, error, "node") ||
+        !GetInt(n, "request", &request, error, "node") ||
+        !GetString(n, "kind", &kind, error, "node") ||
+        !GetString(n, "label", &node.label, error, "node") ||
+        !GetString(n, "resource", &node.resource, error, "node") ||
+        !GetInt(n, "start_ns", &start, error, "node") ||
+        !GetInt(n, "end_ns", &end, error, "node") ||
+        !GetInt(n, "bytes", &bytes, error, "node") ||
+        !GetInt(n, "solo_ns", &solo, error, "node")) {
+      return false;
+    }
+    if (!KindFromName(kind, &node.kind)) {
+      *error = "unknown node kind \"" + kind + "\"";
+      return false;
+    }
+    if (id != static_cast<std::int64_t>(graph.nodes_.size())) {
+      *error = "node ids must be dense and in order";
+      return false;
+    }
+    node.id = static_cast<CpNodeId>(id);
+    node.request = static_cast<int>(request);
+    node.start = start;
+    node.end = end;
+    node.bytes = bytes;
+    node.solo = solo;
+    if (node.end < node.start) {
+      *error = "node " + std::to_string(id) + " ends before it starts";
+      return false;
+    }
+    graph.nodes_.push_back(std::move(node));
+  }
+  const JsonValue* requests = journal->Find("requests");
+  if (requests == nullptr || !requests->is_array()) {
+    *error = "missing \"requests\" array";
+    return false;
+  }
+  for (const JsonValue& r : requests->items()) {
+    if (!r.is_object()) {
+      *error = "request is not an object";
+      return false;
+    }
+    CpRequest req;
+    std::int64_t id = 0, process = 0, instance = 0, arrival = 0, completion = 0,
+                 arrival_node = 0, terminal_node = 0;
+    if (!GetInt(r, "id", &id, error, "request") ||
+        !GetInt(r, "process", &process, error, "request") ||
+        !GetInt(r, "instance", &instance, error, "request") ||
+        !GetInt(r, "arrival_ns", &arrival, error, "request") ||
+        !GetInt(r, "completion_ns", &completion, error, "request") ||
+        !GetInt(r, "arrival_node", &arrival_node, error, "request") ||
+        !GetInt(r, "terminal_node", &terminal_node, error, "request")) {
+      return false;
+    }
+    const JsonValue* cold = r.Find("cold");
+    if (cold == nullptr || !cold->is_bool()) {
+      *error = "request: missing bool \"cold\"";
+      return false;
+    }
+    if (id != static_cast<std::int64_t>(graph.requests_.size())) {
+      *error = "request ids must be dense and in order";
+      return false;
+    }
+    const auto num_nodes = static_cast<std::int64_t>(graph.nodes_.size());
+    if (arrival_node < 0 || arrival_node >= num_nodes || terminal_node < -1 ||
+        terminal_node >= num_nodes) {
+      *error = "request " + std::to_string(id) + " references unknown nodes";
+      return false;
+    }
+    req.id = static_cast<int>(id);
+    req.process = static_cast<int>(process);
+    req.instance = static_cast<int>(instance);
+    req.cold = cold->AsBool();
+    req.arrival = arrival;
+    req.completion = completion;
+    req.arrival_node = static_cast<CpNodeId>(arrival_node);
+    req.terminal_node = static_cast<CpNodeId>(terminal_node);
+    graph.requests_.push_back(req);
+  }
+  for (const CpNode& node : graph.nodes_) {
+    if (node.request < 0 ||
+        node.request >= static_cast<int>(graph.requests_.size())) {
+      *error = "node " + std::to_string(node.id) + " references unknown request";
+      return false;
+    }
+  }
+  const JsonValue* edges = journal->Find("edges");
+  if (edges == nullptr || !edges->is_array()) {
+    *error = "missing \"edges\" array";
+    return false;
+  }
+  for (const JsonValue& e : edges->items()) {
+    if (!e.is_array() || e.items().size() != 2 || !e.items()[0].is_number() ||
+        !e.items()[1].is_number()) {
+      *error = "edge is not a [from, to] pair";
+      return false;
+    }
+    const auto from = static_cast<std::int64_t>(e.items()[0].AsNumber());
+    const auto to = static_cast<std::int64_t>(e.items()[1].AsNumber());
+    const auto num_nodes = static_cast<std::int64_t>(graph.nodes_.size());
+    if (from < 0 || from >= num_nodes || to < 0 || to >= num_nodes) {
+      *error = "edge references unknown node";
+      return false;
+    }
+    graph.edges_.emplace_back(static_cast<CpNodeId>(from),
+                              static_cast<CpNodeId>(to));
+  }
+  *out = std::move(graph);
+  return true;
+}
+
+}  // namespace deepplan

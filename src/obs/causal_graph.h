@@ -1,0 +1,140 @@
+// Causal journal of a simulated run: an explicit happens-before DAG per
+// request, recorded at the same chokepoints the runtime validator already
+// hooks — queue pop (dispatch), stream op chaining, sync-event fire, and
+// fabric transfer completion. Where the TraceRecorder captures *what happened
+// when* for a human in Perfetto, the CausalGraph captures *what waited on
+// what*, which is the input the critical-path engine (src/obs/critical_path)
+// needs to attribute every nanosecond of a request's latency to a cause.
+//
+// Node timestamps are absolute simulation time. Transfer nodes additionally
+// carry `solo_ns`, the duration the same transfer would have taken alone on
+// its path (min link capacity, same ceil-to-ns rounding and latency tail the
+// fabric applies); the critical-path engine turns the excess over solo into
+// the PCIe-contention component.
+//
+// Cost model mirrors TraceRecorder: components hold a `CausalGraph*` that is
+// nullptr when profiling is off, and a graph constructed disabled drops every
+// call without touching its buffers, so the disabled hot path stays a pointer
+// test and simulation behaviour is bit-for-bit unchanged either way.
+//
+// Determinism: the simulator is single-threaded, so nodes append in
+// simulation order; parallel sweeps build one graph per task and stitch them
+// with Adopt() in task order, making the exported journal byte-identical for
+// any DEEPPLAN_JOBS value.
+#ifndef SRC_OBS_CAUSAL_GRAPH_H_
+#define SRC_OBS_CAUSAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace deepplan {
+
+using CpNodeId = std::int32_t;
+
+enum class CpKind {
+  kArrival,  // request root: zero-duration point at arrival time
+  kEvict,    // LRU teardown making room for a cold start
+  kPcie,     // host->GPU transfer over a PCIe lane
+  kNvlink,   // GPU->GPU migration over an NVLink
+  kExec,     // layer execution (or a whole warm inference) on a GPU
+};
+
+// Canonical lowercase name ("arrival", "evict", "pcie", "nvlink", "exec").
+const char* CpKindName(CpKind kind);
+
+struct CpNode {
+  CpNodeId id = -1;
+  int request = -1;
+  CpKind kind = CpKind::kExec;
+  std::string label;     // e.g. "load encoder.3.attn", "exec(DHA) pooler"
+  std::string resource;  // e.g. "pcie/gpu0", "nvlink/1->0", "gpu0"
+  Nanos start = 0;
+  Nanos end = 0;
+  std::int64_t bytes = 0;  // transfers only
+  Nanos solo = -1;         // transfers: contention-free duration; -1 = n/a
+};
+
+struct CpRequest {
+  int id = -1;
+  int process = 0;  // index into processes() (strategy / replay the request
+                    // belongs to; utilization never mixes processes)
+  int instance = -1;
+  bool cold = false;
+  Nanos arrival = 0;
+  Nanos completion = -1;          // -1 until EndRequest
+  CpNodeId arrival_node = -1;
+  CpNodeId terminal_node = -1;    // last node before completion
+};
+
+class CausalGraph {
+ public:
+  CausalGraph() = default;
+  explicit CausalGraph(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  // Names a process group (one per strategy/replay). Returns the process id
+  // to tag requests with. Disabled graphs return 0 without allocating.
+  int RegisterProcess(std::string_view name);
+
+  // Opens a request rooted at a zero-duration arrival node. Returns the
+  // request id (-1 when disabled).
+  int BeginRequest(int process, int instance, Nanos arrival);
+
+  // Records one unit of causally-ordered work. Returns the node id (-1 when
+  // disabled or `request` is -1).
+  CpNodeId AddNode(int request, CpKind kind, std::string label,
+                   std::string resource, Nanos start, Nanos end,
+                   std::int64_t bytes = 0, Nanos solo = -1);
+
+  // Happens-before edge `from` -> `to`. Ignores -1 endpoints so call sites
+  // can thread "previous node" cursors without branching.
+  void AddEdge(CpNodeId from, CpNodeId to);
+
+  // Flags a request as a cold start (known at dispatch, not at arrival).
+  void MarkCold(int request);
+
+  // Closes a request: `terminal` is the node whose completion finished it.
+  void EndRequest(int request, Nanos completion, CpNodeId terminal);
+
+  CpNodeId arrival_node(int request) const;
+
+  const std::vector<std::string>& processes() const { return process_names_; }
+  const std::vector<CpRequest>& requests() const { return requests_; }
+  const std::vector<CpNode>& nodes() const { return nodes_; }
+  const std::vector<std::pair<CpNodeId, CpNodeId>>& edges() const {
+    return edges_;
+  }
+  bool empty() const { return requests_.empty(); }
+
+  // Merges `other` into this graph, remapping its processes, requests, and
+  // node ids past the ones already present (stitches per-task graphs from a
+  // parallel sweep, in deterministic task order).
+  void Adopt(CausalGraph&& other);
+
+  // {"causal_journal":{"processes":[...],"requests":[...],"nodes":[...],
+  //  "edges":[[from,to],...]}} — deterministic bytes for a given graph.
+  std::string ToJson() const;
+  bool WriteTo(const std::string& path) const;
+
+  // Parses a journal produced by ToJson(). Returns false and sets `error`
+  // on malformed input (bad structure, dangling node/request references).
+  static bool FromJson(const std::string& text, CausalGraph* out,
+                       std::string* error);
+
+ private:
+  bool enabled_ = true;
+  std::vector<std::string> process_names_;
+  std::vector<CpRequest> requests_;
+  std::vector<CpNode> nodes_;
+  std::vector<std::pair<CpNodeId, CpNodeId>> edges_;
+};
+
+}  // namespace deepplan
+
+#endif  // SRC_OBS_CAUSAL_GRAPH_H_

@@ -36,11 +36,12 @@ HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
   summary.min = pct.Min();
   summary.max = pct.Max();
   summary.p50 = pct.Percentile(50.0);
+  summary.p95 = pct.Percentile(95.0);
   summary.p99 = pct.Percentile(99.0);
   return summary;
 }
 
-JsonObject MetricsRegistry::ToJsonObject() const {
+JsonObject MetricsRegistry::Snapshot() const {
   JsonObject doc;
   if (!counters_.empty()) {
     JsonObject counters;
@@ -66,6 +67,7 @@ JsonObject MetricsRegistry::ToJsonObject() const {
                                        .Set("min", s.min)
                                        .Set("max", s.max)
                                        .Set("p50", s.p50)
+                                       .Set("p95", s.p95)
                                        .Set("p99", s.p99)
                                        .Render());
     }

@@ -19,19 +19,11 @@
 #include <map>
 #include <string>
 
+#include "src/util/histogram.h"
 #include "src/util/json.h"
 #include "src/util/stats.h"
 
 namespace deepplan {
-
-struct HistogramSummary {
-  std::size_t count = 0;
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  double p50 = 0.0;
-  double p99 = 0.0;
-};
 
 class MetricsRegistry {
  public:
@@ -50,9 +42,10 @@ class MetricsRegistry {
   }
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,max,
-  // p50,p99}}} with sorted keys; empty sections are omitted.
-  JsonObject ToJsonObject() const;
-  std::string ToJson() const { return ToJsonObject().Render(); }
+  // p50,p95,p99}}} with sorted keys; empty sections are omitted.
+  JsonObject Snapshot() const;
+  JsonObject ToJsonObject() const { return Snapshot(); }  // legacy name
+  std::string ToJson() const { return Snapshot().Render(); }
 
  private:
   std::map<std::string, std::int64_t> counters_;

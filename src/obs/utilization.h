@@ -1,0 +1,50 @@
+// Utilization timelines: for every (process, resource) pair that appears in a
+// causal journal, merge that resource's node intervals into a busy/contended
+// timeline and report aggregate utilization over the process's span
+// [min arrival, max completion]. "Contended" covers the portion of transfer
+// time in excess of solo speed (the same accounting the critical-path engine
+// charges to pcie_contention), pro-rated across each transfer's interval.
+//
+// Resources are grouped per process (one process per strategy/replay in a
+// sweep) so timelines from independent simulations never blend, and output
+// ordering is (process id, resource name) — deterministic for a given
+// journal.
+#ifndef SRC_OBS_UTILIZATION_H_
+#define SRC_OBS_UTILIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/causal_graph.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+// One merged busy interval on a resource. `contended` is the slice of the
+// interval's duration attributable to fair-share slowdown (0 for exec/evict).
+struct UtilInterval {
+  Nanos start = 0;
+  Nanos end = 0;
+  Nanos contended = 0;
+};
+
+struct ResourceTimeline {
+  int process = 0;
+  std::string resource;      // e.g. "pcie/gpu0", "nvlink/1->0", "gpu0"
+  std::string kind;          // dominant node kind on this resource
+  std::vector<UtilInterval> intervals;  // merged, disjoint, sorted by start
+  Nanos span = 0;            // process observation window length
+  Nanos busy = 0;            // total merged busy time
+  Nanos contended = 0;       // total contended time (subset of busy)
+  double utilization = 0.0;  // busy / span (0 when span == 0)
+};
+
+struct UtilizationReport {
+  std::vector<ResourceTimeline> resources;  // (process, resource) sorted
+};
+
+UtilizationReport ComputeUtilization(const CausalGraph& graph);
+
+}  // namespace deepplan
+
+#endif  // SRC_OBS_UTILIZATION_H_

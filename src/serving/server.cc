@@ -20,6 +20,7 @@ struct Server::ModelEntry {
 struct PendingRequest {
   int instance = -1;
   Nanos arrival = 0;
+  int causal = -1;  // causal-graph request id (-1 when profiling is off)
 };
 
 struct Server::Impl {
@@ -49,6 +50,9 @@ struct Server::Impl {
   // Pairs async queue-wait begin/end events; waits overlap whenever several
   // requests queue behind one GPU, so they cannot be complete slices.
   std::uint64_t next_queue_span_id = 0;
+  CausalGraph* causal = nullptr;
+  int causal_process = 0;
+  std::int64_t cumulative_requests = 0;  // cum/requests counter track
 
   Impl(Simulator* external_sim, const Topology& topo, const PerfModel& perf_model,
        ServerOptions opts)
@@ -64,7 +68,8 @@ struct Server::Impl {
 
   void Dispatch(GpuId gpu);
   void FinishRequest(GpuId gpu, int instance, const PendingRequest& req, Nanos start,
-                     bool cold, Nanos evict_delay, Nanos load_done, int num_evicted);
+                     bool cold, Nanos evict_delay, Nanos load_done, int num_evicted,
+                     CpNodeId causal_terminal = -1);
   void NoteQueueDepth(GpuId gpu);
 };
 
@@ -137,7 +142,8 @@ void Server::Impl::NoteQueueDepth(GpuId gpu) {
 
 void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& req,
                                  Nanos start, bool cold, Nanos evict_delay,
-                                 Nanos load_done, int num_evicted) {
+                                 Nanos load_done, int num_evicted,
+                                 CpNodeId causal_terminal) {
   instances->SetBusy(instance, false);
   instances->MarkUsed(instance, sim->now());
   RequestRecord record;
@@ -179,6 +185,19 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
   }
   if (registry != nullptr) {
     registry->Observe("server.latency_ms", ToMillis(record.Latency()));
+  }
+  if (causal != nullptr && req.causal >= 0) {
+    CpNodeId terminal = causal_terminal;
+    if (!cold) {
+      // Warm requests never enter the engine's cold path; their whole DAG is
+      // arrival -> one exec node.
+      terminal = causal->AddNode(req.causal, CpKind::kExec,
+                                 "warm i" + std::to_string(instance),
+                                 "exec/gpu" + std::to_string(gpu), start,
+                                 sim->now());
+      causal->AddEdge(causal->arrival_node(req.causal), terminal);
+    }
+    causal->EndRequest(req.causal, sim->now(), terminal);
   }
   --outstanding;
   gpu_busy[Idx(gpu)] = false;
@@ -226,20 +245,40 @@ void Server::Impl::Dispatch(GpuId gpu) {
   }
   const Nanos evict_delay =
       options.eviction_cost * static_cast<Nanos>(evicted.size());
+  CpNodeId causal_root = -1;
+  if (causal != nullptr && req.causal >= 0) {
+    causal->MarkCold(req.causal);
+    causal_root = causal->arrival_node(req.causal);
+    if (evict_delay > 0) {
+      // Eviction spans [start, start + evict_delay] deterministically, so
+      // the node can be recorded up front.
+      const CpNodeId evict_node = causal->AddNode(
+          req.causal, CpKind::kEvict,
+          "evict x" + std::to_string(num_evicted),
+          "gpu" + std::to_string(gpu), start, start + evict_delay);
+      causal->AddEdge(causal_root, evict_node);
+      causal_root = evict_node;
+    }
+  }
   sim->ScheduleAfter(evict_delay, [this, gpu, instance, req, start, type,
-                                   evict_delay, num_evicted]() {
+                                   evict_delay, num_evicted, causal_root]() {
     const ModelEntry& cold_entry = models[Idx(type)];
     std::vector<GpuId> secondaries;
     if (cold_entry.plan.num_partitions() > 1) {
       secondaries = TransmissionPlanner::ChooseSecondaries(
           topology, gpu, cold_entry.plan.num_partitions());
     }
+    ColdRunOptions cold_options =
+        MakeColdRunOptions(cold_entry.strategy, options.batch);
+    cold_options.causal_request = req.causal;
+    cold_options.causal_root = causal_root;
     engine->RunCold(cold_entry.model, cold_entry.plan, gpu, secondaries,
-                    MakeColdRunOptions(cold_entry.strategy, options.batch),
+                    cold_options,
                     [this, gpu, instance, req, start, evict_delay,
                      num_evicted](const InferenceResult& result) {
                       FinishRequest(gpu, instance, req, start, /*cold=*/true,
-                                    evict_delay, result.load_done, num_evicted);
+                                    evict_delay, result.load_done, num_evicted,
+                                    result.causal_terminal);
                     });
   });
 }
@@ -278,9 +317,20 @@ void Server::Submit(int instance) {
   DP_CHECK(instance >= 0 && instance < s.instances->num_instances());
   const GpuId gpu = s.instances->instance(instance).home_gpu;
   ++s.outstanding;
-  s.queues[Idx(gpu)].push_back(PendingRequest{instance, s.sim->now()});
+  int causal_request = -1;
+  if (s.causal != nullptr) {
+    causal_request =
+        s.causal->BeginRequest(s.causal_process, instance, s.sim->now());
+  }
+  s.queues[Idx(gpu)].push_back(
+      PendingRequest{instance, s.sim->now(), causal_request});
   if (s.registry != nullptr) {
     s.registry->AddCounter("server.requests");
+  }
+  if (s.recorder != nullptr) {
+    ++s.cumulative_requests;
+    s.recorder->Counter(s.pid, "cum/requests", "count", s.sim->now(),
+                        static_cast<double>(s.cumulative_requests));
   }
   s.NoteQueueDepth(gpu);
   s.Dispatch(gpu);
@@ -294,6 +344,13 @@ void Server::set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
   s.pid = pid;
   s.fabric->fabric().set_telemetry(recorder, registry, pid);
   s.engine->set_telemetry(recorder, pid);
+}
+
+void Server::set_causal(CausalGraph* graph, int process) {
+  Impl& s = *impl_;
+  s.causal = graph;
+  s.causal_process = process;
+  s.engine->set_causal(graph);
 }
 
 const ServingMetrics& Server::metrics() const { return impl_->metrics; }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/engine/strategies.h"
+#include "src/obs/causal_graph.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace_recorder.h"
 #include "src/serving/instance.h"
@@ -101,6 +102,14 @@ class Server {
   // server.latency_ms histogram. Detached cost: one null test per hook.
   void set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
                      int pid = 0);
+
+  // Attaches a causal graph for critical-path profiling; call before
+  // Warmup()/Run(). `process` is this server's process group in the graph.
+  // Every submitted request then opens a causal request at arrival, cold
+  // starts thread evict/transfer/exec nodes through the engine, and warm
+  // runs record a single exec node; completion closes the request. nullptr
+  // detaches; the disabled cost is one pointer test per request.
+  void set_causal(CausalGraph* graph, int process = 0);
 
  private:
   struct ModelEntry;

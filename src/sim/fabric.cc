@@ -52,6 +52,13 @@ TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos lat
     registry_->AddCounter("fabric.transfers");
     registry_->AddCounter("fabric.bytes", bytes);
   }
+  if (recorder_ != nullptr) {
+    // Cumulative byte track: the "cum/" namespace promises monotone samples,
+    // which the offline trace linter re-checks.
+    cumulative_bytes_ += bytes;
+    recorder_->Counter(pid_, "cum/fabric.bytes", "bytes", sim_->now(),
+                       static_cast<double>(cumulative_bytes_));
+  }
   if (bytes == 0 || path.empty()) {
     const Nanos started = sim_->now();
     sim_->ScheduleAfter(latency, [done = std::move(done), started, this]() {
@@ -73,6 +80,20 @@ TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos lat
   active_.push_back(std::move(t));
   Reallocate();
   return id;
+}
+
+Nanos Fabric::SoloDuration(const std::vector<LinkId>& path, std::int64_t bytes,
+                           Nanos latency) const {
+  if (bytes == 0 || path.empty()) {
+    return latency;
+  }
+  double min_capacity = std::numeric_limits<double>::infinity();
+  for (LinkId l : path) {
+    DP_CHECK(l >= 0 && l < num_links());
+    min_capacity = std::min(min_capacity, links_[Idx(l)].capacity);
+  }
+  const double secs = static_cast<double>(bytes) / min_capacity;
+  return static_cast<Nanos>(std::ceil(secs * kNanosPerSecond)) + latency;
 }
 
 double Fabric::AllocatedOn(LinkId id) const {

@@ -47,6 +47,14 @@ class Fabric {
   // bandwidth on the link (bytes/sec). For tests and bandwidth accounting.
   double AllocatedOn(LinkId id) const;
 
+  // Duration the transfer would take with its path to itself: bytes at the
+  // path's minimum link capacity (same ceil-to-ns rounding the completion
+  // scheduler applies) plus the latency tail. The profiling layer charges
+  // actual - solo to contention; fair sharing can only slow a transfer, so
+  // actual >= solo always.
+  Nanos SoloDuration(const std::vector<LinkId>& path, std::int64_t bytes,
+                     Nanos latency) const;
+
   // Attaches telemetry (either pointer may be nullptr). While a recorder is
   // attached, every progressive-filling rate change emits one counter sample
   // per link whose allocation moved ("bw/<link name>", GB/s, tagged `pid`);
@@ -92,6 +100,7 @@ class Fabric {
   MetricsRegistry* registry_ = nullptr;
   int pid_ = 0;
   std::vector<double> last_emitted_;  // last counter sample per link
+  std::int64_t cumulative_bytes_ = 0;  // cum/fabric.bytes counter track
 };
 
 }  // namespace deepplan

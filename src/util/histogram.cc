@@ -1,5 +1,6 @@
 #include "src/util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/logging.h"
@@ -37,6 +38,13 @@ double LatencyHistogram::BucketUpper(std::size_t index) const {
 
 void LatencyHistogram::Add(double value) {
   ++counts_[BucketFor(value)];
+  if (count_ == 0) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
   ++count_;
   sum_ += value;
 }
@@ -45,6 +53,15 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   DP_CHECK(counts_.size() == other.counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_seen_ = other.min_seen_;
+      max_seen_ = other.max_seen_;
+    } else {
+      min_seen_ = std::min(min_seen_, other.min_seen_);
+      max_seen_ = std::max(max_seen_, other.max_seen_);
+    }
   }
   count_ += other.count_;
   sum_ += other.sum_;
@@ -56,6 +73,8 @@ void LatencyHistogram::Reset() {
   }
   count_ = 0;
   sum_ = 0.0;
+  min_seen_ = 0.0;
+  max_seen_ = 0.0;
 }
 
 double LatencyHistogram::Percentile(double p) const {
@@ -72,6 +91,21 @@ double LatencyHistogram::Percentile(double p) const {
     }
   }
   return BucketUpper(counts_.size() - 1);
+}
+
+HistogramSummary LatencyHistogram::Summary() const {
+  HistogramSummary summary;
+  if (count_ == 0) {
+    return summary;
+  }
+  summary.count = count_;
+  summary.mean = Mean();
+  summary.min = min_seen_;
+  summary.max = max_seen_;
+  summary.p50 = Percentile(50.0);
+  summary.p95 = Percentile(95.0);
+  summary.p99 = Percentile(99.0);
+  return summary;
 }
 
 }  // namespace deepplan

@@ -10,6 +10,18 @@
 
 namespace deepplan {
 
+// Fixed percentile summary shared by every histogram exporter (the metrics
+// registry snapshot, BENCH metrics blobs, serving reports).
+struct HistogramSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 class LatencyHistogram {
  public:
   // Buckets span [min_value, max_value] with `buckets_per_decade` log-spaced
@@ -28,6 +40,9 @@ class LatencyHistogram {
   // [0, 100].
   double Percentile(double p) const;
 
+  // Exact count/mean/min/max plus bucket-approximate p50/p95/p99.
+  HistogramSummary Summary() const;
+
  private:
   std::size_t BucketFor(double value) const;
   double BucketUpper(std::size_t index) const;
@@ -38,6 +53,8 @@ class LatencyHistogram {
   std::vector<std::uint64_t> counts_;
   std::size_t count_ = 0;
   double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
 };
 
 }  // namespace deepplan

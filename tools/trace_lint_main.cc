@@ -1,25 +1,42 @@
-// trace_lint: re-validates exported Chrome/Perfetto JSON traces (structure,
-// sorted timestamps, pid/tid metadata, slice nesting, async balance) so CI
-// can lint any captured artifact. Exit 0 when every file is clean.
+// trace_lint: re-validates exported JSON artifacts so CI can lint any
+// captured file. Default mode checks Chrome/Perfetto traces (structure,
+// sorted timestamps, pid/tid metadata, slice nesting, async balance,
+// cumulative-counter monotonicity); --profile switches to the
+// {"profile_report":...} schema check (attribution sums, utilization bounds).
+// Exit 0 when every file is clean.
 //
 //   trace_lint results/trace_fig15.json [more.json ...]
+//   trace_lint --profile results/profile_report.json
 #include <cstdio>
+#include <cstring>
 
 #include "src/check/trace_lint.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+  bool profile_mode = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--profile") == 0) {
+    profile_mode = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: %s [--profile] <file.json> [more.json ...]\n",
+                 argv[0]);
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     const deepplan::check::TraceLintResult result =
-        deepplan::check::LintChromeTraceFile(argv[i]);
+        profile_mode ? deepplan::check::LintProfileReportFile(argv[i])
+                     : deepplan::check::LintChromeTraceFile(argv[i]);
     if (result.ok()) {
-      std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu async) on %zu tracks\n",
-                  argv[i], result.num_events, result.num_spans,
-                  result.num_counters, result.num_asyncs, result.num_tracks);
+      if (profile_mode) {
+        std::printf("OK %s: profile report schema clean\n", argv[i]);
+      } else {
+        std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu async) on %zu tracks\n",
+                    argv[i], result.num_events, result.num_spans,
+                    result.num_counters, result.num_asyncs, result.num_tracks);
+      }
       continue;
     }
     ++failures;
