@@ -10,7 +10,13 @@
 // attribution — the engine's own stall accounting and the profiler's must
 // agree exactly (DP_CHECK), which is the cross-check that keeps the
 // attribution taxonomy honest.
+//
+// With --whatif_out=<path> (default: $DEEPPLAN_WHATIF) the run additionally
+// replays its journal under the default virtual-hardware experiments
+// (src/obs/whatif) and writes the {"whatif_report":...} JSON to <path>;
+// journaling turns on even without --profile_out.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,15 +33,21 @@ int main(int argc, char** argv) {
   flags.DefineString("profile_out", profile_env != nullptr ? profile_env : "",
                      "write the causal journal JSON here (default: "
                      "$DEEPPLAN_PROFILE; empty disables profiling)");
+  const char* whatif_env = std::getenv("DEEPPLAN_WHATIF");
+  flags.DefineString("whatif_out", whatif_env != nullptr ? whatif_env : "",
+                     "write the what-if report JSON here (default: "
+                     "$DEEPPLAN_WHATIF; empty disables what-if replay)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   const std::string profile_out = flags.GetString("profile_out");
   const bool profiling = !profile_out.empty();
+  const std::string whatif_out = flags.GetString("whatif_out");
+  const bool journaling = profiling || !whatif_out.empty();
 
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
-  CausalGraph graph(profiling);
+  CausalGraph graph(journaling);
 
   std::cout << "Figure 2: inference latency decomposition under PipeSwitch "
                "(batch 1, V100 / PCIe 3.0)\n\n";
@@ -47,7 +59,7 @@ int main(int argc, char** argv) {
     const ColdMeasurement m = RunColdWithProfile(
         topology, perf, model, Strategy::kPipeSwitch,
         ExactProfile(perf, model), /*batch=*/1,
-        profiling ? &graph : nullptr, process);
+        journaling ? &graph : nullptr, process);
     names.push_back(PrettyModelName(model.name()));
     results.push_back(m.result);
     const double share = static_cast<double>(m.result.stall) /
@@ -92,6 +104,24 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write profile journal " << profile_out << "\n";
       return 1;
     }
+  }
+  if (!whatif_out.empty()) {
+    const WhatIfReport whatif =
+        BuildWhatIfReport(graph, DefaultWhatIfExperiments());
+    // The identity replay must land every request on its recorded latency —
+    // the self-check that licenses the perturbed predictions.
+    DP_CHECK(whatif.baseline_matches_journal);
+    std::cout << "\n";
+    PrintWhatIfReport(whatif, std::cout);
+    std::ofstream out(whatif_out, std::ios::binary);
+    if (out) {
+      out << WhatIfReportJson(whatif) << "\n";
+    }
+    if (!out) {
+      std::cerr << "cannot write what-if report " << whatif_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote what-if report " << whatif_out << "\n";
   }
   return 0;
 }

@@ -17,12 +17,18 @@
 // snapshot lands in its BENCH point. With --profile_out=<path> (default:
 // $DEEPPLAN_PROFILE) each replay additionally records a causal journal; the
 // stitched journal is written to <path> and the critical-path attribution
-// report prints after the tables.
+// report prints after the tables. With --whatif_out=<path> (default:
+// $DEEPPLAN_WHATIF) the stitched journal is replayed under the default
+// virtual-hardware experiments (src/obs/whatif) and the
+// {"whatif_report":...} JSON lands at <path>; journaling turns on even
+// without --profile_out.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <utility>
 
 #include "bench/bench_util.h"
+#include "src/util/logging.h"
 
 namespace {
 
@@ -37,7 +43,7 @@ struct Outcome {
 };
 
 Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracing,
-               bool profiling) {
+               bool journaling) {
   const Topology topology = Topology::P3_8xlarge();
   const PerfModel perf(topology.gpu(), topology.pcie());
   ServerOptions options;
@@ -58,7 +64,7 @@ Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracin
     server.set_telemetry(&out.recorder, &out.registry,
                          out.recorder.RegisterProcess(StrategyName(strategy)));
   }
-  if (profiling) {
+  if (journaling) {
     out.causal = CausalGraph(/*enabled=*/true);
     server.set_causal(&out.causal,
                       out.causal.RegisterProcess(StrategyName(strategy)));
@@ -90,6 +96,10 @@ int main(int argc, char** argv) {
   flags.DefineString("profile_out", profile_env != nullptr ? profile_env : "",
                      "write the causal journal JSON here (default: "
                      "$DEEPPLAN_PROFILE; empty disables profiling)");
+  const char* whatif_env = std::getenv("DEEPPLAN_WHATIF");
+  flags.DefineString("whatif_out", whatif_env != nullptr ? whatif_env : "",
+                     "write the what-if report JSON here (default: "
+                     "$DEEPPLAN_WHATIF; empty disables what-if replay)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -98,6 +108,8 @@ int main(int argc, char** argv) {
   const bool tracing = !trace_out.empty();
   const std::string profile_out = flags.GetString("profile_out");
   const bool profiling = !profile_out.empty();
+  const std::string whatif_out = flags.GetString("whatif_out");
+  const bool journaling = profiling || !whatif_out.empty();
 
   Trace trace;
   if (!flags.GetString("trace").empty()) {
@@ -145,7 +157,7 @@ int main(int argc, char** argv) {
   std::vector<Outcome> outcomes =
       runner.Map(static_cast<int>(strategies.size()), [&](int i) {
         return Replay(strategies[static_cast<std::size_t>(i)], trace, instances,
-                      tracing, profiling);
+                      tracing, journaling);
       });
 
   for (std::size_t s = 0; s < strategies.size(); ++s) {
@@ -202,21 +214,41 @@ int main(int argc, char** argv) {
   }
   std::cout << "Paper reference: DeepPlan variants hold 98-99% goodput; "
                "PipeSwitch drops to ~81% in loaded minutes.\n";
-  if (profiling) {
+  if (journaling) {
     // Stitch the per-strategy graphs in strategy order (deterministic for
-    // any DEEPPLAN_JOBS) and print the critical-path attribution report.
+    // any DEEPPLAN_JOBS).
     CausalGraph merged(/*enabled=*/true);
     for (Outcome& out : outcomes) {
       merged.Adopt(std::move(out.causal));
     }
-    std::cout << "\n";
-    PrintProfileReport(BuildProfileReport(merged), std::cout);
-    if (merged.WriteTo(profile_out)) {
-      std::cerr << "wrote profile journal " << profile_out << " ("
-                << merged.nodes().size() << " nodes)\n";
-    } else {
-      std::cerr << "cannot write profile journal " << profile_out << "\n";
-      return 1;
+    if (profiling) {
+      std::cout << "\n";
+      PrintProfileReport(BuildProfileReport(merged), std::cout);
+      if (merged.WriteTo(profile_out)) {
+        std::cerr << "wrote profile journal " << profile_out << " ("
+                  << merged.nodes().size() << " nodes)\n";
+      } else {
+        std::cerr << "cannot write profile journal " << profile_out << "\n";
+        return 1;
+      }
+    }
+    if (!whatif_out.empty()) {
+      const WhatIfReport whatif =
+          BuildWhatIfReport(merged, DefaultWhatIfExperiments());
+      // Identity self-check: replay must reproduce the recorded latencies
+      // before the perturbed predictions mean anything.
+      DP_CHECK(whatif.baseline_matches_journal);
+      std::cout << "\n";
+      PrintWhatIfReport(whatif, std::cout);
+      std::ofstream out(whatif_out, std::ios::binary);
+      if (out) {
+        out << WhatIfReportJson(whatif) << "\n";
+      }
+      if (!out) {
+        std::cerr << "cannot write what-if report " << whatif_out << "\n";
+        return 1;
+      }
+      std::cerr << "wrote what-if report " << whatif_out << "\n";
     }
   }
   report.Write(&std::cerr);

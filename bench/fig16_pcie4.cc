@@ -4,20 +4,126 @@
 //
 // Paper shape: same improvement trend as Figure 11, with smaller absolute
 // stalls thanks to PCIe 4.0 bandwidth.
+//
+// With --whatif_out=<path> (default: $DEEPPLAN_WHATIF) the bench additionally
+// validates the what-if replay engine end to end: it journals every
+// (model, strategy) cold start with the same box throttled to PCIe 3.0
+// bandwidth, predicts the PCIe 4.0 latencies from that journal alone
+// (pcie x bw4/bw3 virtual experiment, src/obs/whatif), re-simulates on the
+// real PCIe 4.0 spec as ground truth, and DP_CHECKs every per-request
+// prediction within 1% of the re-simulation. The {"whatif_report":...} JSON
+// lands at <path> (lint with `trace_lint --whatif`).
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/util/logging.h"
+
+namespace {
+
+using namespace deepplan;
+using namespace deepplan::bench;
+
+constexpr Strategy kStrategies[] = {Strategy::kBaseline, Strategy::kPipeSwitch,
+                                    Strategy::kDeepPlanDha,
+                                    Strategy::kDeepPlanPtDha};
+
+// Journals PCIe 3.0 cold starts, predicts PCIe 4.0 from the journal alone,
+// and checks the predictions against re-simulated ground truth. Returns 0 on
+// success (DP_CHECK aborts on a >1% miss, so failures are loud either way).
+int ValidateWhatIf(const Topology& gen4, const PerfModel& perf4,
+                   const std::string& whatif_out) {
+  const Topology gen3 = gen4.WithPcieBandwidth(
+      PcieSpec::Gen3().effective_bw_bytes_per_sec);
+  const PerfModel perf3(gen3.gpu(), gen3.pcie());
+  const double speedup = gen4.pcie().effective_bw_bytes_per_sec /
+                         gen3.pcie().effective_bw_bytes_per_sec;
+
+  // One process per (model, strategy): every cold run used its own
+  // simulator/fabric, so each journals as an independent single-request
+  // process.
+  CausalGraph graph(/*enabled=*/true);
+  std::vector<std::string> labels;
+  std::vector<Nanos> truth;
+  for (const Model& model : ModelZoo::PaperModels()) {
+    // The plan is derived from the PCIe 3.0 profile in both runs — the
+    // what-if question is "same deployment, faster links", not "replan for
+    // new hardware".
+    const ModelProfile profile3 = ExactProfile(perf3, model);
+    for (const Strategy s : kStrategies) {
+      const std::string label =
+          PrettyModelName(model.name()) + " " + StrategyName(s);
+      const int process = graph.RegisterProcess(label);
+      RunColdWithProfile(gen3, perf3, model, s, profile3, /*batch=*/1, &graph,
+                         process);
+      truth.push_back(RunColdWithProfile(gen4, perf4, model, s, profile3)
+                          .result.latency);
+      labels.push_back(label);
+    }
+  }
+
+  WhatIfExperiment exp;
+  exp.pcie_scale = speedup;
+  exp.name = "pcie=" + Json::Num(speedup);
+  const WhatIfReport report = BuildWhatIfReport(graph, {exp});
+  DP_CHECK(report.baseline_matches_journal);
+  DP_CHECK(report.outcomes.size() == 1);
+  DP_CHECK(report.outcomes[0].per_request.size() == truth.size());
+
+  std::cout << "\nWhat-if validation: PCIe 4.0 predicted from the PCIe 3.0 "
+               "journal (pcie x "
+            << Table::Num(speedup, 3) << ") vs re-simulation\n\n";
+  Table table({"run", "PCIe3 (ms)", "predicted PCIe4", "simulated PCIe4",
+               "error"});
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const WhatIfPerRequest& row = report.outcomes[0].per_request[i];
+    const double err =
+        std::abs(static_cast<double>(row.predicted_ns - truth[i])) /
+        static_cast<double>(truth[i]);
+    max_err = std::max(max_err, err);
+    table.AddRow({labels[i], Table::Num(ToMillis(row.baseline_ns)),
+                  Table::Num(ToMillis(row.predicted_ns)),
+                  Table::Num(ToMillis(truth[i])), Table::Pct(err, 3)});
+    // The acceptance bar: journal-only predictions must land within 1% of
+    // re-simulating the faster hardware.
+    DP_CHECK(err <= 0.01);
+  }
+  table.Print(std::cout);
+  std::cout << "\nAll " << truth.size()
+            << " predictions within 1% of re-simulation (max error "
+            << Table::Pct(max_err, 3) << ").\n";
+
+  std::ofstream out(whatif_out, std::ios::binary);
+  if (out) {
+    out << WhatIfReportJson(report) << "\n";
+  }
+  if (!out) {
+    std::cerr << "cannot write what-if report " << whatif_out << "\n";
+    return 1;
+  }
+  std::cerr << "wrote what-if report " << whatif_out << "\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace deepplan;
-  using namespace deepplan::bench;
-
   Flags flags;
   flags.DefineInt("runs", 100, "repetitions per (model, strategy)");
+  const char* whatif_env = std::getenv("DEEPPLAN_WHATIF");
+  flags.DefineString("whatif_out", whatif_env != nullptr ? whatif_env : "",
+                     "write the PCIe3->PCIe4 what-if validation report JSON "
+                     "here (default: $DEEPPLAN_WHATIF; empty disables)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   const int runs = static_cast<int>(flags.GetInt("runs"));
+  const std::string whatif_out = flags.GetString("whatif_out");
 
   const Topology topology = Topology::A5000Box();
   const PerfModel perf(topology.gpu(), topology.pcie());
@@ -30,11 +136,9 @@ int main(int argc, char** argv) {
   Table table({"model", "Baseline", "PipeSwitch", "DHA", "PT+DHA", "PipeSwitch x",
                "DHA x", "PT+DHA x"});
   for (const Model& model : ModelZoo::PaperModels()) {
-    const Strategy strategies[] = {Strategy::kBaseline, Strategy::kPipeSwitch,
-                                   Strategy::kDeepPlanDha, Strategy::kDeepPlanPtDha};
     double ms[4];
     int i = 0;
-    for (const Strategy s : strategies) {
+    for (const Strategy s : kStrategies) {
       ms[i] = MeanColdLatencyMs(topology, perf, model, s, runs, 1, runner);
       report.AddPoint()
           .Set("model", model.name())
@@ -52,5 +156,8 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper reference: the Figure 11 trend reproduces on PCIe 4.0 "
                "hardware; DeepPlan still leads everywhere.\n";
   report.Write(&std::cerr);
+  if (!whatif_out.empty()) {
+    return ValidateWhatIf(topology, perf, whatif_out);
+  }
   return 0;
 }

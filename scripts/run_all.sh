@@ -62,10 +62,11 @@ scripts/check_format.sh
 mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
 # Keep the main sweep untraced and unprofiled (byte-stable baseline outputs)
-# even when the caller has a global DEEPPLAN_TRACE/DEEPPLAN_PROFILE; the
-# dedicated steps below capture each artifact.
+# even when the caller has a global DEEPPLAN_TRACE/DEEPPLAN_PROFILE/
+# DEEPPLAN_WHATIF; the dedicated steps below capture each artifact.
 unset DEEPPLAN_TRACE
 unset DEEPPLAN_PROFILE
+unset DEEPPLAN_WHATIF
 for bench in "$BUILD_DIR"/bench/*; do
   if [ -x "$bench" ] && [ -f "$bench" ]; then
     name="$(basename "$bench")"
@@ -154,5 +155,47 @@ DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" DEEPPLAN_VALIDATE=1 \
 "$BUILD_DIR/tools/profile_report" "$PROFILE_JOURNAL" \
   --json="$PROFILE_REPORT" >"$RESULTS_DIR/profile_fig15_report.txt"
 "$BUILD_DIR/tools/trace_lint" --profile "$PROFILE_REPORT"
+
+# The cold-start decomposition and concurrency-sweep journals go through the
+# same journal -> offline report -> schema lint round trip.
+echo "== profile leg (fig02_stall_decomposition)"
+FIG02_JOURNAL="$RESULTS_DIR/profile_fig02.json"
+FIG02_REPORT="$RESULTS_DIR/profile_fig02_report.json"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" \
+  "$BUILD_DIR/bench/fig02_stall_decomposition" \
+  --profile_out="$FIG02_JOURNAL" \
+  >"$RESULTS_DIR/fig02_stall_decomposition_profiled.txt" 2>&1
+"$BUILD_DIR/tools/profile_report" "$FIG02_JOURNAL" \
+  --json="$FIG02_REPORT" >"$RESULTS_DIR/profile_fig02_report.txt"
+"$BUILD_DIR/tools/trace_lint" --profile "$FIG02_REPORT"
+
+echo "== profile leg (fig13_concurrency_sweep, short)"
+FIG13_JOURNAL="$RESULTS_DIR/profile_fig13.json"
+FIG13_REPORT="$RESULTS_DIR/profile_fig13_report.json"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" \
+  "$BUILD_DIR/bench/fig13_concurrency_sweep" --requests=200 \
+  --profile_out="$FIG13_JOURNAL" \
+  >"$RESULTS_DIR/fig13_concurrency_sweep_profiled.txt" 2>&1
+"$BUILD_DIR/tools/profile_report" "$FIG13_JOURNAL" \
+  --json="$FIG13_REPORT" >"$RESULTS_DIR/profile_fig13_report.txt"
+"$BUILD_DIR/tools/trace_lint" --profile "$FIG13_REPORT"
+
+# What-if leg. fig16 --whatif_out is the full round trip: journal cold starts
+# at PCIe 3.0 bandwidth, predict the PCIe 4.0 latencies from the journal
+# alone, re-simulate on real PCIe 4.0 hardware, and DP_CHECK every
+# per-request prediction within 1%. The offline tool then replays the fig15
+# server journal captured above under the default virtual experiments; both
+# reports must lint clean (the linter rejects any report whose identity
+# replay failed to reproduce its own journal).
+echo "== what-if leg (fig16 validation + fig15 journal replay)"
+WHATIF_FIG16="$RESULTS_DIR/whatif_fig16.json"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" \
+  "$BUILD_DIR/bench/fig16_pcie4" --runs=1 --whatif_out="$WHATIF_FIG16" \
+  >"$RESULTS_DIR/fig16_pcie4_whatif.txt" 2>&1
+"$BUILD_DIR/tools/trace_lint" --whatif "$WHATIF_FIG16"
+WHATIF_FIG15="$RESULTS_DIR/whatif_fig15.json"
+"$BUILD_DIR/tools/whatif_report" "$PROFILE_JOURNAL" \
+  --json="$WHATIF_FIG15" >"$RESULTS_DIR/whatif_fig15.txt"
+"$BUILD_DIR/tools/trace_lint" --whatif "$WHATIF_FIG15"
 
 echo "results written to $RESULTS_DIR/"

@@ -551,5 +551,233 @@ TraceLintResult LintProfileReportFile(const std::string& path,
   return LintProfileReport(buffer.str(), options);
 }
 
+namespace {
+
+// Schema-checking helper for LintWhatIfReport.
+class WhatIfLinter {
+ public:
+  WhatIfLinter(const TraceLintOptions& options, TraceLintResult* result)
+      : options_(options), result_(result) {}
+
+  void Error(const std::string& what) {
+    ++result_->num_errors;
+    if (result_->errors.size() < options_.max_reported_errors) {
+      result_->errors.push_back(what);
+    }
+  }
+
+  const JsonValue* Number(const JsonValue& obj, const std::string& context,
+                          const char* key) {
+    const JsonValue* v = obj.Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Error(context + ": missing numeric \"" + key + "\"");
+      return nullptr;
+    }
+    return v;
+  }
+
+  // A latency quantile object must carry all five fields, non-negative and
+  // ordered p50 <= p95 <= p99 <= max.
+  void Quantiles(const JsonValue& parent, const std::string& context,
+                 const char* key) {
+    const JsonValue* q = parent.Find(key);
+    if (q == nullptr || !q->is_object()) {
+      Error(context + ": missing \"" + std::string(key) + "\" object");
+      return;
+    }
+    const std::string ctx = context + "." + key;
+    double values[4] = {0, 0, 0, 0};
+    static const char* const kOrdered[] = {"p50_ms", "p95_ms", "p99_ms",
+                                           "max_ms"};
+    bool complete = true;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const JsonValue* v = Number(*q, ctx, kOrdered[i]);
+      if (v == nullptr) {
+        complete = false;
+        continue;
+      }
+      if (v->AsNumber() < 0.0) {
+        Error(ctx + ": negative \"" + std::string(kOrdered[i]) + "\"");
+        complete = false;
+      }
+      values[i] = v->AsNumber();
+    }
+    Number(*q, ctx, "mean_ms");
+    if (complete) {
+      for (std::size_t i = 1; i < 4; ++i) {
+        if (values[i] < values[i - 1]) {
+          Error(ctx + ": quantiles not monotone (" +
+                std::string(kOrdered[i - 1]) + " > " +
+                std::string(kOrdered[i]) + ")");
+          break;
+        }
+      }
+    }
+  }
+
+  void LintExperiment(const JsonValue& exp, const std::string& ctx,
+                      double expected_requests) {
+    const JsonValue* name = exp.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      Error(ctx + ": missing string \"name\"");
+    }
+    for (const char* key : {"pcie_scale", "nvlink_scale", "exec_scale"}) {
+      const JsonValue* v = Number(exp, ctx, key);
+      if (v != nullptr && v->AsNumber() <= 0.0) {
+        Error(ctx + ": non-positive \"" + std::string(key) + "\"");
+      }
+    }
+    for (const char* key : {"zero_contention", "remove_evictions"}) {
+      const JsonValue* v = exp.Find(key);
+      if (v == nullptr || !v->is_bool()) {
+        Error(ctx + ": missing boolean \"" + std::string(key) + "\"");
+      }
+    }
+    Quantiles(exp, ctx, "predicted");
+    const JsonValue* delta = exp.Find("delta");
+    if (delta == nullptr || !delta->is_object()) {
+      Error(ctx + ": missing \"delta\" object");
+    } else {
+      for (const char* key :
+           {"p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"}) {
+        Number(*delta, ctx + ".delta", key);
+      }
+    }
+    const JsonValue* per_request = exp.Find("per_request");
+    if (per_request == nullptr || !per_request->is_array()) {
+      Error(ctx + ": missing \"per_request\" array");
+      return;
+    }
+    if (static_cast<double>(per_request->items().size()) !=
+        expected_requests) {
+      Error(ctx + ": per_request length disagrees with \"requests\"");
+    }
+    for (std::size_t i = 0; i < per_request->items().size(); ++i) {
+      const JsonValue& row = per_request->items()[i];
+      std::ostringstream rctx;
+      rctx << ctx << ".per_request[" << i << "]";
+      if (!row.is_object()) {
+        Error(rctx.str() + ": not an object");
+        continue;
+      }
+      Number(row, rctx.str(), "request");
+      Number(row, rctx.str(), "process");
+      const JsonValue* baseline = Number(row, rctx.str(), "baseline_ns");
+      const JsonValue* predicted = Number(row, rctx.str(), "predicted_ns");
+      const JsonValue* delta_ns = Number(row, rctx.str(), "delta_ns");
+      if (baseline != nullptr && baseline->AsNumber() < 0.0) {
+        Error(rctx.str() + ": negative baseline_ns");
+      }
+      if (predicted != nullptr && predicted->AsNumber() < 0.0) {
+        Error(rctx.str() + ": negative predicted_ns");
+      }
+      if (baseline != nullptr && predicted != nullptr && delta_ns != nullptr &&
+          delta_ns->AsNumber() !=
+              predicted->AsNumber() - baseline->AsNumber()) {
+        std::ostringstream os;
+        os << rctx.str() << ": delta_ns " << delta_ns->AsNumber()
+           << " != predicted_ns - baseline_ns ("
+           << predicted->AsNumber() - baseline->AsNumber() << ")";
+        Error(os.str());
+      }
+    }
+  }
+
+  void Lint(const std::string& json_text) {
+    const JsonParseResult parsed = ParseJson(json_text);
+    if (!parsed.ok) {
+      Error("not valid JSON: " + parsed.error);
+      return;
+    }
+    const JsonValue* report =
+        parsed.value.is_object() ? parsed.value.Find("whatif_report") : nullptr;
+    if (report == nullptr || !report->is_object()) {
+      Error("missing \"whatif_report\" object");
+      return;
+    }
+    const JsonValue* requests = Number(*report, "whatif_report", "requests");
+    Number(*report, "whatif_report", "skipped_requests");
+    const JsonValue* matches = report->Find("baseline_matches_journal");
+    if (matches == nullptr || !matches->is_bool()) {
+      Error("whatif_report: missing boolean \"baseline_matches_journal\"");
+    } else if (!matches->AsBool() && requests != nullptr &&
+               requests->AsNumber() > 0) {
+      // Predictions are only as good as the identity replay they rest on.
+      Error("whatif_report: baseline replay does not match the journal");
+    }
+    Quantiles(*report, "whatif_report", "baseline");
+    const JsonValue* processes = report->Find("processes");
+    if (processes == nullptr || !processes->is_array()) {
+      Error("whatif_report: missing \"processes\" array");
+    }
+    const JsonValue* experiments = report->Find("experiments");
+    if (experiments == nullptr || !experiments->is_array()) {
+      Error("whatif_report: missing \"experiments\" array");
+    } else if (requests != nullptr) {
+      for (std::size_t i = 0; i < experiments->items().size(); ++i) {
+        std::ostringstream ctx;
+        ctx << "experiments[" << i << "]";
+        if (!experiments->items()[i].is_object()) {
+          Error(ctx.str() + ": not an object");
+          continue;
+        }
+        LintExperiment(experiments->items()[i], ctx.str(),
+                       requests->AsNumber());
+      }
+    }
+    const JsonValue* sensitivity = report->Find("sensitivity");
+    if (sensitivity == nullptr || !sensitivity->is_array()) {
+      Error("whatif_report: missing \"sensitivity\" array");
+      return;
+    }
+    for (std::size_t i = 0; i < sensitivity->items().size(); ++i) {
+      const JsonValue& row = sensitivity->items()[i];
+      std::ostringstream ctx;
+      ctx << "sensitivity[" << i << "]";
+      if (!row.is_object()) {
+        Error(ctx.str() + ": not an object");
+        continue;
+      }
+      const JsonValue* knob = row.Find("knob");
+      if (knob == nullptr || !knob->is_string() ||
+          (knob->AsString() != "pcie" && knob->AsString() != "nvlink" &&
+           knob->AsString() != "exec")) {
+        Error(ctx.str() + ": \"knob\" must be pcie, nvlink, or exec");
+      }
+      for (const char* key : {"delta_p50_ms", "delta_p95_ms", "delta_p99_ms",
+                              "knob_time_mean_ms", "p99_leverage"}) {
+        Number(row, ctx.str(), key);
+      }
+    }
+  }
+
+ private:
+  const TraceLintOptions& options_;
+  TraceLintResult* result_;
+};
+
+}  // namespace
+
+TraceLintResult LintWhatIfReport(const std::string& json_text,
+                                 const TraceLintOptions& options) {
+  TraceLintResult result;
+  WhatIfLinter(options, &result).Lint(json_text);
+  return result;
+}
+
+TraceLintResult LintWhatIfReportFile(const std::string& path,
+                                     const TraceLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceLintResult result;
+    ++result.num_errors;
+    result.errors.push_back("cannot read " + path);
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintWhatIfReport(buffer.str(), options);
+}
+
 }  // namespace check
 }  // namespace deepplan

@@ -27,6 +27,14 @@
 // tools/profile_report and the bench --profile_out flag: required fields and
 // types, attribution components summing exactly to each request's latency,
 // and utilization entries staying within their observation span.
+//
+// LintWhatIfReport validates the {"whatif_report":{...}} JSON emitted by
+// tools/whatif_report and the bench --whatif_out flag: required fields and
+// types, positive hardware scales, quantile monotonicity (p50 <= p95 <= p99
+// <= max), per-request rows matching the request count with delta_ns equal
+// to predicted - baseline, and the identity replay's self-check flag
+// (baseline_matches_journal false is a lint error — predictions from a
+// replay that cannot reproduce its own journal are untrustworthy).
 #ifndef SRC_CHECK_TRACE_LINT_H_
 #define SRC_CHECK_TRACE_LINT_H_
 
@@ -70,6 +78,12 @@ TraceLintResult LintProfileReport(const std::string& json_text,
                                   const TraceLintOptions& options = {});
 TraceLintResult LintProfileReportFile(const std::string& path,
                                       const TraceLintOptions& options = {});
+
+// Schema check for what-if report JSON (see header comment).
+TraceLintResult LintWhatIfReport(const std::string& json_text,
+                                 const TraceLintOptions& options = {});
+TraceLintResult LintWhatIfReportFile(const std::string& path,
+                                     const TraceLintOptions& options = {});
 
 }  // namespace check
 }  // namespace deepplan

@@ -31,6 +31,8 @@
 #include "src/obs/profile_report.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/utilization.h"
+#include "src/obs/whatif/whatif.h"
+#include "src/obs/whatif/whatif_report.h"
 #include "src/perf/pcie_events.h"
 #include "src/perf/perf_model.h"
 #include "src/serving/instance.h"

@@ -51,6 +51,15 @@ LinkId ServerFabric::pcie_link(GpuId gpu) const {
   return pcie_of_gpu_[Idx(gpu)];
 }
 
+std::vector<CpHop> ServerFabric::CausalHops(const std::vector<LinkId>& path) const {
+  std::vector<CpHop> hops;
+  hops.reserve(path.size());
+  for (const LinkId l : path) {
+    hops.push_back(CpHop{fabric_.link_name(l), fabric_.link_capacity(l)});
+  }
+  return hops;
+}
+
 Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
     : sim_(sim), fabric_(fabric), perf_(perf) {
   DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
@@ -223,6 +232,8 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                   fabric_->fabric().SoloDuration(
                       fabric_->HostToGpuPath(target), item.bytes,
                       perf_->calibration().pcie_transfer_overhead));
+              causal_->SetNodePath(node,
+                                   fabric_->CausalHops(fabric_->HostToGpuPath(target)));
               causal_->AddEdge(run->pcie_prev[Idx(p)], node);
               run->pcie_prev[Idx(p)] = node;
               for (const std::size_t li : item.layer_indices) {
@@ -290,6 +301,8 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                       fabric_->fabric().SoloDuration(
                           fabric_->GpuToGpuPath(src, primary), item.bytes,
                           nvlink.transfer_latency));
+                  causal_->SetNodePath(
+                      node, fabric_->CausalHops(fabric_->GpuToGpuPath(src, primary)));
                   causal_->AddEdge(run->mig_prev[Idx(p)], node);
                   // The migration waited on this item's PCIe delivery to the
                   // secondary GPU (one PCIe node covers the whole item).
@@ -332,6 +345,8 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                     fabric_->fabric().SoloDuration(
                         fabric_->GpuToGpuPath(src, primary), bytes,
                         nvlink.transfer_latency));
+                causal_->SetNodePath(
+                    node, fabric_->CausalHops(fabric_->GpuToGpuPath(src, primary)));
                 causal_->AddEdge(run->mig_prev[Idx(p)], node);
                 for (const LoadItem& item : run->part_items[Idx(p)]) {
                   causal_->AddEdge(
@@ -372,12 +387,13 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       const bool dha = plan.method(i) == ExecMethod::kDirectHostAccess;
       const bool record = options.record_timeline;
       const bool pipelined = options.pipelined;
-      run->exec->Enqueue([this, run, exec, dha, primary, record, i, loads,
-                          pipelined,
+      const Nanos dha_pcie = dha ? perf_->DhaPcieTime(layer, options.batch) : 0;
+      run->exec->Enqueue([this, run, exec, dha, dha_pcie, primary, record, i,
+                          loads, pipelined,
                           name = layer.name](std::function<void()> op_done) {
         const Nanos op_start = sim_->now() - run->start;
-        sim_->ScheduleAfter(exec, [this, run, op_start, dha, primary, record,
-                                   i, loads, pipelined, name,
+        sim_->ScheduleAfter(exec, [this, run, op_start, dha, dha_pcie, primary,
+                                   record, i, loads, pipelined, name,
                                    op_done = std::move(op_done)]() {
           if (record) {
             run->result.timeline.push_back(
@@ -397,6 +413,9 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                 (dha ? "exec(DHA) " : "exec ") + name,
                 "exec/gpu" + std::to_string(primary), run->start + op_start,
                 sim_->now());
+            if (dha_pcie > 0) {
+              causal_->SetNodeDhaPcie(node, dha_pcie);
+            }
             causal_->AddEdge(run->last_exec, node);
             if (loads) {
               causal_->AddEdge(pipelined ? run->layer_source[i]
@@ -431,6 +450,18 @@ Nanos Engine::WarmDuration(const Model& model, const ExecutionPlan& plan,
     total += plan.method(i) == ExecMethod::kDirectHostAccess
                  ? perf_->ExecDha(model.layer(i), batch)
                  : perf_->ExecInMemory(model.layer(i), batch);
+  }
+  return total;
+}
+
+Nanos Engine::WarmDhaPcieTime(const Model& model, const ExecutionPlan& plan,
+                              int batch) const {
+  DP_CHECK(plan.num_layers() == model.num_layers());
+  Nanos total = 0;
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (plan.method(i) == ExecMethod::kDirectHostAccess) {
+      total += perf_->DhaPcieTime(model.layer(i), batch);
+    }
   }
   return total;
 }

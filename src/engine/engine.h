@@ -43,6 +43,10 @@ class ServerFabric {
 
   LinkId pcie_link(GpuId gpu) const;
 
+  // The route as causal-journal hops (link name + capacity), the per-link
+  // overlap export the what-if replay engine rebuilds its fabric from.
+  std::vector<CpHop> CausalHops(const std::vector<LinkId>& path) const;
+
  private:
   Simulator* sim_;
   const Topology* topology_;
@@ -138,6 +142,13 @@ class Engine {
 
   // Duration a warm inference takes (closed form; RunWarm occupies this).
   Nanos WarmDuration(const Model& model, const ExecutionPlan& plan, int batch) const;
+
+  // PCIe-bandwidth-dependent share of WarmDuration: the summed DHA parameter
+  // streaming time of the plan's direct-host-access layers. Recorded on warm
+  // exec nodes so the what-if engine can rescale them under virtual PCIe
+  // speedups.
+  Nanos WarmDhaPcieTime(const Model& model, const ExecutionPlan& plan,
+                        int batch) const;
 
  private:
   Simulator* sim_;

@@ -84,6 +84,15 @@ Topology Topology::HgxA100() {
                 pairs);
 }
 
+Topology Topology::WithPcieBandwidth(double effective_bw_bytes_per_sec) const {
+  DP_CHECK(effective_bw_bytes_per_sec > 0);
+  Topology t = *this;
+  t.name_ += "_bw";
+  t.pcie_.effective_bw_bytes_per_sec = effective_bw_bytes_per_sec;
+  t.switch_uplink_bw_ = effective_bw_bytes_per_sec * 1.05;
+  return t;
+}
+
 int Topology::switch_of(GpuId gpu) const {
   DP_CHECK(gpu >= 0 && gpu < num_gpus());
   return switch_of_[Idx(gpu)];

@@ -28,6 +28,13 @@ class Topology {
                          std::vector<int> switch_of, double switch_uplink_bw,
                          std::vector<std::pair<GpuId, GpuId>> nvlink_pairs);
 
+  // Copy of this topology with the PCIe effective bandwidth replaced (the
+  // switch uplink keeps its 1.05x headroom over the new per-lane bandwidth;
+  // access latency and every other spec stay put). Used by the what-if
+  // validation harness to re-simulate "same box, different link speed" — e.g.
+  // fig16's PCIe 4.0 system journaled at PCIe 3.0 bandwidth.
+  Topology WithPcieBandwidth(double effective_bw_bytes_per_sec) const;
+
   const std::string& name() const { return name_; }
   int num_gpus() const { return static_cast<int>(switch_of_.size()); }
   int num_switches() const { return num_switches_; }

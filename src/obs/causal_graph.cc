@@ -84,6 +84,23 @@ CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
   return nodes_.back().id;
 }
 
+void CausalGraph::SetNodePath(CpNodeId node, std::vector<CpHop> path) {
+  if (!enabled_ || node < 0) {
+    return;
+  }
+  DP_CHECK(node < static_cast<CpNodeId>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(node)].path = std::move(path);
+}
+
+void CausalGraph::SetNodeDhaPcie(CpNodeId node, Nanos dha_pcie) {
+  if (!enabled_ || node < 0) {
+    return;
+  }
+  DP_CHECK(node < static_cast<CpNodeId>(nodes_.size()));
+  DP_CHECK(dha_pcie >= 0);
+  nodes_[static_cast<std::size_t>(node)].dha_pcie = dha_pcie;
+}
+
 void CausalGraph::AddEdge(CpNodeId from, CpNodeId to) {
   if (!enabled_ || from < 0 || to < 0) {
     return;
@@ -172,17 +189,32 @@ std::string CausalGraph::ToJson() const {
   }
   JsonArray nodes;
   for (const CpNode& node : nodes_) {
-    nodes.AddRaw(JsonObject()
-                     .Set("id", node.id)
-                     .Set("request", node.request)
-                     .Set("kind", CpKindName(node.kind))
-                     .Set("label", node.label)
-                     .Set("resource", node.resource)
-                     .Set("start_ns", static_cast<std::int64_t>(node.start))
-                     .Set("end_ns", static_cast<std::int64_t>(node.end))
-                     .Set("bytes", node.bytes)
-                     .Set("solo_ns", static_cast<std::int64_t>(node.solo))
-                     .Render());
+    JsonObject n;
+    n.Set("id", node.id)
+        .Set("request", node.request)
+        .Set("kind", CpKindName(node.kind))
+        .Set("label", node.label)
+        .Set("resource", node.resource)
+        .Set("start_ns", static_cast<std::int64_t>(node.start))
+        .Set("end_ns", static_cast<std::int64_t>(node.end))
+        .Set("bytes", node.bytes)
+        .Set("solo_ns", static_cast<std::int64_t>(node.solo));
+    // Optional fields, omitted when unset so journals without them round-trip
+    // byte-identically.
+    if (!node.path.empty()) {
+      JsonArray hops;
+      for (const CpHop& hop : node.path) {
+        hops.AddRaw(JsonObject()
+                        .Set("link", hop.link)
+                        .Set("capacity", hop.capacity)
+                        .Render());
+      }
+      n.SetRaw("path", hops.Render());
+    }
+    if (node.dha_pcie != 0) {
+      n.Set("dha_pcie_ns", static_cast<std::int64_t>(node.dha_pcie));
+    }
+    nodes.AddRaw(n.Render());
   }
   JsonArray edges;
   for (const auto& [from, to] : edges_) {
@@ -290,6 +322,39 @@ bool CausalGraph::FromJson(const std::string& text, CausalGraph* out,
     if (!KindFromName(kind, &node.kind)) {
       *error = "unknown node kind \"" + kind + "\"";
       return false;
+    }
+    // Optional: fabric route of a transfer node.
+    if (const JsonValue* path = n.Find("path"); path != nullptr) {
+      if (!path->is_array()) {
+        *error = "node \"path\" is not an array";
+        return false;
+      }
+      for (const JsonValue& h : path->items()) {
+        if (!h.is_object()) {
+          *error = "path hop is not an object";
+          return false;
+        }
+        CpHop hop;
+        if (!GetString(h, "link", &hop.link, error, "path hop")) {
+          return false;
+        }
+        const JsonValue* capacity = h.Find("capacity");
+        if (capacity == nullptr || !capacity->is_number() ||
+            capacity->AsNumber() <= 0.0) {
+          *error = "path hop: missing positive numeric \"capacity\"";
+          return false;
+        }
+        hop.capacity = capacity->AsNumber();
+        node.path.push_back(std::move(hop));
+      }
+    }
+    // Optional: PCIe-bandwidth-dependent share of an exec node.
+    if (const JsonValue* dha = n.Find("dha_pcie_ns"); dha != nullptr) {
+      if (!dha->is_number() || dha->AsNumber() < 0.0) {
+        *error = "node \"dha_pcie_ns\" is not a non-negative number";
+        return false;
+      }
+      node.dha_pcie = static_cast<Nanos>(dha->AsNumber());
     }
     if (id != static_cast<std::int64_t>(graph.nodes_.size())) {
       *error = "node ids must be dense and in order";

@@ -47,6 +47,18 @@ enum class CpKind {
 // Canonical lowercase name ("arrival", "evict", "pcie", "nvlink", "exec").
 const char* CpKindName(CpKind kind);
 
+// One fabric link a transfer crossed, with its configured capacity. The
+// what-if replay engine (src/obs/whatif) rebuilds the fabric from these hops,
+// so per-link overlap — and therefore contention — can be re-derived under
+// perturbed link speeds. Hops are identified by name ("uplink/sw0",
+// "pcie/gpu1", "nvlink/0-1"), which needs no remapping under Adopt().
+struct CpHop {
+  std::string link;
+  double capacity = 0.0;  // bytes/second
+
+  bool operator==(const CpHop&) const = default;
+};
+
 struct CpNode {
   CpNodeId id = -1;
   int request = -1;
@@ -57,6 +69,12 @@ struct CpNode {
   Nanos end = 0;
   std::int64_t bytes = 0;  // transfers only
   Nanos solo = -1;         // transfers: contention-free duration; -1 = n/a
+  // Transfers: the links crossed, in route order (empty when not recorded).
+  std::vector<CpHop> path;
+  // Exec nodes: the slice of the duration spent streaming parameters over
+  // PCIe (direct-host-access), which scales inversely with PCIe bandwidth
+  // while the rest of the node does not. 0 for non-DHA work.
+  Nanos dha_pcie = 0;
 };
 
 struct CpRequest {
@@ -91,6 +109,14 @@ class CausalGraph {
   CpNodeId AddNode(int request, CpKind kind, std::string label,
                    std::string resource, Nanos start, Nanos end,
                    std::int64_t bytes = 0, Nanos solo = -1);
+
+  // Attaches the fabric route a transfer node crossed (link names +
+  // capacities). No-op when disabled or `node` is -1.
+  void SetNodePath(CpNodeId node, std::vector<CpHop> path);
+
+  // Records the PCIe-bandwidth-dependent share of an exec node's duration
+  // (direct-host-access parameter streaming). No-op when disabled or -1.
+  void SetNodeDhaPcie(CpNodeId node, Nanos dha_pcie);
 
   // Happens-before edge `from` -> `to`. Ignores -1 endpoints so call sites
   // can thread "previous node" cursors without branching.

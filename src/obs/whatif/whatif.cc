@@ -1,0 +1,406 @@
+#include "src/obs/whatif/whatif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/util/index.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+
+namespace deepplan {
+
+namespace {
+
+// NVLink links are named "nvlink/..."; everything else ("pcie/...",
+// "uplink/...") is PCIe infrastructure and follows the PCIe knob.
+bool IsNvlinkName(const std::string& link) {
+  return link.rfind("nvlink", 0) == 0;
+}
+
+// ceil(bytes / rate) in nanoseconds — the same rounding Fabric::SoloDuration
+// and its completion scheduler apply, so identity replay lands on the exact
+// recorded instants.
+Nanos CeilTransferBody(std::int64_t bytes, double rate) {
+  if (bytes <= 0) {
+    return 0;
+  }
+  DP_CHECK(rate > 0);
+  const double secs = static_cast<double>(bytes) / rate;
+  return static_cast<Nanos>(std::ceil(secs * kNanosPerSecond));
+}
+
+std::string CanonicalName(const WhatIfExperiment& e) {
+  std::string out;
+  const auto add = [&out](const std::string& clause) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += clause;
+  };
+  if (e.pcie_scale != 1.0) {
+    add("pcie=" + Json::Num(e.pcie_scale));
+  }
+  if (e.nvlink_scale != 1.0) {
+    add("nvlink=" + Json::Num(e.nvlink_scale));
+  }
+  if (e.exec_scale != 1.0) {
+    add("exec=" + Json::Num(e.exec_scale));
+  }
+  if (e.zero_contention) {
+    add("nocontention");
+  }
+  if (e.remove_evictions) {
+    add("noevict");
+  }
+  return out.empty() ? "baseline" : out;
+}
+
+// Event-driven forward re-scheduling of the journal DAG. Every non-arrival
+// node waits for (a) all of its happens-before predecessors and (b) its
+// request's dispatch ("release"). Releases re-derive the server's per-GPU
+// FIFO rule: requests sharing a (process, terminal resource) domain serialize
+// in request-id order, each releasing at max(its arrival, the previous
+// domain request's replayed completion). Transfers run through a per-process
+// fair-share Fabric rebuilt from the recorded hops at scaled capacities, so
+// contention re-emerges from the replayed overlap instead of being copied.
+class Replayer {
+ public:
+  Replayer(const CausalGraph& graph, const WhatIfExperiment& exp)
+      : graph_(graph), exp_(exp) {}
+
+  WhatIfReplay Run() {
+    const auto& nodes = graph_.nodes();
+    const auto& requests = graph_.requests();
+
+    out_.latency.assign(requests.size(), -1);
+    out_.pcie_time.assign(requests.size(), 0);
+    out_.nvlink_time.assign(requests.size(), 0);
+    out_.exec_time.assign(requests.size(), 0);
+
+    succ_.assign(nodes.size(), {});
+    pending_.assign(nodes.size(), 0);
+    for (const auto& [from, to] : graph_.edges()) {
+      succ_[Idx(from)].push_back(to);
+      ++pending_[Idx(to)];
+    }
+    req_nodes_.assign(requests.size(), {});
+    for (const auto& n : nodes) {
+      if (n.request >= 0 && n.kind != CpKind::kArrival) {
+        ++pending_[Idx(n.id)];  // the release token
+        req_nodes_[Idx(n.request)].push_back(n.id);
+      }
+    }
+
+    int num_processes = static_cast<int>(graph_.processes().size());
+    for (const auto& r : requests) {
+      num_processes = std::max(num_processes, r.process + 1);
+    }
+    fabrics_.resize(Idx(num_processes));
+    links_.resize(Idx(num_processes));
+
+    // Chain completed requests into dispatch domains; requests the journal
+    // never completed are skipped entirely (their nodes stay unscheduled).
+    next_in_domain_.assign(requests.size(), -1);
+    std::map<std::pair<int, std::string>, int> domain_tail;
+    for (const auto& r : requests) {
+      if (r.completion < 0 || r.terminal_node < 0) {
+        continue;
+      }
+      const auto key =
+          std::make_pair(r.process, nodes[Idx(r.terminal_node)].resource);
+      const auto it = domain_tail.find(key);
+      if (it == domain_tail.end()) {
+        const int id = r.id;
+        sim_.ScheduleAt(r.arrival, [this, id] { Release(id); });
+      } else {
+        next_in_domain_[Idx(it->second)] = r.id;
+      }
+      domain_tail[key] = r.id;
+      const CpNodeId arrival_node = r.arrival_node;
+      if (arrival_node >= 0) {
+        sim_.ScheduleAt(r.arrival,
+                        [this, arrival_node] { FinishNode(arrival_node, 0); });
+      }
+    }
+
+    sim_.Run();
+
+    for (const auto& r : requests) {
+      if (r.completion >= 0 && r.terminal_node >= 0) {
+        // A stuck replay means the journal's edges are cyclic or reference
+        // work from a request that never completed.
+        DP_CHECK(out_.latency[Idx(r.id)] >= 0);
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  Fabric& FabricFor(int process) {
+    auto& fabric = fabrics_[Idx(process)];
+    if (!fabric) {
+      fabric = std::make_unique<Fabric>(&sim_);
+    }
+    return *fabric;
+  }
+
+  double ScaleFor(const std::string& link) const {
+    return IsNvlinkName(link) ? exp_.nvlink_scale : exp_.pcie_scale;
+  }
+
+  LinkId LinkFor(int process, const CpHop& hop) {
+    auto& map = links_[Idx(process)];
+    const auto it = map.find(hop.link);
+    if (it != map.end()) {
+      DP_CHECK(it->second.second == hop.capacity);  // journal self-consistency
+      return it->second.first;
+    }
+    const LinkId id =
+        FabricFor(process).AddLink(hop.link, hop.capacity * ScaleFor(hop.link));
+    map.emplace(hop.link, std::make_pair(id, hop.capacity));
+    return id;
+  }
+
+  void Release(int request) {
+    for (const CpNodeId n : req_nodes_[Idx(request)]) {
+      Arm(n);
+    }
+  }
+
+  void Arm(CpNodeId node) {
+    DP_CHECK(pending_[Idx(node)] > 0);
+    if (--pending_[Idx(node)] == 0) {
+      StartNode(node);
+    }
+  }
+
+  // The PCIe-scaled share of an exec node's replayed duration (DHA parameter
+  // streaming). The remainder of the node scales only with the exec knob.
+  Nanos ScaledDhaShare(const CpNode& n) const {
+    const Nanos dha = std::clamp<Nanos>(n.dha_pcie, 0, n.end - n.start);
+    return static_cast<Nanos>(static_cast<double>(dha) /
+                              (exp_.exec_scale * exp_.pcie_scale));
+  }
+
+  void StartNode(CpNodeId id) {
+    const CpNode& n = graph_.nodes()[Idx(id)];
+    const Nanos recorded = n.end - n.start;
+    switch (n.kind) {
+      case CpKind::kArrival:
+        DP_CHECK(false);  // arrivals are scheduled directly, never armed
+        break;
+      case CpKind::kEvict:
+        FinishAfter(id, exp_.remove_evictions ? 0 : recorded);
+        break;
+      case CpKind::kExec: {
+        const Nanos dha = std::clamp<Nanos>(n.dha_pcie, 0, recorded);
+        const auto rest = static_cast<Nanos>(
+            static_cast<double>(recorded - dha) / exp_.exec_scale);
+        FinishAfter(id, rest + ScaledDhaShare(n));
+        break;
+      }
+      case CpKind::kPcie:
+      case CpKind::kNvlink:
+        ReplayTransfer(id, n);
+        break;
+    }
+  }
+
+  void ReplayTransfer(CpNodeId id, const CpNode& n) {
+    const Nanos recorded = n.end - n.start;
+    const double knob =
+        n.kind == CpKind::kNvlink ? exp_.nvlink_scale : exp_.pcie_scale;
+    if (n.path.empty()) {
+      // Journal predates hop recording: no fabric to rebuild, so degrade to
+      // scaling the recorded (or, contention-free, the solo) duration.
+      const Nanos base =
+          exp_.zero_contention && n.solo >= 0 ? n.solo : recorded;
+      FinishAfter(id, static_cast<Nanos>(static_cast<double>(base) / knob));
+      return;
+    }
+    double min_cap = std::numeric_limits<double>::infinity();
+    double min_scaled = std::numeric_limits<double>::infinity();
+    for (const CpHop& hop : n.path) {
+      min_cap = std::min(min_cap, hop.capacity);
+      min_scaled = std::min(min_scaled, hop.capacity * ScaleFor(hop.link));
+    }
+    // The recorded solo is body-at-min-capacity + latency tail, so the
+    // bandwidth-independent tail (DMA setup, completion signalling) falls out
+    // exactly.
+    const Nanos latency =
+        n.solo >= 0
+            ? std::max<Nanos>(0, n.solo - CeilTransferBody(n.bytes, min_cap))
+            : 0;
+    if (exp_.zero_contention) {
+      FinishAfter(id, CeilTransferBody(n.bytes, min_scaled) + latency);
+      return;
+    }
+    const int process = n.request >= 0
+                            ? graph_.requests()[Idx(n.request)].process
+                            : 0;
+    std::vector<LinkId> path;
+    path.reserve(n.path.size());
+    for (const CpHop& hop : n.path) {
+      path.push_back(LinkFor(process, hop));
+    }
+    FabricFor(process).Start(
+        std::move(path), n.bytes, latency,
+        [this, id](Nanos elapsed) { FinishNode(id, elapsed); });
+  }
+
+  void FinishAfter(CpNodeId id, Nanos duration) {
+    DP_CHECK(duration >= 0);
+    sim_.ScheduleAfter(duration,
+                       [this, id, duration] { FinishNode(id, duration); });
+  }
+
+  void FinishNode(CpNodeId id, Nanos elapsed) {
+    const CpNode& n = graph_.nodes()[Idx(id)];
+    const Nanos now = sim_.now();
+    if (n.request >= 0) {
+      switch (n.kind) {
+        case CpKind::kPcie:
+          out_.pcie_time[Idx(n.request)] += elapsed;
+          break;
+        case CpKind::kNvlink:
+          out_.nvlink_time[Idx(n.request)] += elapsed;
+          break;
+        case CpKind::kExec:
+          out_.exec_time[Idx(n.request)] += elapsed;
+          // DHA streaming rides the PCIe links, so its share counts toward
+          // the PCIe knob's leverage too.
+          out_.pcie_time[Idx(n.request)] += ScaledDhaShare(n);
+          break;
+        case CpKind::kArrival:
+        case CpKind::kEvict:
+          break;
+      }
+    }
+    for (const CpNodeId s : succ_[Idx(id)]) {
+      Arm(s);
+    }
+    if (n.request >= 0) {
+      const CpRequest& r = graph_.requests()[Idx(n.request)];
+      if (r.terminal_node == id && r.completion >= 0) {
+        out_.latency[Idx(r.id)] = now - r.arrival;
+        const int next = next_in_domain_[Idx(r.id)];
+        if (next >= 0) {
+          const Nanos arrival = graph_.requests()[Idx(next)].arrival;
+          if (arrival <= now) {
+            Release(next);
+          } else {
+            sim_.ScheduleAt(arrival, [this, next] { Release(next); });
+          }
+        }
+      }
+    }
+  }
+
+  const CausalGraph& graph_;
+  const WhatIfExperiment& exp_;
+  Simulator sim_;
+  WhatIfReplay out_;
+  std::vector<std::vector<CpNodeId>> succ_;
+  std::vector<int> pending_;
+  std::vector<std::vector<CpNodeId>> req_nodes_;
+  std::vector<int> next_in_domain_;
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  // Per process: link name -> (link id, recorded unscaled capacity).
+  std::vector<std::unordered_map<std::string, std::pair<LinkId, double>>>
+      links_;
+};
+
+}  // namespace
+
+bool ParseWhatIfExperiment(const std::string& spec, WhatIfExperiment* out,
+                           std::string* error) {
+  DP_CHECK(out != nullptr && error != nullptr);
+  WhatIfExperiment exp;
+  if (spec.empty()) {
+    *error = "empty what-if spec";
+    return false;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string tok = spec.substr(
+        start, (comma == std::string::npos ? spec.size() : comma) - start);
+    if (tok.empty()) {
+      *error = "empty clause in what-if spec '" + spec + "'";
+      return false;
+    }
+    if (tok == "baseline") {
+      // identity: no clause
+    } else if (tok == "nocontention") {
+      exp.zero_contention = true;
+    } else if (tok == "noevict") {
+      exp.remove_evictions = true;
+    } else {
+      const std::size_t eq = tok.find('=');
+      const std::string key =
+          eq == std::string::npos ? tok : tok.substr(0, eq);
+      if (eq == std::string::npos ||
+          (key != "pcie" && key != "nvlink" && key != "exec")) {
+        *error = "unknown what-if clause '" + tok +
+                 "' (want pcie=K, nvlink=K, exec=K, nocontention, noevict, "
+                 "or baseline)";
+        return false;
+      }
+      const std::string val = tok.substr(eq + 1);
+      char* endp = nullptr;
+      const double k = std::strtod(val.c_str(), &endp);
+      if (val.empty() || endp != val.c_str() + val.size() ||
+          !std::isfinite(k) || k <= 0) {
+        *error = "bad scale in what-if clause '" + tok +
+                 "' (want a positive number)";
+        return false;
+      }
+      if (key == "pcie") {
+        exp.pcie_scale = k;
+      } else if (key == "nvlink") {
+        exp.nvlink_scale = k;
+      } else {
+        exp.exec_scale = k;
+      }
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  exp.name = CanonicalName(exp);
+  *out = std::move(exp);
+  return true;
+}
+
+std::vector<WhatIfExperiment> DefaultWhatIfExperiments() {
+  static const char* const kSpecs[] = {"pcie=2",       "nvlink=2",
+                                       "exec=2",       "nocontention",
+                                       "noevict",      "pcie=2,nvlink=2"};
+  std::vector<WhatIfExperiment> out;
+  for (const char* spec : kSpecs) {
+    WhatIfExperiment exp;
+    std::string err;
+    const bool ok = ParseWhatIfExperiment(spec, &exp, &err);
+    DP_CHECK(ok);
+    out.push_back(std::move(exp));
+  }
+  return out;
+}
+
+WhatIfReplay ReplayWhatIf(const CausalGraph& graph,
+                          const WhatIfExperiment& exp) {
+  return Replayer(graph, exp).Run();
+}
+
+}  // namespace deepplan

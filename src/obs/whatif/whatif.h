@@ -1,0 +1,90 @@
+// What-if replay engine: virtual hardware-speedup experiments over a causal
+// journal. Takes the happens-before DAG a run recorded (CausalGraph) and
+// re-schedules it forward under perturbed hardware — PCIe/NVLink links k
+// times faster, execution k times faster, contention-free links, evictions
+// removed — predicting each request's latency on the virtual hardware
+// without re-running the workload.
+//
+// Replay model (documented with its error model in DESIGN.md §11):
+//   * Data dependencies are the journal's edges: a node starts when all its
+//     predecessors end (and its request has been dispatched).
+//   * The per-GPU FIFO dispatch discipline is re-derived, not copied:
+//     requests sharing one (process, GPU) serialize in request-id order, each
+//     dispatching at max(its arrival, predecessor's replayed completion) —
+//     exactly the server's gpu_busy rule, so queueing shrinks when upstream
+//     work speeds up.
+//   * Transfer nodes are re-timed through a real max-min fair Fabric rebuilt
+//     from the per-link hops recorded on each node (link name + capacity,
+//     scaled by the experiment), so contention is re-derived from the
+//     replayed per-link overlap rather than frozen at recorded values. The
+//     per-transfer latency tail is recovered as solo - ceil(bytes/min_cap).
+//   * Exec nodes keep their recorded duration, scaled by 1/exec_scale; the
+//     recorded DHA streaming share additionally scales by 1/pcie_scale
+//     (direct-host-access reads ride the same link the experiment speeds up).
+//   * Evict nodes keep their duration, or drop to zero under
+//     remove_evictions.
+//
+// With the identity experiment the replay reproduces every recorded latency
+// bit-exactly (asserted by tests/whatif_test.cc), which is what licenses the
+// perturbed predictions; the validation harness further re-simulates each
+// experiment on correspondingly modified hardware and bounds the error.
+#ifndef SRC_OBS_WHATIF_WHATIF_H_
+#define SRC_OBS_WHATIF_WHATIF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/causal_graph.h"
+#include "src/util/time.h"
+
+namespace deepplan {
+
+// One virtual experiment. Scales are hardware *speed* factors (>1 = faster):
+// pcie_scale multiplies every PCIe lane and switch-uplink capacity (and
+// divides exec nodes' DHA streaming share), nvlink_scale multiplies NVLink
+// capacities, exec_scale divides exec-node durations. zero_contention runs
+// every transfer at its (scaled) solo speed; remove_evictions zeroes LRU
+// teardown time.
+struct WhatIfExperiment {
+  std::string name;  // canonical spec string, e.g. "pcie=2,nocontention"
+  double pcie_scale = 1.0;
+  double nvlink_scale = 1.0;
+  double exec_scale = 1.0;
+  bool zero_contention = false;
+  bool remove_evictions = false;
+
+  bool IsIdentity() const {
+    return pcie_scale == 1.0 && nvlink_scale == 1.0 && exec_scale == 1.0 &&
+           !zero_contention && !remove_evictions;
+  }
+};
+
+// Parses a comma-separated experiment spec: "pcie=K", "nvlink=K", "exec=K"
+// (K > 0), "nocontention", "noevict", or "baseline" (identity), in any
+// combination — e.g. "pcie=2,nocontention". Returns false and sets `error`
+// on malformed input. The parsed experiment's name is the canonical form
+// (fixed clause order, duplicate clauses collapsed).
+bool ParseWhatIfExperiment(const std::string& spec, WhatIfExperiment* out,
+                           std::string* error);
+
+// The default sweep run when no experiments are given: each knob doubled,
+// the two structural experiments, and one combination.
+std::vector<WhatIfExperiment> DefaultWhatIfExperiments();
+
+// Replayed timings, indexed by journal request id. Requests that never
+// completed in the journal are skipped and keep latency -1.
+struct WhatIfReplay {
+  std::vector<Nanos> latency;      // predicted completion - arrival; -1 = n/a
+  // Per-request time spent on nodes each knob governs, under this experiment
+  // (transfer durations as replayed; exec includes the DHA share; the DHA
+  // share also counts toward pcie). Feeds the sensitivity leverage numbers.
+  std::vector<Nanos> pcie_time;
+  std::vector<Nanos> nvlink_time;
+  std::vector<Nanos> exec_time;
+};
+
+WhatIfReplay ReplayWhatIf(const CausalGraph& graph, const WhatIfExperiment& exp);
+
+}  // namespace deepplan
+
+#endif  // SRC_OBS_WHATIF_WHATIF_H_

@@ -95,18 +95,26 @@ std::int64_t PerfModel::DhaTrafficBytes(const Layer& layer, int batch) const {
   return layer.dha_param_traffic_bytes;
 }
 
+Nanos PerfModel::DhaPcieTime(const Layer& layer, int batch) const {
+  DP_CHECK(batch >= 1);
+  if (!layer.has_params()) {
+    return 0;
+  }
+  const double traffic = static_cast<double>(DhaTrafficBytes(layer, batch));
+  const double pcie_secs =
+      traffic / (pcie_.effective_bw_bytes_per_sec * cal_.dha_bw_efficiency);
+  return static_cast<Nanos>(pcie_secs * kNanosPerSecond);
+}
+
 Nanos PerfModel::ExecDha(const Layer& layer, int batch) const {
   DP_CHECK(batch >= 1);
   if (!layer.has_params()) {
     return ExecInMemory(layer, batch);
   }
-  const double traffic = static_cast<double>(DhaTrafficBytes(layer, batch));
-  const double pcie_secs =
-      traffic / (pcie_.effective_bw_bytes_per_sec * cal_.dha_bw_efficiency);
   // Compute overlaps poorly with dependent zero-copy reads, so the PCIe term
   // adds to (rather than hides behind) the arithmetic.
   return DispatchOverhead(layer.kind) + DhaPenalty(layer.kind) + pcie_.access_latency +
-         ComputeTime(layer, batch) + static_cast<Nanos>(pcie_secs * kNanosPerSecond);
+         ComputeTime(layer, batch) + DhaPcieTime(layer, batch);
 }
 
 Nanos PerfModel::WarmLatency(const Model& model, int batch) const {

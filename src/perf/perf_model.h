@@ -70,6 +70,14 @@ class PerfModel {
   // DHA parameter traffic over PCIe for the given batch (bytes).
   std::int64_t DhaTrafficBytes(const Layer& layer, int batch = 1) const;
 
+  // The PCIe-bandwidth-dependent slice of ExecDha: time spent streaming the
+  // layer's parameters over the link. The remainder of ExecDha (dispatch,
+  // penalty, access latency, compute) is bandwidth-independent, so
+  // ExecDha(bw*k) ~= ExecDha(bw) - DhaPcieTime(bw) + DhaPcieTime(bw)/k —
+  // the decomposition the what-if replay engine relies on. 0 for
+  // parameter-free layers.
+  Nanos DhaPcieTime(const Layer& layer, int batch = 1) const;
+
   // Whole-model helpers.
   Nanos WarmLatency(const Model& model, int batch = 1) const;
   Nanos TotalLoadTime(const Model& model) const;

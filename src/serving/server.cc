@@ -195,6 +195,14 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
                                  "warm i" + std::to_string(instance),
                                  "exec/gpu" + std::to_string(gpu), start,
                                  sim->now());
+      // DHA plans stream parameters during warm execution too; record the
+      // PCIe-bandwidth-dependent share for the what-if engine.
+      const ModelEntry& entry = models[Idx(instance_model[Idx(instance)])];
+      const Nanos dha_pcie =
+          engine->WarmDhaPcieTime(entry.model, entry.plan, options.batch);
+      if (dha_pcie > 0) {
+        causal->SetNodeDhaPcie(terminal, dha_pcie);
+      }
       causal->AddEdge(causal->arrival_node(req.causal), terminal);
     }
     causal->EndRequest(req.causal, sim->now(), terminal);

@@ -38,8 +38,12 @@ void Percentiles::EnsureSorted() {
 }
 
 double Percentiles::Percentile(double p) {
-  DP_CHECK(!samples_.empty());
   DP_CHECK(p >= 0.0 && p <= 100.0);
+  // An empty sample has no order statistics; 0.0 matches Mean()'s convention
+  // so callers summarizing zero-request windows need no special case.
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
   if (samples_.size() == 1) {
     return samples_[0];
@@ -65,13 +69,17 @@ double Percentiles::Mean() const {
 }
 
 double Percentiles::Max() {
-  DP_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
   return samples_.back();
 }
 
 double Percentiles::Min() {
-  DP_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
   return samples_.front();
 }

@@ -41,12 +41,14 @@ class Percentiles {
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  // Linear-interpolated percentile, p in [0, 100]. Sorts lazily.
+  // Linear-interpolated percentile, p in [0, 100]. Sorts lazily. Defined on
+  // degenerate samples: 0.0 when empty (matching Mean()), the sole sample
+  // when count() == 1.
   double Percentile(double p);
   double Median() { return Percentile(50.0); }
   double Mean() const;
-  double Max();
-  double Min();
+  double Max();  // 0.0 when empty
+  double Min();  // 0.0 when empty
 
   const std::vector<double>& samples() const { return samples_; }
 

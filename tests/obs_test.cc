@@ -193,6 +193,32 @@ TEST(MetricsRegistryTest, CountersGaugesHistograms) {
   EXPECT_FALSE(reg.empty());
 }
 
+// Degenerate histogram summaries are pinned: a never-observed histogram is
+// all zeros, and a single observation puts that value in every field.
+TEST(MetricsRegistryTest, ZeroAndOneSampleHistogramSummaries) {
+  MetricsRegistry reg;
+  const HistogramSummary none = reg.histogram("server.latency_ms");
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_DOUBLE_EQ(none.min, 0.0);
+  EXPECT_DOUBLE_EQ(none.max, 0.0);
+  EXPECT_DOUBLE_EQ(none.p50, 0.0);
+  EXPECT_DOUBLE_EQ(none.p95, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
+
+  reg.Observe("server.latency_ms", 42.0);
+  const HistogramSummary one = reg.histogram("server.latency_ms");
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.min, 42.0);
+  EXPECT_DOUBLE_EQ(one.max, 42.0);
+  EXPECT_DOUBLE_EQ(one.p50, 42.0);
+  EXPECT_DOUBLE_EQ(one.p95, 42.0);
+  EXPECT_DOUBLE_EQ(one.p99, 42.0);
+  // Both shapes export as valid JSON.
+  EXPECT_TRUE(JsonChecker(reg.ToJson()).Valid()) << reg.ToJson();
+}
+
 TEST(MetricsRegistryTest, JsonExportIsSortedAndValid) {
   MetricsRegistry reg;
   EXPECT_EQ(MetricsRegistry().ToJson(), "{}");  // empty sections are omitted

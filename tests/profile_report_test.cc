@@ -165,6 +165,109 @@ TEST(CriticalPathTest, SharedLinkContentionMatchesFabric) {
   EXPECT_LE(util.resources[0].contended, util.resources[0].busy);
 }
 
+// ------------------------------------------------ utilization merging
+
+// Partial overlap, touching, and disjoint intervals on one resource, with a
+// second resource and a second process active over the same wall-clock time:
+// merging must stay within each (process, resource) timeline.
+TEST(UtilizationTest, MergesPartialOverlapPerResourceOnly) {
+  CausalGraph graph(/*enabled=*/true);
+  const int p0 = graph.RegisterProcess("first");
+  const int p1 = graph.RegisterProcess("second");
+
+  const int req0 = graph.BeginRequest(p0, 0, /*arrival=*/0);
+  // pcie/gpu0: [0,100] (solo 60 => 40 contended) partially overlaps [50,150]
+  // (solo 100 => 0 contended); [160,250] (solo 60 => 30 contended) is
+  // disjoint. Merged: [0,150] + [160,250].
+  graph.AddNode(req0, CpKind::kPcie, "a", "pcie/gpu0", 0, 100, 100, 60);
+  graph.AddNode(req0, CpKind::kPcie, "b", "pcie/gpu0", 50, 150, 100, 100);
+  graph.AddNode(req0, CpKind::kPcie, "c", "pcie/gpu0", 160, 250, 90, 60);
+  // exec/gpu0 overlaps [120,220] in wall-clock time but is its own resource.
+  const CpNodeId exec =
+      graph.AddNode(req0, CpKind::kExec, "e", "exec/gpu0", 120, 220);
+  graph.EndRequest(req0, 250, exec);
+
+  // A second process busy on a resource with the *same name* stays separate.
+  const int req1 = graph.BeginRequest(p1, 0, /*arrival=*/0);
+  const CpNodeId other =
+      graph.AddNode(req1, CpKind::kPcie, "x", "pcie/gpu0", 0, 50, 50, 50);
+  graph.EndRequest(req1, 50, other);
+
+  const UtilizationReport util = ComputeUtilization(graph);
+  ASSERT_EQ(util.resources.size(), 3u);
+
+  // Output order is (process, resource name).
+  const ResourceTimeline& exec_tl = util.resources[0];
+  EXPECT_EQ(exec_tl.process, p0);
+  EXPECT_EQ(exec_tl.resource, "exec/gpu0");
+  EXPECT_EQ(exec_tl.kind, "exec");
+  ASSERT_EQ(exec_tl.intervals.size(), 1u);
+  EXPECT_EQ(exec_tl.busy, 100);
+  EXPECT_EQ(exec_tl.contended, 0);
+  EXPECT_EQ(exec_tl.span, 250);
+
+  const ResourceTimeline& pcie_tl = util.resources[1];
+  EXPECT_EQ(pcie_tl.process, p0);
+  EXPECT_EQ(pcie_tl.resource, "pcie/gpu0");
+  EXPECT_EQ(pcie_tl.kind, "pcie");
+  ASSERT_EQ(pcie_tl.intervals.size(), 2u);
+  EXPECT_EQ(pcie_tl.intervals[0].start, 0);
+  EXPECT_EQ(pcie_tl.intervals[0].end, 150);
+  EXPECT_EQ(pcie_tl.intervals[0].contended, 40);
+  EXPECT_EQ(pcie_tl.intervals[1].start, 160);
+  EXPECT_EQ(pcie_tl.intervals[1].end, 250);
+  EXPECT_EQ(pcie_tl.intervals[1].contended, 30);
+  EXPECT_EQ(pcie_tl.busy, 150 + 90);
+  EXPECT_EQ(pcie_tl.contended, 70);
+  EXPECT_DOUBLE_EQ(pcie_tl.utilization, 240.0 / 250.0);
+
+  const ResourceTimeline& other_tl = util.resources[2];
+  EXPECT_EQ(other_tl.process, p1);
+  EXPECT_EQ(other_tl.resource, "pcie/gpu0");
+  EXPECT_EQ(other_tl.busy, 50);
+  EXPECT_EQ(other_tl.span, 50);
+  EXPECT_DOUBLE_EQ(other_tl.utilization, 1.0);
+}
+
+// Two fully-overlapped heavily-contended transfers: the merged interval's
+// contended time is capped at the interval's length (contention can never
+// exceed wall-clock busy time).
+TEST(UtilizationTest, ContendedTimeIsCappedAtBusyTime) {
+  CausalGraph graph(/*enabled=*/true);
+  const int process = graph.RegisterProcess("capped");
+  const int req = graph.BeginRequest(process, 0, 0);
+  graph.AddNode(req, CpKind::kPcie, "a", "pcie/gpu0", 0, 100, 100, 10);
+  const CpNodeId b =
+      graph.AddNode(req, CpKind::kPcie, "b", "pcie/gpu0", 0, 100, 100, 10);
+  graph.EndRequest(req, 100, b);
+
+  const UtilizationReport util = ComputeUtilization(graph);
+  ASSERT_EQ(util.resources.size(), 1u);
+  EXPECT_EQ(util.resources[0].busy, 100);
+  EXPECT_EQ(util.resources[0].contended, 100);  // 90 + 90, capped
+}
+
+// Touching intervals (end == next start) coalesce; zero-length and
+// resource-less nodes are ignored entirely.
+TEST(UtilizationTest, TouchingIntervalsCoalesceAndDegenerateNodesAreIgnored) {
+  CausalGraph graph(/*enabled=*/true);
+  const int process = graph.RegisterProcess("touch");
+  const int req = graph.BeginRequest(process, 0, 0);
+  graph.AddNode(req, CpKind::kExec, "a", "gpu0", 0, 100);
+  graph.AddNode(req, CpKind::kExec, "b", "gpu0", 100, 200);
+  graph.AddNode(req, CpKind::kExec, "zero", "gpu0", 150, 150);  // zero-length
+  const CpNodeId tail = graph.AddNode(req, CpKind::kExec, "anon", "", 0, 500);
+  graph.EndRequest(req, 200, tail);
+
+  const UtilizationReport util = ComputeUtilization(graph);
+  ASSERT_EQ(util.resources.size(), 1u);
+  EXPECT_EQ(util.resources[0].resource, "gpu0");
+  ASSERT_EQ(util.resources[0].intervals.size(), 1u);
+  EXPECT_EQ(util.resources[0].intervals[0].start, 0);
+  EXPECT_EQ(util.resources[0].intervals[0].end, 200);
+  EXPECT_EQ(util.resources[0].busy, 200);
+}
+
 // ------------------------------------------------ engine-recorded journals
 
 TEST(CriticalPathTest, EngineColdRunAttributionSumsExactly) {

@@ -193,6 +193,27 @@ TEST(PercentilesTest, SingleSample) {
   p.Add(3.5);
   EXPECT_DOUBLE_EQ(p.Percentile(0), 3.5);
   EXPECT_DOUBLE_EQ(p.Percentile(99), 3.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(100), 3.5);
+  EXPECT_DOUBLE_EQ(p.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(p.Max(), 3.5);
+  EXPECT_DOUBLE_EQ(p.Mean(), 3.5);
+}
+
+// Zero-request windows summarize as all-zero rather than crashing: every
+// order statistic on an empty sample is pinned to 0.0, matching Mean().
+TEST(PercentilesTest, EmptySampleIsDefinedZero) {
+  Percentiles p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(p.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 0.0);
+  // Still usable after the empty queries.
+  p.Add(7.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(50), 7.0);
 }
 
 // ---------------------------------------------------------------- histogram

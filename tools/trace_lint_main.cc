@@ -2,36 +2,47 @@
 // captured file. Default mode checks Chrome/Perfetto traces (structure,
 // sorted timestamps, pid/tid metadata, slice nesting, async balance,
 // cumulative-counter monotonicity); --profile switches to the
-// {"profile_report":...} schema check (attribution sums, utilization bounds).
+// {"profile_report":...} schema check (attribution sums, utilization
+// bounds); --whatif switches to the {"whatif_report":...} schema check
+// (scales, quantile monotonicity, per-request deltas, baseline self-check).
 // Exit 0 when every file is clean.
 //
 //   trace_lint results/trace_fig15.json [more.json ...]
 //   trace_lint --profile results/profile_report.json
+//   trace_lint --whatif results/whatif_report.json
 #include <cstdio>
 #include <cstring>
 
 #include "src/check/trace_lint.h"
 
 int main(int argc, char** argv) {
-  bool profile_mode = false;
+  enum class Mode { kTrace, kProfile, kWhatIf };
+  Mode mode = Mode::kTrace;
   int first_file = 1;
   if (argc > 1 && std::strcmp(argv[1], "--profile") == 0) {
-    profile_mode = true;
+    mode = Mode::kProfile;
+    first_file = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "--whatif") == 0) {
+    mode = Mode::kWhatIf;
     first_file = 2;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr, "usage: %s [--profile] <file.json> [more.json ...]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--profile|--whatif] <file.json> [more.json ...]\n",
                  argv[0]);
     return 2;
   }
   int failures = 0;
   for (int i = first_file; i < argc; ++i) {
     const deepplan::check::TraceLintResult result =
-        profile_mode ? deepplan::check::LintProfileReportFile(argv[i])
-                     : deepplan::check::LintChromeTraceFile(argv[i]);
+        mode == Mode::kProfile ? deepplan::check::LintProfileReportFile(argv[i])
+        : mode == Mode::kWhatIf ? deepplan::check::LintWhatIfReportFile(argv[i])
+                                : deepplan::check::LintChromeTraceFile(argv[i]);
     if (result.ok()) {
-      if (profile_mode) {
+      if (mode == Mode::kProfile) {
         std::printf("OK %s: profile report schema clean\n", argv[i]);
+      } else if (mode == Mode::kWhatIf) {
+        std::printf("OK %s: what-if report schema clean\n", argv[i]);
       } else {
         std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu async) on %zu tracks\n",
                     argv[i], result.num_events, result.num_spans,

@@ -1,0 +1,108 @@
+// whatif_report: offline virtual-hardware experiments over a causal journal.
+// Reads the {"causal_journal":...} document a bench run writes via
+// --profile_out (or --whatif_out), replays the happens-before DAG under each
+// requested experiment, and prints the deterministic text report (predicted
+// latency quantiles per experiment plus the ranked knob-sensitivity table);
+// --json=<path> additionally writes the {"whatif_report":...} document for
+// tools (lint with `trace_lint --whatif`).
+//
+//   whatif_report results/profile_fig15.json
+//   whatif_report results/profile_fig15.json --exp=pcie=1.92 --exp=noevict
+//       --json=results/whatif.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/causal_graph.h"
+#include "src/obs/whatif/whatif.h"
+#include "src/obs/whatif/whatif_report.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string json_path;
+  std::vector<deepplan::WhatIfExperiment> experiments;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--exp=", 0) == 0) {
+      deepplan::WhatIfExperiment exp;
+      std::string error;
+      if (!deepplan::ParseWhatIfExperiment(arg.substr(6), &exp, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      experiments.push_back(std::move(exp));
+    } else if (journal_path.empty()) {
+      journal_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (journal_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <journal.json> [--exp=<spec>]... "
+                 "[--json=<report.json>]\n"
+                 "  spec clauses: pcie=K nvlink=K exec=K nocontention "
+                 "noevict baseline (comma-separated)\n",
+                 argv[0]);
+    return 2;
+  }
+  if (experiments.empty()) {
+    experiments = deepplan::DefaultWhatIfExperiments();
+  }
+
+  std::string text;
+  if (!ReadFile(journal_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", journal_path.c_str());
+    return 2;
+  }
+  deepplan::CausalGraph graph;
+  std::string error;
+  if (!deepplan::CausalGraph::FromJson(text, &graph, &error)) {
+    std::fprintf(stderr, "bad journal %s: %s\n", journal_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const deepplan::WhatIfReport report =
+      deepplan::BuildWhatIfReport(graph, experiments);
+  deepplan::PrintWhatIfReport(report, std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << deepplan::WhatIfReportJson(report) << "\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  // A baseline replay that cannot reproduce its own journal means the
+  // journal predates hop/DHA recording (or is damaged): fail loudly so CI
+  // never trusts those predictions.
+  if (report.requests > 0 && !report.baseline_matches_journal) {
+    std::fprintf(stderr,
+                 "baseline replay does not match the journal; predictions "
+                 "are unreliable\n");
+    return 1;
+  }
+  return 0;
+}
