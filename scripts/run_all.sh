@@ -28,11 +28,16 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 if [ "${DEEPPLAN_TSAN:-0}" = "1" ]; then
-  echo "== sweep_test + obs_test (ThreadSanitizer)"
+  echo "== sweep_test + obs_test + scaling_test (ThreadSanitizer)"
   cmake -B "$BUILD_DIR-tsan" -S . -DDEEPPLAN_SANITIZE=thread >/dev/null
-  cmake --build "$BUILD_DIR-tsan" --target sweep_test obs_test -j >/dev/null
+  cmake --build "$BUILD_DIR-tsan" --target sweep_test obs_test scaling_test \
+    -j >/dev/null
   DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/sweep_test"
   "$BUILD_DIR-tsan/tests/obs_test"
+  # The scale replay fans point sweeps across threads; run it under TSan with
+  # maximum fan-out (the differential queue/fabric tests are single-threaded
+  # and covered by the asan/ubsan full-suite legs below).
+  DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/scaling_test"
 fi
 
 # Sanitizer matrix: full test suite under asan / ubsan on demand.
@@ -100,6 +105,27 @@ fi
 if [ "$GOLDEN_FOUND" = "0" ]; then
   echo "skip: no goldens under $GOLDEN_DIR"
 fi
+
+# Scaling determinism: BENCH_scaling's deterministic surface must not depend
+# on the sweep's thread count. Replay the trimmed curve (1M point dropped for
+# speed) once serially and once threaded, and hold the two JSONs to the same
+# exact gate the goldens use. The full default curve, 1M point included, ran
+# in the main sweep above and is golden-gated like every other bench.
+echo "== scaling determinism (DEEPPLAN_JOBS=1 vs 2)"
+mkdir -p "$RESULTS_DIR/scaling_jobs1" "$RESULTS_DIR/scaling_jobs2"
+# stdout only: wall-clock throughput lines go to stderr by design, so the
+# table is byte-comparable across thread counts.
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/scaling_jobs1" DEEPPLAN_JOBS=1 \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=200000 \
+  >"$RESULTS_DIR/scaling_jobs1/bench_scaling.txt" 2>/dev/null
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/scaling_jobs2" DEEPPLAN_JOBS=2 \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=200000 \
+  >"$RESULTS_DIR/scaling_jobs2/bench_scaling.txt" 2>/dev/null
+"$BUILD_DIR/tools/bench_diff" --tol=0 \
+  "$RESULTS_DIR/scaling_jobs1/BENCH_scaling.json" \
+  "$RESULTS_DIR/scaling_jobs2/BENCH_scaling.json"
+cmp "$RESULTS_DIR/scaling_jobs1/bench_scaling.txt" \
+  "$RESULTS_DIR/scaling_jobs2/bench_scaling.txt"
 
 # Telemetry: capture a short traced replay and validate the artifact parses
 # and carries the expected tracks (load it in ui.perfetto.dev to explore).

@@ -184,6 +184,25 @@ void SimValidator::OnTransferComplete(Nanos now, std::uint64_t transfer,
   }
 }
 
+void SimValidator::OnFabricIncrementalSolve(Nanos now, std::uint64_t transfer,
+                                            double incremental_rate,
+                                            double full_rate) {
+  if (!enabled()) {
+    return;
+  }
+  Count();
+  // Bitwise comparison on purpose: the incremental solve claims the exact
+  // same arithmetic as the full re-solve, not an approximation of it.
+  if (incremental_rate != full_rate) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "incremental fair-share diverged from full re-solve at t=" << now
+       << "ns: transfer " << transfer << " incremental=" << incremental_rate
+       << " full=" << full_rate << " bytes/sec";
+    Fail("fabric fair share", os.str());
+  }
+}
+
 void SimValidator::OnArenaUpdate(std::int64_t capacity, std::int64_t used,
                                  std::vector<ArenaSpan> spans) {
   if (!enabled()) {

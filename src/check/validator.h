@@ -96,6 +96,13 @@ class SimValidator {
   // the ns-rounding residue the fabric itself tolerates).
   static void OnTransferComplete(Nanos now, std::uint64_t transfer,
                                  double moved_bytes, double total_bytes);
+  // The incremental (component-local) fair-share solve must agree with the
+  // full progressive-filling re-solve to the last bit; the fabric runs the
+  // full solve as a shadow whenever validation is on and reports both rates
+  // here for every active transfer.
+  static void OnFabricIncrementalSolve(Nanos now, std::uint64_t transfer,
+                                       double incremental_rate,
+                                       double full_rate);
 
   // -- GPU memory accounting -------------------------------------------
   // `spans` is the concatenation of free blocks and live allocations, in any

@@ -52,6 +52,7 @@
 #include "src/util/time.h"
 #include "src/workload/azure_trace.h"
 #include "src/workload/poisson.h"
+#include "src/workload/synthetic.h"
 #include "src/workload/trace.h"
 
 #endif  // SRC_DEEPPLAN_H_

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/sim/stream.h"
+#include "src/util/arena.h"
 #include "src/util/index.h"
 #include "src/util/logging.h"
 
@@ -60,17 +61,7 @@ std::vector<CpHop> ServerFabric::CausalHops(const std::vector<LinkId>& path) con
   return hops;
 }
 
-Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
-    : sim_(sim), fabric_(fabric), perf_(perf) {
-  DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
-}
-
-void Engine::set_telemetry(TraceRecorder* recorder, int pid) {
-  recorder_ = recorder;
-  pid_ = pid;
-}
-
-namespace {
+namespace engine_internal {
 
 // One transfer unit on a PCIe/NVLink chain: one layer, or several
 // consecutive layers coalesced into a transmission group (PipeSwitch-style
@@ -78,19 +69,25 @@ namespace {
 struct LoadItem {
   std::vector<std::size_t> layer_indices;
   std::int64_t bytes = 0;
-  std::string name;  // label for timeline recording
+  // Label for timeline/recorder/causal output; left empty (not built) when no
+  // consumer is attached, which is the serving hot path.
+  std::string name;
 };
 
-// All mutable state of one in-flight cold run; kept alive by shared_ptr until
-// the execute stream drains.
+// All mutable state of one in-flight cold run. Runs are pooled: the engine
+// recycles a retired run's record — sync events, streams, per-partition item
+// lists — so a million-cold-start replay reuses the same buffers instead of
+// allocating hundreds of heap objects per run. The record stays owned by the
+// pool for the engine's lifetime, so the raw pointers captured by in-flight
+// closures can never dangle.
 struct ColdRun {
   Nanos start = 0;
   InferenceResult result;
-  std::vector<std::unique_ptr<SyncEvent>> arrived;       // per layer, primary GPU
-  std::vector<std::unique_ptr<SyncEvent>> at_secondary;  // per layer, secondary GPU
-  std::unique_ptr<SyncEvent> all_loaded;                 // Baseline gate
-  std::unique_ptr<Stream> exec;
-  std::vector<std::unique_ptr<Stream>> migration;  // per partition (index 0 unused)
+  std::vector<SyncEvent> arrived;       // per layer, primary GPU
+  std::vector<SyncEvent> at_secondary;  // per layer, secondary GPU
+  SyncEvent all_loaded;                 // Baseline gate
+  Stream exec;
+  std::vector<Stream> migration;  // per partition (index 0 unused)
   std::vector<std::vector<LoadItem>> part_items;
   int pending_arrivals = 0;
   // Causal-graph cursors (only populated when the run records profiling
@@ -105,7 +102,34 @@ struct ColdRun {
   CpNodeId all_loaded_source = -1;  // node whose arrival fired all_loaded
 };
 
-}  // namespace
+}  // namespace engine_internal
+
+using engine_internal::ColdRun;
+using engine_internal::LoadItem;
+
+// Pool of reusable ColdRun records plus the deferred-release list. A run
+// cannot be released the moment its completion callback fires: the execute
+// stream's op machinery still runs (on the run's own Stream member) after the
+// marker returns, and the callback may synchronously start another inference.
+// Retired runs are instead recycled at the next RunCold, which always begins
+// from a fresh event dispatch, by which point every prior run is quiescent.
+struct EngineScratch {
+  ObjectPool<ColdRun> pool;
+  std::vector<ColdRun*> retired;
+};
+
+Engine::Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf)
+    : sim_(sim), fabric_(fabric), perf_(perf),
+      scratch_(std::make_unique<EngineScratch>()) {
+  DP_CHECK(sim != nullptr && fabric != nullptr && perf != nullptr);
+}
+
+Engine::~Engine() = default;
+
+void Engine::set_telemetry(TraceRecorder* recorder, int pid) {
+  recorder_ = recorder;
+  pid_ = pid;
+}
 
 void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primary,
                      std::vector<GpuId> secondaries, const ColdRunOptions& options,
@@ -114,15 +138,44 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
   DP_CHECK(plan.num_layers() == n);
   DP_CHECK(static_cast<int>(secondaries.size()) >= plan.num_partitions() - 1);
 
-  auto run = std::make_shared<ColdRun>();
+  // Recycle runs that retired since the last call (see EngineScratch).
+  for (ColdRun* r : scratch_->retired) {
+    scratch_->pool.Release(r);
+  }
+  scratch_->retired.clear();
+
+  ColdRun* run = scratch_->pool.Acquire();
+  const std::size_t parts = Idx(plan.num_partitions());
   run->start = sim_->now();
+  run->result.latency = 0;
+  run->result.exec_busy = 0;
+  run->result.stall = 0;
+  run->result.load_done = 0;
   run->result.cold = true;
-  run->result.partitions.resize(Idx(plan.num_partitions()));
-  run->arrived.resize(n);
-  run->at_secondary.resize(n);
-  run->all_loaded = std::make_unique<SyncEvent>(sim_);
-  run->exec = std::make_unique<Stream>(sim_, "exec/gpu" + std::to_string(primary));
-  run->part_items.resize(Idx(plan.num_partitions()));
+  run->result.partitions.clear();
+  run->result.partitions.resize(parts);
+  run->result.timeline.clear();
+  run->result.causal_terminal = -1;
+  if (run->arrived.size() < n) {
+    run->arrived.resize(n);
+    run->at_secondary.resize(n);
+  }
+  run->all_loaded.Reset(sim_);
+  run->exec.Reset(sim_, "exec/gpu" + std::to_string(primary));
+  if (run->migration.size() < parts) {
+    run->migration.resize(parts);
+  }
+  for (auto& items : run->part_items) {
+    items.clear();
+  }
+  if (run->part_items.size() < parts) {
+    run->part_items.resize(parts);
+  }
+  run->pending_arrivals = 0;
+  run->causal_request = -1;
+  run->causal_root = -1;
+  run->last_exec = -1;
+  run->all_loaded_source = -1;
 
   // Causal profiling is per-run: active only when a graph is attached AND
   // this run was given a request to hang its nodes off.
@@ -133,11 +186,17 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
                            : causal_->arrival_node(options.causal_request);
     run->layer_source.assign(n, -1);
     run->secondary_source.assign(n, -1);
-    run->pcie_prev.assign(Idx(plan.num_partitions()), run->causal_root);
-    run->mig_prev.assign(Idx(plan.num_partitions()), run->causal_root);
+    run->pcie_prev.assign(parts, run->causal_root);
+    run->mig_prev.assign(parts, run->causal_root);
     run->last_exec = run->causal_root;
     run->all_loaded_source = run->causal_root;
   }
+
+  // Item labels are consumed only by the timeline, the trace recorder, and
+  // the causal graph; skip the string building entirely when none of those
+  // is active for this run (the serving hot path).
+  const bool want_names = options.record_timeline || recorder_ != nullptr ||
+                          run->causal_request >= 0;
 
   for (std::size_t i = 0; i < n; ++i) {
     const Layer& layer = model.layer(i);
@@ -149,22 +208,25 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
           static_cast<int>(items.back().layer_indices.size()) < group) {
         items.back().layer_indices.push_back(i);
         items.back().bytes += layer.param_bytes;
-        items.back().name += "+" + layer.name;
+        if (want_names) {
+          items.back().name += "+" + layer.name;
+        }
       } else {
-        items.push_back(LoadItem{{i}, layer.param_bytes, layer.name});
+        items.push_back(LoadItem{
+            {i}, layer.param_bytes, want_names ? layer.name : std::string()});
       }
-      run->arrived[i] = std::make_unique<SyncEvent>(sim_);
-      run->at_secondary[i] = std::make_unique<SyncEvent>(sim_);
+      run->arrived[i].Reset(sim_);
+      run->at_secondary[i].Reset(sim_);
       ++run->pending_arrivals;
       run->result.partitions[Idx(p)].bytes += layer.param_bytes;
     }
   }
   if (run->pending_arrivals == 0) {
-    run->all_loaded->Fire();
+    run->all_loaded.Fire();
   }
 
   auto on_arrival = [this, run](std::size_t layer_index, int partition) {
-    run->arrived[layer_index]->Fire();
+    run->arrived[layer_index].Fire();
     auto& ps = run->result.partitions[Idx(partition)];
     ps.arrival_done = std::max(ps.arrival_done, sim_->now() - run->start);
     run->result.load_done = std::max(run->result.load_done, sim_->now() - run->start);
@@ -174,7 +236,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
         // Baseline's gated exec ops causally wait on.
         run->all_loaded_source = run->layer_source[layer_index];
       }
-      run->all_loaded->Fire();
+      run->all_loaded.Fire();
     }
   };
 
@@ -190,9 +252,9 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     run->result.partitions[Idx(p)].pcie_start = 0;
     const bool record = options.record_timeline;
     // The stored closure must hold only a weak reference to itself: a strong
-    // self-capture is a shared_ptr cycle that leaks the closure and every
-    // ColdRun it captures. Each in-flight fabric completion re-locks a strong
-    // reference, so the chain stays alive exactly until it drains.
+    // self-capture is a shared_ptr cycle that leaks the closure. Each
+    // in-flight fabric completion re-locks a strong reference, so the chain
+    // stays alive exactly until it drains.
     auto chain = std::make_shared<std::function<void(std::size_t)>>();
     std::weak_ptr<std::function<void(std::size_t)>> weak_chain = chain;
     *chain = [this, run, p, target, weak_chain, on_arrival, record](std::size_t k) {
@@ -244,7 +306,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
               if (p == 0) {
                 on_arrival(li, p);
               } else {
-                run->at_secondary[li]->Fire();
+                run->at_secondary[li].Fire();
               }
             }
             (*self)(k + 1);
@@ -260,23 +322,28 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     if (run->part_items[Idx(p)].empty()) {
       continue;
     }
-    run->migration.resize(std::max<std::size_t>(run->migration.size(), Idx(p) + 1));
-    run->migration[Idx(p)] = std::make_unique<Stream>(sim_, "migrate/p" + std::to_string(p));
-    Stream* mig = run->migration[Idx(p)].get();
+    run->migration[Idx(p)].Reset(sim_, "migrate/p" + std::to_string(p));
+    Stream* mig = &run->migration[Idx(p)];
     const GpuId src = secondaries[Idx(p - 1)];
     if (options.migration == MigrationMode::kPipelined) {
       const bool record = options.record_timeline;
-      for (const LoadItem& item : run->part_items[Idx(p)]) {
-        for (const std::size_t li : item.layer_indices) {
-          mig->EnqueueWait(run->at_secondary[li].get());
+      // Closures reference items by (partition, index): part_items is fully
+      // built before any chain starts and never mutated during the run, so
+      // indices stay valid and nothing copies the item's label or layer list.
+      const std::size_t num_items = run->part_items[Idx(p)].size();
+      for (std::size_t k = 0; k < num_items; ++k) {
+        for (const std::size_t li : run->part_items[Idx(p)][k].layer_indices) {
+          mig->EnqueueWait(&run->at_secondary[li]);
         }
-        mig->Enqueue([this, run, item, p, src, primary, nvlink, record,
+        mig->Enqueue([this, run, p, k, src, primary, nvlink, record,
                       on_arrival](std::function<void()> op_done) {
           const Nanos op_start = sim_->now() - run->start;
           fabric_->fabric().Start(
-              fabric_->GpuToGpuPath(src, primary), item.bytes, nvlink.transfer_latency,
-              [this, run, item, p, src, primary, nvlink, record, op_start,
+              fabric_->GpuToGpuPath(src, primary), run->part_items[Idx(p)][k].bytes,
+              nvlink.transfer_latency,
+              [this, run, p, k, src, primary, nvlink, record, op_start,
                on_arrival, op_done = std::move(op_done)](Nanos) {
+                const LoadItem& item = run->part_items[Idx(p)][k];
                 if (record) {
                   run->result.timeline.push_back(TimelineEvent{
                       "migrate " + item.name,
@@ -324,7 +391,7 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       std::int64_t bytes = 0;
       for (const LoadItem& item : run->part_items[Idx(p)]) {
         for (const std::size_t li : item.layer_indices) {
-          mig->EnqueueWait(run->at_secondary[li].get());
+          mig->EnqueueWait(&run->at_secondary[li]);
         }
         bytes += item.bytes;
       }
@@ -376,8 +443,8 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
     const Layer& layer = model.layer(i);
     const bool loads = plan.method(i) == ExecMethod::kLoad && layer.has_params();
     if (loads) {
-      run->exec->EnqueueWait(options.pipelined ? run->arrived[i].get()
-                                               : run->all_loaded.get());
+      run->exec.EnqueueWait(options.pipelined ? &run->arrived[i]
+                                              : &run->all_loaded);
     }
     const Nanos exec = plan.method(i) == ExecMethod::kDirectHostAccess
                            ? perf_->ExecDha(layer, options.batch)
@@ -388,9 +455,9 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
       const bool record = options.record_timeline;
       const bool pipelined = options.pipelined;
       const Nanos dha_pcie = dha ? perf_->DhaPcieTime(layer, options.batch) : 0;
-      run->exec->Enqueue([this, run, exec, dha, dha_pcie, primary, record, i,
-                          loads, pipelined,
-                          name = layer.name](std::function<void()> op_done) {
+      run->exec.Enqueue([this, run, exec, dha, dha_pcie, primary, record, i,
+                         loads, pipelined,
+                         name = layer.name](std::function<void()> op_done) {
         const Nanos op_start = sim_->now() - run->start;
         sim_->ScheduleAfter(exec, [this, run, op_start, dha, dha_pcie, primary,
                                    record, i, loads, pipelined, name,
@@ -428,17 +495,21 @@ void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primar
         });
       });
     } else {
-      run->exec->EnqueueDelay(exec);
+      run->exec.EnqueueDelay(exec);
     }
     run->result.exec_busy += exec;
   }
-  run->exec->EnqueueMarker([this, run, done = std::move(done)]() {
+  run->exec.EnqueueMarker([this, run, done = std::move(done)]() {
     run->result.latency = sim_->now() - run->start;
-    run->result.stall = run->exec->wait_time();
+    run->result.stall = run->exec.wait_time();
     if (run->causal_request >= 0 && run->last_exec != run->causal_root) {
       run->result.causal_terminal = run->last_exec;
     }
     done(run->result);
+    // The run is over, but its execute stream still unwinds after this
+    // marker returns (and `done` may have synchronously started new work),
+    // so the record only retires here; the next RunCold recycles it.
+    scratch_->retired.push_back(run);
   });
 }
 
@@ -468,7 +539,10 @@ Nanos Engine::WarmDhaPcieTime(const Model& model, const ExecutionPlan& plan,
 
 void Engine::RunWarm(const Model& model, const ExecutionPlan& plan, int batch,
                      std::function<void(InferenceResult)> done) {
-  const Nanos duration = WarmDuration(model, plan, batch);
+  RunWarmFor(WarmDuration(model, plan, batch), std::move(done));
+}
+
+void Engine::RunWarmFor(Nanos duration, std::function<void(InferenceResult)> done) {
   const Nanos start = sim_->now();
   sim_->ScheduleAfter(duration, [this, start, duration, done = std::move(done)]() {
     InferenceResult result;

@@ -107,9 +107,16 @@ struct ColdRunOptions {
   CpNodeId causal_root = -1;
 };
 
+// Pooled cold-run bookkeeping (defined in engine.cc): an ObjectPool of
+// ColdRun records backed by src/util/arena, so a million-cold-start replay
+// recycles sync events, streams, and per-partition item lists instead of
+// allocating them per run.
+struct EngineScratch;
+
 class Engine {
  public:
   Engine(Simulator* sim, ServerFabric* fabric, const PerfModel* perf);
+  ~Engine();
 
   // Attaches a trace recorder: every cold-run load/migrate/exec operation is
   // then recorded as a span in *absolute* simulation time (track names match
@@ -140,6 +147,12 @@ class Engine {
   void RunWarm(const Model& model, const ExecutionPlan& plan, int batch,
                std::function<void(InferenceResult)> done);
 
+  // Warm inference with a precomputed duration: behaves exactly like RunWarm
+  // called on a (model, plan, batch) whose WarmDuration equals `duration`.
+  // Serving hot loops cache WarmDuration per registered model (it is a pure
+  // function of the plan) instead of re-summing every layer per request.
+  void RunWarmFor(Nanos duration, std::function<void(InferenceResult)> done);
+
   // Duration a warm inference takes (closed form; RunWarm occupies this).
   Nanos WarmDuration(const Model& model, const ExecutionPlan& plan, int batch) const;
 
@@ -161,6 +174,7 @@ class Engine {
   // runs share PCIe/NVLink tracks, so their transfer slices may overlap and
   // cannot be exported as complete (nesting) slices.
   std::uint64_t next_async_id_ = 0;
+  std::unique_ptr<EngineScratch> scratch_;
 };
 
 }  // namespace deepplan

@@ -15,6 +15,12 @@ struct Server::ModelEntry {
   ExecutionPlan plan;
   Strategy strategy = Strategy::kDeepPlanPtDha;
   std::int64_t footprint = 0;
+  // Warm-path constants, cached at registration: WarmDuration and
+  // WarmDhaPcieTime are pure functions of (model, plan, batch), and the batch
+  // is fixed per server, so re-summing every layer on every warm hit (the
+  // serving hot path) is pure waste.
+  Nanos warm_duration = 0;
+  Nanos warm_dha_pcie = 0;
 };
 
 struct PendingRequest {
@@ -103,6 +109,10 @@ int Server::RegisterModelType(Model model, Strategy strategy_override) {
   entry.plan = MakeStrategyPlan(entry.strategy, entry.profile, degree, pipeline);
   entry.footprint = entry.plan.GpuResidentBytes(entry.profile);
   entry.model = std::move(model);
+  entry.warm_duration =
+      s.engine->WarmDuration(entry.model, entry.plan, s.options.batch);
+  entry.warm_dha_pcie =
+      s.engine->WarmDhaPcieTime(entry.model, entry.plan, s.options.batch);
   s.models.push_back(std::move(entry));
   return static_cast<int>(s.models.size() - 1);
 }
@@ -198,8 +208,7 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
       // DHA plans stream parameters during warm execution too; record the
       // PCIe-bandwidth-dependent share for the what-if engine.
       const ModelEntry& entry = models[Idx(instance_model[Idx(instance)])];
-      const Nanos dha_pcie =
-          engine->WarmDhaPcieTime(entry.model, entry.plan, options.batch);
+      const Nanos dha_pcie = entry.warm_dha_pcie;
       if (dha_pcie > 0) {
         causal->SetNodeDhaPcie(terminal, dha_pcie);
       }
@@ -232,12 +241,12 @@ void Server::Impl::Dispatch(GpuId gpu) {
     if (registry != nullptr) {
       registry->AddCounter("server.warm_hits");
     }
-    engine->RunWarm(entry.model, entry.plan, options.batch,
-                    [this, gpu, instance, req, start](const InferenceResult&) {
-                      FinishRequest(gpu, instance, req, start, /*cold=*/false,
-                                    /*evict_delay=*/0, /*load_done=*/0,
-                                    /*num_evicted=*/0);
-                    });
+    engine->RunWarmFor(entry.warm_duration,
+                       [this, gpu, instance, req, start](const InferenceResult&) {
+                         FinishRequest(gpu, instance, req, start, /*cold=*/false,
+                                       /*evict_delay=*/0, /*load_done=*/0,
+                                       /*num_evicted=*/0);
+                       });
     return;
   }
 

@@ -78,7 +78,8 @@ TransferId Fabric::Start(std::vector<LinkId> path, std::int64_t bytes, Nanos lat
   t.latency = latency;
   t.done = std::move(done);
   active_.push_back(std::move(t));
-  Reallocate();
+  start_seeds_.assign(1, active_.size() - 1);
+  Reallocate(start_seeds_, /*seeds_closed=*/false);
   return id;
 }
 
@@ -118,61 +119,170 @@ void Fabric::SettleProgress() {
   }
 }
 
-void Fabric::ComputeRates() {
-  // Progressive filling: repeatedly saturate the most-constrained link, freeze
-  // the transfers crossing it at the fair share, remove them, and repeat.
+void Fabric::CollectComponent(const std::vector<std::size_t>& seeds,
+                              std::vector<std::size_t>& out) {
   const std::size_t n = active_.size();
-  std::vector<bool> frozen(n, false);
-  std::vector<double> residual(links_.size());
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    residual[l] = links_[l].capacity;
+  // The mark arrays are all-zero between calls (cleared selectively below),
+  // so growing them is the only per-call maintenance.
+  if (in_component_.size() < n) {
+    in_component_.resize(n, 0);
   }
-  std::size_t remaining = n;
-  for (auto& t : active_) {
-    t.rate = 0.0;
+  if (link_mark_.size() < links_.size()) {
+    link_mark_.resize(links_.size(), 0);
   }
-  while (remaining > 0) {
-    // Count unfrozen transfers per link; find the tightest fair share.
-    std::vector<int> users(links_.size(), 0);
+  out.clear();
+  for (std::size_t i : seeds) {
+    if (in_component_[i]) {
+      continue;
+    }
+    in_component_[i] = 1;
+    out.push_back(i);
+    for (LinkId l : active_[i].path) {
+      link_mark_[Idx(l)] = 1;
+    }
+  }
+  // Fixpoint: a transfer joins the component when it shares a link with it,
+  // and contributes its own links. Paths are short and components small (a
+  // PCIe subtree), so a scan-to-fixpoint beats maintaining adjacency.
+  bool changed = true;
+  while (changed) {
+    changed = false;
     for (std::size_t i = 0; i < n; ++i) {
-      if (frozen[i]) {
+      if (in_component_[i]) {
         continue;
       }
+      bool touches = false;
       for (LinkId l : active_[i].path) {
-        ++users[Idx(l)];
+        if (link_mark_[Idx(l)]) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) {
+        continue;
+      }
+      in_component_[i] = 1;
+      out.push_back(i);
+      for (LinkId l : active_[i].path) {
+        link_mark_[Idx(l)] = 1;
+      }
+      changed = true;
+    }
+  }
+  // Downstream solves scan the subset in ascending active_ index to keep the
+  // full re-solve's tie-breaks; membership was discovered out of order.
+  std::sort(out.begin(), out.end());
+  for (const std::size_t i : out) {
+    in_component_[i] = 0;
+    for (LinkId l : active_[i].path) {
+      link_mark_[Idx(l)] = 0;
+    }
+  }
+}
+
+void Fabric::SolveSubset(const std::vector<std::size_t>& subset,
+                         std::vector<double>& rates) {
+  // Progressive filling: repeatedly saturate the most-constrained link, freeze
+  // the transfers crossing it at the fair share, remove them, and repeat.
+  // Restricted to `subset` (a union of link-connected components) this yields
+  // bitwise the rates of a full solve: transfers outside the subset share no
+  // link with it, so neither side's arithmetic sees the other. Links are
+  // scanned in ascending global id and transfers in ascending active_ index,
+  // matching the original full solve's tie-breaks.
+  users_.resize(links_.size());
+  residual_.resize(links_.size());
+  touched_links_.clear();
+  for (std::size_t i : subset) {
+    touched_links_.insert(touched_links_.end(), active_[i].path.begin(),
+                          active_[i].path.end());
+  }
+  std::sort(touched_links_.begin(), touched_links_.end());
+  touched_links_.erase(std::unique(touched_links_.begin(), touched_links_.end()),
+                       touched_links_.end());
+  for (LinkId l : touched_links_) {
+    residual_[Idx(l)] = links_[Idx(l)].capacity;
+  }
+  frozen_.assign(subset.size(), 0);
+  for (std::size_t i : subset) {
+    rates[i] = 0.0;
+  }
+  std::size_t remaining = subset.size();
+  while (remaining > 0) {
+    // Count unfrozen transfers per link; find the tightest fair share.
+    for (LinkId l : touched_links_) {
+      users_[Idx(l)] = 0;
+    }
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      if (frozen_[k]) {
+        continue;
+      }
+      for (LinkId l : active_[subset[k]].path) {
+        ++users_[Idx(l)];
       }
     }
     double best_share = std::numeric_limits<double>::infinity();
     LinkId best_link = -1;
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (users[l] == 0) {
+    for (LinkId l : touched_links_) {
+      if (users_[Idx(l)] == 0) {
         continue;
       }
-      const double share = residual[l] / users[l];
+      const double share = residual_[Idx(l)] / users_[Idx(l)];
       if (share < best_share) {
         best_share = share;
-        best_link = static_cast<LinkId>(l);
+        best_link = l;
       }
     }
     DP_CHECK(best_link >= 0);
     // Freeze every unfrozen transfer crossing the bottleneck at that share.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (frozen[i]) {
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      if (frozen_[k]) {
         continue;
       }
-      auto& t = active_[i];
+      auto& t = active_[subset[k]];
       if (std::find(t.path.begin(), t.path.end(), best_link) == t.path.end()) {
         continue;
       }
-      t.rate = best_share;
-      frozen[i] = true;
+      rates[subset[k]] = best_share;
+      frozen_[k] = 1;
       --remaining;
       for (LinkId l : t.path) {
-        residual[Idx(l)] = std::max(0.0, residual[Idx(l)] - best_share);
+        residual_[Idx(l)] = std::max(0.0, residual_[Idx(l)] - best_share);
       }
     }
   }
+}
+
+void Fabric::ComputeRates(const std::vector<std::size_t>& seeds,
+                          bool seeds_closed) {
+  const std::size_t n = active_.size();
+  if (force_full_resolve_) {
+    affected_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      affected_.push_back(i);
+    }
+  } else if (seeds_closed) {
+    affected_.assign(seeds.begin(), seeds.end());
+  } else {
+    CollectComponent(seeds, affected_);
+  }
+  shadow_rates_.resize(n);
+  SolveSubset(affected_, shadow_rates_);
+  for (std::size_t i : affected_) {
+    active_[i].rate = shadow_rates_[i];
+  }
   if (check::ValidationEnabled()) {
+    // Shadow full re-solve: the incremental claim is bitwise equality, so
+    // recompute everything from scratch and compare rate by rate.
+    all_indices_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      all_indices_.push_back(i);
+    }
+    SolveSubset(all_indices_, shadow_rates_);
+    for (std::size_t i = 0; i < n; ++i) {
+      check::SimValidator::OnFabricIncrementalSolve(sim_->now(), active_[i].id,
+                                                    active_[i].rate,
+                                                    shadow_rates_[i]);
+    }
     std::vector<check::FabricLinkShare> shares(links_.size());
     for (std::size_t l = 0; l < links_.size(); ++l) {
       shares[l].name = links_[l].name;
@@ -215,6 +325,18 @@ void Fabric::ScheduleCompletions() {
 
 void Fabric::Complete(std::size_t index) {
   SettleProgress();
+  // The transfers whose fair share changes are exactly the departing
+  // transfer's link-connected component; find it before the erase shifts
+  // indices, then drop the departing transfer itself.
+  start_seeds_.assign(1, index);
+  CollectComponent(start_seeds_, completion_seeds_);
+  std::size_t out = 0;
+  for (std::size_t i : completion_seeds_) {
+    if (i != index) {
+      completion_seeds_[out++] = i > index ? i - 1 : i;
+    }
+  }
+  completion_seeds_.resize(out);
   Transfer t = std::move(active_[index]);
   check::SimValidator::OnTransferComplete(sim_->now(), t.id,
                                           t.total_bytes - t.remaining_bytes,
@@ -222,7 +344,9 @@ void Fabric::Complete(std::size_t index) {
   DP_CHECK(t.remaining_bytes <= kEpsilonBytes + 1.0);  // allow ns-rounding residue
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
   if (!active_.empty()) {
-    ComputeRates();
+    // completion_seeds_ is the departing transfer's component minus itself:
+    // still closed under link-sharing (removal never adds connectivity).
+    ComputeRates(completion_seeds_, /*seeds_closed=*/true);
     ScheduleCompletions();
   }
   EmitLinkCounters();
@@ -234,9 +358,9 @@ void Fabric::Complete(std::size_t index) {
   });
 }
 
-void Fabric::Reallocate() {
+void Fabric::Reallocate(const std::vector<std::size_t>& seeds, bool seeds_closed) {
   SettleProgress();
-  ComputeRates();
+  ComputeRates(seeds, seeds_closed);
   ScheduleCompletions();
   EmitLinkCounters();
 }

@@ -62,6 +62,12 @@ class Fabric {
   void set_telemetry(TraceRecorder* recorder, MetricsRegistry* registry,
                      int pid = 0);
 
+  // Test hook: disables the incremental (component-local) fair-share solve
+  // and re-solves every active transfer on each change, as the original
+  // implementation did. tests/fabric_diff_test.cc runs one fabric in each
+  // mode over identical schedules and asserts bitwise-equal behavior.
+  void set_full_resolve_for_testing(bool full) { force_full_resolve_ = full; }
+
  private:
   struct Link {
     std::string name;
@@ -82,11 +88,29 @@ class Fabric {
     bool has_completion_event = false;
   };
 
-  // Settles progress to now(), recomputes max-min allocation, and reschedules
-  // every transfer's completion event.
-  void Reallocate();
+  // Settles progress to now(), recomputes the max-min allocation of the
+  // transfers whose flow set changed (`seeds`: indices into active_), and
+  // reschedules every transfer's completion event. Settling and completion
+  // rescheduling stay global on purpose: completion times are re-quantized
+  // (ceil to whole ns) from freshly settled remaining_bytes, and skipping
+  // that for "unchanged" transfers would shift completions by a nanosecond
+  // relative to the original implementation.
+  void Reallocate(const std::vector<std::size_t>& seeds, bool seeds_closed);
   void SettleProgress();
-  void ComputeRates();
+  // Recomputes rates for the link-connected component(s) of `seeds` only;
+  // other transfers keep their (bitwise-unchanged) rates. When
+  // `seeds_closed` the caller guarantees `seeds` is already closed under
+  // link-sharing (a union of components) and the expansion is skipped. When
+  // validation is on, shadows the full re-solve and cross-checks every rate
+  // bit-for-bit.
+  void ComputeRates(const std::vector<std::size_t>& seeds, bool seeds_closed);
+  // Progressive filling restricted to `subset` (ascending indices into
+  // active_, closed under link-sharing); writes rates[i] for i in subset.
+  void SolveSubset(const std::vector<std::size_t>& subset,
+                   std::vector<double>& rates);
+  // Expands `seeds` to their link-connected component(s), ascending.
+  void CollectComponent(const std::vector<std::size_t>& seeds,
+                        std::vector<std::size_t>& out);
   void ScheduleCompletions();
   void Complete(std::size_t index);
   void EmitLinkCounters();
@@ -95,6 +119,22 @@ class Fabric {
   std::vector<Link> links_;
   std::vector<Transfer> active_;
   TransferId next_id_ = 1;
+  bool force_full_resolve_ = false;
+
+  // Scratch buffers reused across solves (the fabric reallocates on every
+  // transfer start/completion; per-call vector churn was a measurable slice
+  // of the sim-core profile).
+  std::vector<std::size_t> affected_;
+  std::vector<LinkId> touched_links_;
+  std::vector<int> users_;          // per link, valid for touched links only
+  std::vector<double> residual_;    // per link, valid for touched links only
+  std::vector<char> in_component_;  // per active_ index
+  std::vector<char> link_mark_;     // per link (component BFS)
+  std::vector<std::size_t> all_indices_;       // 0..n-1 (full re-solve)
+  std::vector<std::size_t> start_seeds_;       // seed buffer for Start
+  std::vector<std::size_t> completion_seeds_;  // seed buffer for Complete
+  std::vector<char> frozen_;        // per subset position
+  std::vector<double> shadow_rates_;  // full re-solve result (validation)
 
   TraceRecorder* recorder_ = nullptr;
   MetricsRegistry* registry_ = nullptr;

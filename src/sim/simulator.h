@@ -31,6 +31,8 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  // Queue introspection (slot reuse / scheduling volume) for tests + benches.
+  const EventQueue& event_queue() const { return queue_; }
 
  private:
   Nanos now_ = 0;

@@ -29,6 +29,15 @@ Stream::Stream(Simulator* sim, std::string name) : sim_(sim), name_(std::move(na
   DP_CHECK(sim != nullptr);
 }
 
+void Stream::Reset(Simulator* sim, std::string name) {
+  DP_CHECK(sim != nullptr);
+  DP_CHECK(!running_ && queue_.empty());
+  sim_ = sim;
+  name_ = std::move(name);
+  wait_time_ = 0;
+  last_start_ = -1;
+}
+
 void Stream::Enqueue(Op op) {
   queue_.push_back(std::move(op));
   MaybeStartNext();

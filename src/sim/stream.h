@@ -17,10 +17,21 @@
 namespace deepplan {
 
 // One-shot synchronization point. Fires once; waiters registered before the
-// fire run at fire time, waiters registered after run immediately.
+// fire run at fire time, waiters registered after run immediately. A
+// default-constructed event is inert until Reset attaches a simulator;
+// Reset also rearms a fired event for reuse (pooled cold-run bookkeeping
+// retains the waiter vector's capacity across runs).
 class SyncEvent {
  public:
+  SyncEvent() = default;
   explicit SyncEvent(Simulator* sim) : sim_(sim) {}
+
+  void Reset(Simulator* sim) {
+    sim_ = sim;
+    fired_ = false;
+    fire_time_ = -1;
+    waiters_.clear();
+  }
 
   bool fired() const { return fired_; }
   Nanos fire_time() const { return fire_time_; }
@@ -32,7 +43,7 @@ class SyncEvent {
   void OnFire(std::function<void()> cb);
 
  private:
-  Simulator* sim_;
+  Simulator* sim_ = nullptr;
   bool fired_ = false;
   Nanos fire_time_ = -1;
   std::vector<std::function<void()>> waiters_;
@@ -46,7 +57,13 @@ class Stream {
   // An op begins when the stream reaches it and calls `done` when finished.
   using Op = std::function<void(std::function<void()> done)>;
 
+  // A default-constructed stream is inert until Reset attaches a simulator.
+  Stream() = default;
   Stream(Simulator* sim, std::string name);
+
+  // Rearms a drained stream for reuse (pooled cold-run bookkeeping). The
+  // stream must be idle: no queued ops, no op in flight.
+  void Reset(Simulator* sim, std::string name);
 
   const std::string& name() const { return name_; }
   bool idle() const { return !running_ && queue_.empty(); }
@@ -73,7 +90,7 @@ class Stream {
  private:
   void MaybeStartNext();
 
-  Simulator* sim_;
+  Simulator* sim_ = nullptr;
   std::string name_;
   std::deque<Op> queue_;
   bool running_ = false;

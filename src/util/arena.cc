@@ -1,0 +1,48 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+
+namespace deepplan {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  // Try to bump inside the current chunk; alignment is computed on the
+  // absolute pointer so over-aligned requests stay correct.
+  while (current_ < chunks_.size()) {
+    std::byte* base = chunks_[current_].data.get();
+    std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(base) + offset_;
+    std::uintptr_t aligned = (raw + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    std::size_t new_offset = offset_ + (aligned - raw) + bytes;
+    if (new_offset <= chunks_[current_].size) {
+      offset_ = new_offset;
+      bytes_allocated_ += bytes;
+      return reinterpret_cast<std::byte*>(aligned);
+    }
+    // Chunk exhausted (or, after Reset, too small for this request): move to
+    // the next retained chunk.
+    ++current_;
+    offset_ = 0;
+  }
+  std::size_t size = std::max(chunk_bytes_, bytes + align);
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+  bytes_reserved_ += size;
+  offset_ = 0;
+  std::byte* base = chunks_[current_].data.get();
+  std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(base);
+  std::uintptr_t aligned = (raw + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+  offset_ = (aligned - raw) + bytes;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<std::byte*>(aligned);
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace deepplan

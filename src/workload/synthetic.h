@@ -1,0 +1,31 @@
+// Count-exact synthetic scale traces: exactly `num_requests` arrivals from a
+// Poisson process at `rate_per_sec`, with instances drawn from a Zipf
+// popularity distribution. Unlike the duration-based generators (poisson.h,
+// azure_trace.h), the request *count* is the input — that is what a scaling
+// curve sweeps (bench/bench_scaling emits simulated-throughput points at
+// 44k/200k/1M requests), and what byte-identical golden outputs need pinned.
+#ifndef SRC_WORKLOAD_SYNTHETIC_H_
+#define SRC_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/workload/trace.h"
+
+namespace deepplan {
+
+struct SyntheticScaleOptions {
+  std::size_t num_requests = 44000;
+  double rate_per_sec = 120.0;
+  int num_instances = 135;
+  // Zipf exponent of instance popularity. 0 = uniform; ~0.9-1.1 matches the
+  // skew of serverless invocation traces (a few hot functions dominate).
+  double zipf_exponent = 0.9;
+  std::uint64_t seed = 1;
+};
+
+// Deterministic in `options`: same options, same trace, on every platform.
+Trace GenerateSyntheticScaleTrace(const SyntheticScaleOptions& options);
+
+}  // namespace deepplan
+
+#endif  // SRC_WORKLOAD_SYNTHETIC_H_

@@ -5,15 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <tuple>
 #include <vector>
 
+#include "src/check/validator.h"
 #include "src/core/profiler.h"
 #include "src/core/transmission.h"
 #include "src/engine/strategies.h"
 #include "src/model/zoo.h"
 #include "src/sim/event_queue.h"
 #include "src/util/rng.h"
+#include "tests/eventqueue_schedules.h"
 
 namespace deepplan {
 namespace {
@@ -205,10 +209,13 @@ TEST(EventQueuePropertyTest, RandomizedInterleavingsMatchReferenceModel) {
         retired.push_back(live[pick].id);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
       } else {
-        // Pop: must return the live event minimal in (when, insertion id).
+        // Pop: must return the live event minimal in (when, insertion
+        // order). `tag` counts schedules, so it is the insertion order;
+        // EventId values are opaque handles (slot+generation) and carry no
+        // ordering.
         const auto expected = std::min_element(
             live.begin(), live.end(), [](const RefEvent& a, const RefEvent& b) {
-              return a.when != b.when ? a.when < b.when : a.id < b.id;
+              return a.when != b.when ? a.when < b.when : a.tag < b.tag;
             });
         ASSERT_EQ(q.NextTime(), expected->when);
         auto [when, cb] = q.PopNext();
@@ -222,9 +229,9 @@ TEST(EventQueuePropertyTest, RandomizedInterleavingsMatchReferenceModel) {
       ASSERT_EQ(q.size(), live.size());
       ASSERT_EQ(q.empty(), live.empty());
     }
-    // Drain: remaining events come out sorted by (when, insertion id).
+    // Drain: remaining events come out sorted by (when, insertion order).
     std::sort(live.begin(), live.end(), [](const RefEvent& a, const RefEvent& b) {
-      return a.when != b.when ? a.when < b.when : a.id < b.id;
+      return a.when != b.when ? a.when < b.when : a.tag < b.tag;
     });
     for (const RefEvent& e : live) {
       auto [when, cb] = q.PopNext();
@@ -249,6 +256,40 @@ TEST(EventQueuePropertyTest, EqualTimesFireInScheduleOrder) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
   }
+}
+
+// Reuses the shared randomized-schedule driver (tests/eventqueue_schedules.h,
+// the same generator eventqueue_diff_test.cc runs differentially) to check a
+// pure FIFO property on the calendar queue alone: among all pops that share a
+// timestamp, tags — which count insertion order — must appear in increasing
+// order, no matter how schedules, cancels, and pops interleave.
+TEST(EventQueuePropertyTest, SharedDriverEqualTimePopsRespectInsertionOrder) {
+  check::SetValidationForTesting(0);  // raw-queue fuzz pops non-monotonically
+  for (const std::uint64_t seed : {7ull, 77ull, 777ull}) {
+    EventQueue q;
+    testing_schedules::ScheduleRegime regime;
+    regime.ops = 20000;
+    regime.domain = 12;
+    regime.burst_every = 4;
+    regime.burst_size = 6;
+    const testing_schedules::ScheduleLog log =
+        testing_schedules::RunRandomSchedule(q, seed, regime);
+    std::map<Nanos, int> last_tag_at;  // per timestamp, last tag popped
+    for (const auto& [when, tag] : log.pops) {
+      const auto it = last_tag_at.find(when);
+      if (it != last_tag_at.end()) {
+        ASSERT_LT(it->second, tag) << "seed " << seed << " time " << when;
+        it->second = tag;
+      } else {
+        last_tag_at.emplace(when, tag);
+      }
+    }
+    EXPECT_EQ(log.scheduled, log.pops.size() + log.cancel_results.size() -
+                                 static_cast<std::uint64_t>(std::count(
+                                     log.cancel_results.begin(),
+                                     log.cancel_results.end(), 0)));
+  }
+  check::SetValidationForTesting(-1);
 }
 
 TEST(EventQueuePropertyTest, CancelOfFiredOrUnknownIdIsNoop) {

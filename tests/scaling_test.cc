@@ -1,0 +1,155 @@
+// Scale smoke test for the million-request sim core: a 200k-request
+// synthetic replay must (1) produce byte-identical bench output whether the
+// sweep runs on 1, 2, or 8 threads, (2) stay within a bounded peak RSS —
+// the old heap-backed queue grew its id-indexed bookkeeping without bound —
+// and (3) demonstrate the arena-reuse invariant: callback slots ever created
+// stay orders of magnitude below total events scheduled. Also unit-pins the
+// count-exact synthetic generator (src/workload/synthetic.h) the scaling
+// curve is built from.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/scaling_common.h"
+#include "src/workload/synthetic.h"
+
+namespace deepplan {
+namespace {
+
+TEST(SyntheticTraceTest, CountExactSortedAndInRange) {
+  SyntheticScaleOptions options;
+  options.num_requests = 5000;
+  options.num_instances = 17;
+  options.seed = 3;
+  const Trace trace = GenerateSyntheticScaleTrace(options);
+  ASSERT_EQ(trace.size(), 5000u);
+  Nanos prev = 0;
+  for (const Arrival& a : trace.arrivals()) {
+    EXPECT_GE(a.time, prev);
+    prev = a.time;
+    EXPECT_GE(a.instance, 0);
+    EXPECT_LT(a.instance, 17);
+  }
+  // Mean rate tracks the requested intensity (law of large numbers; wide
+  // tolerance — this is a sanity pin, not a statistics test).
+  EXPECT_NEAR(trace.MeanRate(), options.rate_per_sec,
+              options.rate_per_sec * 0.1);
+}
+
+TEST(SyntheticTraceTest, DeterministicInOptionsOnly) {
+  SyntheticScaleOptions options;
+  options.num_requests = 2000;
+  options.seed = 11;
+  const Trace a = GenerateSyntheticScaleTrace(options);
+  const Trace b = GenerateSyntheticScaleTrace(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.arrivals()[i].time, b.arrivals()[i].time);
+    EXPECT_EQ(a.arrivals()[i].instance, b.arrivals()[i].instance);
+  }
+  options.seed = 12;
+  const Trace c = GenerateSyntheticScaleTrace(options);
+  EXPECT_NE(a.arrivals()[0].time, c.arrivals()[0].time);
+}
+
+TEST(SyntheticTraceTest, ZipfSkewsTowardLowRanks) {
+  SyntheticScaleOptions options;
+  options.num_requests = 20000;
+  options.num_instances = 50;
+  options.zipf_exponent = 1.0;
+  const Trace trace = GenerateSyntheticScaleTrace(options);
+  const std::vector<std::size_t> counts = trace.PerInstanceCounts(50);
+  // Rank 0 is the hottest instance; the bottom half combined should not
+  // outdraw it under s=1.0 skew.
+  std::size_t tail = 0;
+  for (std::size_t i = 25; i < 50; ++i) {
+    tail += counts[i];
+  }
+  EXPECT_GT(counts[0], tail / 5);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+// The scale run proper: 200k requests through a 135-instance BERT-Base
+// server. One run shared by the assertions below (it is the expensive part).
+class ScalingReplayTest : public ::testing::Test {
+ protected:
+  static bench::ScalingPointResult& Result() {
+    static bench::ScalingPointResult r = [] {
+      bench::ScalingPointOptions options;
+      options.num_requests = 200000;
+      return bench::RunScalingPoint(options);
+    }();
+    return r;
+  }
+};
+
+TEST_F(ScalingReplayTest, CompletesAllRequests) {
+  const bench::ScalingPointResult& r = Result();
+  EXPECT_EQ(r.requests, 200000u);
+  EXPECT_EQ(r.completed, 200000u);
+  EXPECT_GT(r.goodput, 0.5);
+  EXPECT_GT(r.cold_starts, 0u);
+}
+
+TEST_F(ScalingReplayTest, EventSlotsStayBounded) {
+  // Arena reuse: the queue recycles callback slots, so the number of slots
+  // ever created (= peak simultaneously-pending events) must sit far below
+  // the millions of events the replay schedules in total.
+  const bench::ScalingPointResult& r = Result();
+  EXPECT_GT(r.events_scheduled, 1000000u);
+  EXPECT_LT(r.event_slot_peak, r.events_scheduled / 100);
+}
+
+TEST_F(ScalingReplayTest, PeakRssBounded) {
+  // ru_maxrss is process-wide and in KiB on Linux. The replay schedules
+  // millions of events; with per-event recycling the whole test binary stays
+  // well under this ceiling, while the old unbounded-bookkeeping backend
+  // grew by hundreds of MB on runs of this length.
+  const bench::ScalingPointResult& r = Result();
+  ASSERT_EQ(r.completed, r.requests);
+  struct rusage usage;
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &usage), 0);
+  // Sanitizer builds carry shadow memory and redzones on top of the real
+  // working set, so give them headroom; the plain build keeps the tight bound.
+  long limit_kib = 400 * 1024;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  limit_kib *= 4;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  limit_kib *= 4;
+#endif
+#endif
+  EXPECT_LT(usage.ru_maxrss, limit_kib) << "peak RSS (KiB)";
+}
+
+TEST(ScalingDeterminismTest, ByteIdenticalAcrossJobCounts) {
+  // The bench surface: the same three-point sweep must render the same
+  // deterministic JSON for any thread count. Small points keep this fast;
+  // identical code paths (SweepRunner + RunScalingPoint) to bench_scaling.
+  std::vector<std::size_t> sizes = {2000, 4000, 8000};
+  std::string baseline;
+  for (const int jobs : {1, 2, 8}) {
+    const SweepRunner runner(jobs);
+    const std::vector<bench::ScalingPointResult> results =
+        runner.Map(static_cast<int>(sizes.size()), [&](int i) {
+          bench::ScalingPointOptions options;
+          options.num_requests = sizes[static_cast<std::size_t>(i)];
+          return bench::RunScalingPoint(options);
+        });
+    const std::string json = bench::DeterministicPointsJson(results);
+    if (jobs == 1) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -46,6 +46,95 @@ TEST(EventQueueTest, CancelSuppressesEvent) {
   EXPECT_FALSE(fired);
 }
 
+// The next few tests pin the Cancel/stale-entry contract the rest of the sim
+// relies on (the fabric cancels and reschedules completion events on every
+// rate change): ids are never resurrected, cancelled entries left inside the
+// queue's internal structure never surface through NextTime/PopNext, and
+// tie-breaking among survivors stays schedule-order.
+
+TEST(EventQueueTest, CancelledIdIsNeverResurrectedByLaterSchedules) {
+  EventQueue q;
+  bool stale_fired = false;
+  bool fresh_fired = false;
+  const auto stale = q.Schedule(10, [&] { stale_fired = true; });
+  ASSERT_TRUE(q.Cancel(stale));
+  // New events (including ones at the same timestamp) must not revive the
+  // cancelled id, even if the implementation recycles its storage.
+  const auto fresh = q.Schedule(10, [&] { fresh_fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.Cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  auto [when, cb] = q.PopNext();
+  EXPECT_EQ(when, 10);
+  cb();
+  EXPECT_FALSE(stale_fired);
+  EXPECT_TRUE(fresh_fired);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const auto head = q.Schedule(5, [] {});
+  q.Schedule(20, [] {});
+  EXPECT_EQ(q.NextTime(), 5);
+  ASSERT_TRUE(q.Cancel(head));
+  EXPECT_EQ(q.NextTime(), 20);  // stale head entry must not surface
+  EXPECT_EQ(q.NextTime(), 20);  // and NextTime must not consume anything
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.PopNext().first, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInsideEqualTimeBurstKeepsScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(q.Schedule(100, [&, i] { order.push_back(i); }));
+  }
+  ASSERT_TRUE(q.Cancel(ids[0]));  // head of the burst
+  ASSERT_TRUE(q.Cancel(ids[3]));  // middle of the burst
+  while (!q.empty()) {
+    q.PopNext().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(EventQueueTest, CancelAndRescheduleChurnKeepsQueueConsistent) {
+  // The fabric's reallocation pattern: cancel the pending completion and
+  // schedule a replacement, thousands of times. Ids must stay unique, size
+  // must track live events only, and only the last replacement fires.
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId id = q.Schedule(1000, [&] { ++fired; });
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(q.Cancel(id));
+    const EventQueue::EventId next = q.Schedule(1000 + i % 7, [&] { ++fired; });
+    EXPECT_NE(next, id);
+    id = next;
+    ASSERT_EQ(q.size(), 1u);
+  }
+  q.PopNext().second();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));  // already fired
+}
+
+TEST(EventQueueTest, ScheduleDuringPopAtSameTimeFiresAfterExistingTies) {
+  // An event scheduled from inside a callback at the *current* timestamp
+  // joins the back of the equal-time FIFO (schedule order is global).
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(50, [&] {
+    order.push_back(0);
+    q.Schedule(50, [&] { order.push_back(2); });
+  });
+  q.Schedule(50, [&] { order.push_back(1); });
+  while (!q.empty()) {
+    q.PopNext().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 // ---------------------------------------------------------------- simulator
 
 TEST(SimulatorTest, ClockAdvancesToEventTimes) {
