@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
                   "point; the golden gate only sees the default full curve)");
   flags.DefineDouble("rate", 120.0, "offered load (requests/second)");
   flags.DefineInt("instances", 135, "BERT-Base instances on the 4-GPU server");
+  flags.DefineString(
+      "journal_out", "",
+      "stream a binary causal journal per point to <journal_out>.<requests> "
+      "(bounded-memory recording; adds a \"journal\" block to each point)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("max_requests"));
   const double rate = flags.GetDouble("rate");
   const int instances = static_cast<int>(flags.GetInt("instances"));
+  const std::string journal_out = flags.GetString("journal_out");
 
   std::vector<std::size_t> sizes;
   for (const std::size_t n : {std::size_t{44000}, std::size_t{200000},
@@ -61,6 +66,10 @@ int main(int argc, char** argv) {
         options.num_requests = sizes[static_cast<std::size_t>(i)];
         options.rate_per_sec = rate;
         options.num_instances = instances;
+        if (!journal_out.empty()) {
+          options.journal_out =
+              journal_out + "." + std::to_string(options.num_requests);
+        }
         return bench::RunScalingPoint(options);
       });
 

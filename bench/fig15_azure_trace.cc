@@ -21,7 +21,10 @@
 // $DEEPPLAN_WHATIF) the stitched journal is replayed under the default
 // virtual-hardware experiments (src/obs/whatif) and the
 // {"whatif_report":...} JSON lands at <path>; journaling turns on even
-// without --profile_out.
+// without --profile_out. With --journal_out=<path> the stitched journal is
+// additionally written in the chunked binary DPJL format
+// (src/obs/journal_stream.h) — the same graph, exactly convertible to/from
+// the JSON journal with tools/journal_convert.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -100,6 +103,9 @@ int main(int argc, char** argv) {
   flags.DefineString("whatif_out", whatif_env != nullptr ? whatif_env : "",
                      "write the what-if report JSON here (default: "
                      "$DEEPPLAN_WHATIF; empty disables what-if replay)");
+  flags.DefineString("journal_out", "",
+                     "additionally write the stitched causal journal in the "
+                     "binary DPJL format here (empty disables)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -109,13 +115,18 @@ int main(int argc, char** argv) {
   const std::string profile_out = flags.GetString("profile_out");
   const bool profiling = !profile_out.empty();
   const std::string whatif_out = flags.GetString("whatif_out");
-  const bool journaling = profiling || !whatif_out.empty();
+  const std::string journal_out = flags.GetString("journal_out");
+  const bool journaling =
+      profiling || !whatif_out.empty() || !journal_out.empty();
 
   Trace trace;
   if (!flags.GetString("trace").empty()) {
-    auto loaded = Trace::LoadFrom(flags.GetString("trace"));
+    // Line-at-a-time ingest: MAF CSVs are large, and a malformed or
+    // truncated file should fail with the offending line, not load short.
+    std::string trace_error;
+    auto loaded = LoadAzureTraceCsv(flags.GetString("trace"), &trace_error);
     if (!loaded.has_value()) {
-      std::cerr << "cannot load trace: " << flags.GetString("trace") << "\n";
+      std::cerr << "cannot load trace: " << trace_error << "\n";
       return 1;
     }
     trace = loaded->ScaledToRate(flags.GetDouble("rate"));
@@ -231,6 +242,15 @@ int main(int argc, char** argv) {
         std::cerr << "cannot write profile journal " << profile_out << "\n";
         return 1;
       }
+    }
+    if (!journal_out.empty()) {
+      std::string error;
+      if (!WriteGraphToJournal(merged, journal_out, {}, nullptr, &error)) {
+        std::cerr << "cannot write binary journal: " << error << "\n";
+        return 1;
+      }
+      std::cerr << "wrote binary journal " << journal_out << " ("
+                << merged.nodes().size() << " nodes)\n";
     }
     if (!whatif_out.empty()) {
       const WhatIfReport whatif =

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/deepplan.h"
+#include "src/util/logging.h"
 
 namespace deepplan {
 namespace bench {
@@ -31,6 +32,10 @@ struct ScalingPointOptions {
   std::uint64_t seed = 42;
   Strategy strategy = Strategy::kDeepPlanPtDha;
   Nanos slo = Millis(100);
+  // Non-empty: stream a binary causal journal of the replay to this path.
+  // Recording is bounded-memory (in-flight requests, not journal length), so
+  // the 1M point stays within the same RSS pin as the unjournaled run.
+  std::string journal_out;
 };
 
 struct ScalingPointResult {
@@ -44,6 +49,11 @@ struct ScalingPointResult {
   double sim_seconds = 0.0;          // trace duration in simulated time
   std::uint64_t events_scheduled = 0;  // total events over the whole replay
   std::size_t event_slot_peak = 0;     // callback slots ever created
+  // Journal recording (journal_out only; deterministic — the encoding holds
+  // no timestamps, so the same point yields the same bytes on any host).
+  bool journaled = false;
+  JournalTotals journal;
+  std::uint64_t journal_bytes = 0;
   // Wall-dependent (reported only under "wall_clock_ms" keys / stdout).
   double wall_ms = 0.0;
 };
@@ -72,6 +82,20 @@ inline ScalingPointResult RunScalingPoint(const ScalingPointOptions& options) {
   Server server(&sim, topology, perf, server_options);
   const int type = server.RegisterModelType(ModelZoo::BertBase());
   server.AddInstances(type, options.num_instances);
+
+  // Streaming journal: the graph retires each request into the chunked
+  // binary writer as it completes, so resident recorder state tracks
+  // in-flight requests while the journal itself goes to disk.
+  const bool journal = !options.journal_out.empty();
+  CausalGraph causal(journal);
+  JournalWriter writer;
+  MetricsRegistry journal_metrics;
+  if (journal) {
+    const bool opened = writer.Open(options.journal_out, {}, &journal_metrics);
+    DP_CHECK(opened);
+    causal.AttachSink(&writer);
+    server.set_causal(&causal, causal.RegisterProcess("scaling"));
+  }
   server.Warmup();
 
   struct Feeder {
@@ -105,6 +129,14 @@ inline ScalingPointResult RunScalingPoint(const ScalingPointOptions& options) {
   r.sim_seconds = ToSeconds(trace.duration());
   r.events_scheduled = sim.event_queue().total_scheduled();
   r.event_slot_peak = sim.event_queue().slot_capacity();
+  if (journal) {
+    causal.FlushOpenRequests();
+    const bool finished = writer.Finish();
+    DP_CHECK(finished);
+    r.journaled = true;
+    r.journal = writer.totals();
+    r.journal_bytes = writer.bytes_written();
+  }
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - wall_start)
                   .count();
@@ -122,8 +154,23 @@ inline void FillScalingPoint(JsonObject& point, const ScalingPointResult& r) {
       .Set("mean_ms", r.mean_ms)
       .Set("sim_seconds", r.sim_seconds)
       .Set("events_scheduled", static_cast<std::int64_t>(r.events_scheduled))
-      .Set("event_slot_peak", static_cast<std::int64_t>(r.event_slot_peak))
-      .Set("wall_clock_ms", r.wall_ms);
+      .Set("event_slot_peak", static_cast<std::int64_t>(r.event_slot_peak));
+  // Only journaled runs get the sub-object, so the default curve's golden
+  // bytes are untouched.
+  if (r.journaled) {
+    point.SetRaw(
+        "journal",
+        JsonObject()
+            .Set("requests", static_cast<std::int64_t>(r.journal.requests))
+            .Set("incomplete_requests",
+                 static_cast<std::int64_t>(r.journal.incomplete_requests))
+            .Set("nodes", static_cast<std::int64_t>(r.journal.nodes))
+            .Set("edges", static_cast<std::int64_t>(r.journal.edges))
+            .Set("chunks", static_cast<std::int64_t>(r.journal.chunks))
+            .Set("bytes", static_cast<std::int64_t>(r.journal_bytes))
+            .Render());
+  }
+  point.Set("wall_clock_ms", r.wall_ms);
 }
 
 // Deterministic serialization of a result list: every golden-gated field and

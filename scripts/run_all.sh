@@ -28,15 +28,17 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 if [ "${DEEPPLAN_TSAN:-0}" = "1" ]; then
-  echo "== sweep_test + obs_test + scaling_test (ThreadSanitizer)"
+  echo "== sweep_test + obs_test + journal_test + scaling_test (ThreadSanitizer)"
   cmake -B "$BUILD_DIR-tsan" -S . -DDEEPPLAN_SANITIZE=thread >/dev/null
-  cmake --build "$BUILD_DIR-tsan" --target sweep_test obs_test scaling_test \
-    -j >/dev/null
+  cmake --build "$BUILD_DIR-tsan" \
+    --target sweep_test obs_test journal_test scaling_test -j >/dev/null
   DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/sweep_test"
   "$BUILD_DIR-tsan/tests/obs_test"
-  # The scale replay fans point sweeps across threads; run it under TSan with
-  # maximum fan-out (the differential queue/fabric tests are single-threaded
-  # and covered by the asan/ubsan full-suite legs below).
+  "$BUILD_DIR-tsan/tests/journal_test"
+  # The scale replay fans point sweeps across threads — and now records one
+  # binary journal per point; run it under TSan with maximum fan-out (the
+  # differential queue/fabric tests are single-threaded and covered by the
+  # asan/ubsan full-suite legs below).
   DEEPPLAN_JOBS=8 "$BUILD_DIR-tsan/tests/scaling_test"
 fi
 
@@ -223,5 +225,46 @@ WHATIF_FIG15="$RESULTS_DIR/whatif_fig15.json"
 "$BUILD_DIR/tools/whatif_report" "$PROFILE_JOURNAL" \
   --json="$WHATIF_FIG15" >"$RESULTS_DIR/whatif_fig15.txt"
 "$BUILD_DIR/tools/trace_lint" --whatif "$WHATIF_FIG15"
+
+# Binary journal leg. One fig15 replay writes the JSON and binary journals of
+# the same run; the conversion must be exact in both directions (byte-for-byte
+# against the JSON journal, and back to the identical binary), and the
+# windowed what-if engine streaming the binary chunks must emit the
+# byte-identical report to in-memory replay over the JSON journal.
+echo "== binary journal leg (lint + exact round trip + windowed replay)"
+JOURNAL_BIN="$RESULTS_DIR/journal_fig15.dpj"
+JOURNAL_JSON="$RESULTS_DIR/journal_fig15.json"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/profiled" \
+  "$BUILD_DIR/bench/fig15_azure_trace" --minutes=2 \
+  --profile_out="$JOURNAL_JSON" --journal_out="$JOURNAL_BIN" \
+  >"$RESULTS_DIR/fig15_azure_trace_journaled.txt" 2>&1
+"$BUILD_DIR/tools/trace_lint" --journal "$JOURNAL_BIN"
+"$BUILD_DIR/tools/journal_convert" --to-json "$JOURNAL_BIN" \
+  "$RESULTS_DIR/journal_fig15_rt.json" 2>/dev/null
+cmp "$JOURNAL_JSON" "$RESULTS_DIR/journal_fig15_rt.json"
+"$BUILD_DIR/tools/journal_convert" --to-binary "$JOURNAL_JSON" \
+  "$RESULTS_DIR/journal_fig15_rt.dpj" 2>/dev/null
+cmp "$JOURNAL_BIN" "$RESULTS_DIR/journal_fig15_rt.dpj"
+"$BUILD_DIR/tools/whatif_report" "$JOURNAL_BIN" \
+  --json="$RESULTS_DIR/whatif_fig15_windowed.json" >/dev/null
+"$BUILD_DIR/tools/whatif_report" "$JOURNAL_JSON" \
+  --json="$RESULTS_DIR/whatif_fig15_inmemory.json" >/dev/null
+cmp "$RESULTS_DIR/whatif_fig15_windowed.json" \
+  "$RESULTS_DIR/whatif_fig15_inmemory.json"
+"$BUILD_DIR/tools/trace_lint" --whatif "$RESULTS_DIR/whatif_fig15_windowed.json"
+
+# Bounded-memory recording at scale: stream one binary journal per scaling
+# point (200k cap here for CI speed; the RSS bound while journaling is pinned
+# by tests/scaling_test.cc, and the full 1M point records the same way with
+# --max_requests=1000000) and lint every produced journal.
+echo "== journal recording at scale (bench_scaling --journal_out)"
+mkdir -p "$RESULTS_DIR/journaled"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/journaled" \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=200000 \
+  --journal_out="$RESULTS_DIR/journaled/scaling.dpj" \
+  >"$RESULTS_DIR/journaled/bench_scaling.txt" 2>/dev/null
+"$BUILD_DIR/tools/trace_lint" --journal \
+  "$RESULTS_DIR/journaled/scaling.dpj.44000" \
+  "$RESULTS_DIR/journaled/scaling.dpj.200000"
 
 echo "results written to $RESULTS_DIR/"

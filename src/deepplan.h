@@ -27,6 +27,7 @@
 #include "src/model/zoo.h"
 #include "src/obs/causal_graph.h"
 #include "src/obs/critical_path.h"
+#include "src/obs/journal_stream.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profile_report.h"
 #include "src/obs/trace_recorder.h"

@@ -1,6 +1,8 @@
 #include "src/obs/causal_graph.h"
 
+#include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "src/util/json.h"
 #include "src/util/json_parse.h"
@@ -44,7 +46,49 @@ int CausalGraph::RegisterProcess(std::string_view name) {
     return 0;
   }
   process_names_.emplace_back(name);
-  return static_cast<int>(process_names_.size() - 1);
+  const int id = static_cast<int>(process_names_.size() - 1);
+  if (sink_ != nullptr) {
+    sink_->OnProcess(id, process_names_.back());
+  }
+  return id;
+}
+
+void CausalGraph::AttachSink(CausalSink* sink) {
+  DP_CHECK(sink != nullptr);
+  DP_CHECK(enabled_);
+  // Streaming must start from a clean graph: already-accumulated requests
+  // would never retire, and already-registered processes would never reach
+  // the sink.
+  DP_CHECK(requests_.empty() && nodes_.empty() && process_names_.empty());
+  sink_ = sink;
+}
+
+CpNode* CausalGraph::LiveNode(CpNodeId node) {
+  const auto owner = live_node_owner_.find(node);
+  DP_CHECK(owner != live_node_owner_.end());
+  CpRequestRecord& rec = live_.find(owner->second)->second;
+  // Node ids within a request are strictly increasing (global append order).
+  const auto it = std::lower_bound(
+      rec.nodes.begin(), rec.nodes.end(), node,
+      [](const CpNode& n, CpNodeId id) { return n.id < id; });
+  DP_CHECK(it != rec.nodes.end() && it->id == node);
+  return &*it;
+}
+
+void CausalGraph::RetireLive(std::map<int, CpRequestRecord>::iterator it) {
+  CpRequestRecord record = std::move(it->second);
+  for (const CpNode& node : record.nodes) {
+    live_node_owner_.erase(node.id);
+  }
+  live_.erase(it);
+  sink_->OnRequestRetired(std::move(record));
+}
+
+void CausalGraph::FlushOpenRequests() {
+  DP_CHECK(sink_ != nullptr);
+  while (!live_.empty()) {
+    RetireLive(live_.begin());
+  }
 }
 
 int CausalGraph::BeginRequest(int process, int instance, Nanos arrival) {
@@ -52,10 +96,20 @@ int CausalGraph::BeginRequest(int process, int instance, Nanos arrival) {
     return -1;
   }
   CpRequest req;
-  req.id = static_cast<int>(requests_.size());
   req.process = process;
   req.instance = instance;
   req.arrival = arrival;
+  if (sink_ != nullptr) {
+    req.id = static_cast<int>(stream_next_request_++);
+    CpRequestRecord rec;
+    rec.request = req;
+    live_.emplace(req.id, std::move(rec));
+    const CpNodeId root = AddNode(req.id, CpKind::kArrival, "arrival", "",
+                                  arrival, arrival);
+    live_.find(req.id)->second.request.arrival_node = root;
+    return req.id;
+  }
+  req.id = static_cast<int>(requests_.size());
   requests_.push_back(req);
   const CpNodeId root = AddNode(req.id, CpKind::kArrival, "arrival", "",
                                 arrival, arrival);
@@ -69,9 +123,7 @@ CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
   if (!enabled_ || request < 0) {
     return -1;
   }
-  DP_CHECK(request < static_cast<int>(requests_.size()));
   CpNode node;
-  node.id = static_cast<CpNodeId>(nodes_.size());
   node.request = request;
   node.kind = kind;
   node.label = std::move(label);
@@ -80,12 +132,26 @@ CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
   node.end = end;
   node.bytes = bytes;
   node.solo = solo;
+  if (sink_ != nullptr) {
+    const auto it = live_.find(request);
+    DP_CHECK(it != live_.end());
+    node.id = static_cast<CpNodeId>(stream_next_node_++);
+    live_node_owner_.emplace(node.id, request);
+    it->second.nodes.push_back(std::move(node));
+    return it->second.nodes.back().id;
+  }
+  DP_CHECK(request < static_cast<int>(requests_.size()));
+  node.id = static_cast<CpNodeId>(nodes_.size());
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }
 
 void CausalGraph::SetNodePath(CpNodeId node, std::vector<CpHop> path) {
   if (!enabled_ || node < 0) {
+    return;
+  }
+  if (sink_ != nullptr) {
+    LiveNode(node)->path = std::move(path);
     return;
   }
   DP_CHECK(node < static_cast<CpNodeId>(nodes_.size()));
@@ -96,13 +162,29 @@ void CausalGraph::SetNodeDhaPcie(CpNodeId node, Nanos dha_pcie) {
   if (!enabled_ || node < 0) {
     return;
   }
-  DP_CHECK(node < static_cast<CpNodeId>(nodes_.size()));
   DP_CHECK(dha_pcie >= 0);
+  if (sink_ != nullptr) {
+    LiveNode(node)->dha_pcie = dha_pcie;
+    return;
+  }
+  DP_CHECK(node < static_cast<CpNodeId>(nodes_.size()));
   nodes_[static_cast<std::size_t>(node)].dha_pcie = dha_pcie;
 }
 
 void CausalGraph::AddEdge(CpNodeId from, CpNodeId to) {
   if (!enabled_ || from < 0 || to < 0) {
+    return;
+  }
+  if (sink_ != nullptr) {
+    const auto from_owner = live_node_owner_.find(from);
+    const auto to_owner = live_node_owner_.find(to);
+    DP_CHECK(from_owner != live_node_owner_.end());
+    DP_CHECK(to_owner != live_node_owner_.end());
+    // The chunked journal's self-containment invariant: edges never cross
+    // requests (every recorder chains a request's own nodes).
+    DP_CHECK(from_owner->second == to_owner->second);
+    live_.find(to_owner->second)
+        ->second.edges.push_back(CpEdgeRec{stream_next_edge_++, from, to});
     return;
   }
   DP_CHECK(from < static_cast<CpNodeId>(nodes_.size()));
@@ -114,12 +196,27 @@ void CausalGraph::MarkCold(int request) {
   if (!enabled_ || request < 0) {
     return;
   }
+  if (sink_ != nullptr) {
+    const auto it = live_.find(request);
+    DP_CHECK(it != live_.end());
+    it->second.request.cold = true;
+    return;
+  }
   DP_CHECK(request < static_cast<int>(requests_.size()));
   requests_[static_cast<std::size_t>(request)].cold = true;
 }
 
 void CausalGraph::EndRequest(int request, Nanos completion, CpNodeId terminal) {
   if (!enabled_ || request < 0) {
+    return;
+  }
+  if (sink_ != nullptr) {
+    const auto it = live_.find(request);
+    DP_CHECK(it != live_.end());
+    CpRequest& req = it->second.request;
+    req.completion = completion;
+    req.terminal_node = terminal >= 0 ? terminal : req.arrival_node;
+    RetireLive(it);
     return;
   }
   DP_CHECK(request < static_cast<int>(requests_.size()));
@@ -132,6 +229,11 @@ CpNodeId CausalGraph::arrival_node(int request) const {
   if (!enabled_ || request < 0) {
     return -1;
   }
+  if (sink_ != nullptr) {
+    const auto it = live_.find(request);
+    DP_CHECK(it != live_.end());
+    return it->second.request.arrival_node;
+  }
   DP_CHECK(request < static_cast<int>(requests_.size()));
   return requests_[static_cast<std::size_t>(request)].arrival_node;
 }
@@ -140,6 +242,7 @@ void CausalGraph::Adopt(CausalGraph&& other) {
   if (!enabled_) {
     return;
   }
+  DP_CHECK(sink_ == nullptr && other.sink_ == nullptr);
   const int process_base = static_cast<int>(process_names_.size());
   const int request_base = static_cast<int>(requests_.size());
   const CpNodeId node_base = static_cast<CpNodeId>(nodes_.size());
@@ -169,6 +272,9 @@ void CausalGraph::Adopt(CausalGraph&& other) {
 }
 
 std::string CausalGraph::ToJson() const {
+  // A streaming graph's journal lives in its sink; there is nothing here to
+  // serialize (materialize it back with ReadJournalToGraph instead).
+  DP_CHECK(sink_ == nullptr);
   JsonArray processes;
   for (const std::string& name : process_names_) {
     processes.Add(name);
@@ -447,6 +553,59 @@ bool CausalGraph::FromJson(const std::string& text, CausalGraph* out,
     graph.edges_.emplace_back(static_cast<CpNodeId>(from),
                               static_cast<CpNodeId>(to));
   }
+  *out = std::move(graph);
+  return true;
+}
+
+bool CausalGraph::Assemble(std::vector<std::string> processes,
+                           std::vector<CpRequest> requests,
+                           std::vector<CpNode> nodes,
+                           std::vector<std::pair<CpNodeId, CpNodeId>> edges,
+                           CausalGraph* out, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  const auto num_nodes = static_cast<std::int64_t>(nodes.size());
+  const auto num_requests = static_cast<std::int64_t>(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const CpRequest& r = requests[i];
+    if (r.id != static_cast<int>(i)) {
+      *error = "request ids must be dense and in order";
+      return false;
+    }
+    if (r.arrival_node < 0 || r.arrival_node >= num_nodes ||
+        r.terminal_node < -1 || r.terminal_node >= num_nodes) {
+      *error = "request " + std::to_string(r.id) + " references unknown nodes";
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const CpNode& n = nodes[i];
+    if (n.id != static_cast<CpNodeId>(i)) {
+      *error = "node ids must be dense and in order";
+      return false;
+    }
+    if (n.request < 0 || n.request >= num_requests) {
+      *error = "node " + std::to_string(n.id) + " references unknown request";
+      return false;
+    }
+    if (n.end < n.start) {
+      *error = "node " + std::to_string(n.id) + " ends before it starts";
+      return false;
+    }
+  }
+  for (const auto& [from, to] : edges) {
+    if (from < 0 || from >= num_nodes || to < 0 || to >= num_nodes) {
+      *error = "edge references unknown node";
+      return false;
+    }
+  }
+  CausalGraph graph(/*enabled=*/true);
+  graph.process_names_ = std::move(processes);
+  graph.requests_ = std::move(requests);
+  graph.nodes_ = std::move(nodes);
+  graph.edges_ = std::move(edges);
   *out = std::move(graph);
   return true;
 }

@@ -21,12 +21,23 @@
 // simulation order; parallel sweeps build one graph per task and stitch them
 // with Adopt() in task order, making the exported journal byte-identical for
 // any DEEPPLAN_JOBS value.
+// Streaming mode: AttachSink() switches an enabled graph from accumulation
+// to retirement — every call is buffered only per open request, and
+// EndRequest hands the request's nodes/edges to a CausalSink (the binary
+// JournalWriter, src/obs/journal_stream.h) and reclaims them. Memory is then
+// bounded by in-flight requests instead of journal length, which is what
+// lets the 1M-request scaling point record a journal at all. Streaming
+// relies on the recorder invariant that every edge is intra-request (engine
+// and server only ever chain nodes of the same request; DP_CHECKed), so a
+// retired request is a self-contained record.
 #ifndef SRC_OBS_CAUSAL_GRAPH_H_
 #define SRC_OBS_CAUSAL_GRAPH_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -89,6 +100,34 @@ struct CpRequest {
   CpNodeId terminal_node = -1;    // last node before completion
 };
 
+// One happens-before edge with its global append-order sequence number.
+// ToJson() emits edges interleaved across requests in AddEdge order; `seq`
+// preserves that order through per-request chunking so a journal written in
+// retirement order still exports byte-identical JSON.
+struct CpEdgeRec {
+  std::int64_t seq = -1;
+  CpNodeId from = -1;
+  CpNodeId to = -1;
+};
+
+// A retired request with everything recorded for it: the self-contained unit
+// the streaming journal writer chunks. Nodes are in id (= append) order and
+// edges in seq order; node and edge ids stay global.
+struct CpRequestRecord {
+  CpRequest request;
+  std::vector<CpNode> nodes;
+  std::vector<CpEdgeRec> edges;
+};
+
+// Receives retired requests from a streaming CausalGraph (and process
+// registrations, which always precede the first request that uses them).
+class CausalSink {
+ public:
+  virtual ~CausalSink() = default;
+  virtual void OnProcess(int id, const std::string& name) = 0;
+  virtual void OnRequestRetired(CpRequestRecord&& record) = 0;
+};
+
 class CausalGraph {
  public:
   CausalGraph() = default;
@@ -138,6 +177,19 @@ class CausalGraph {
   }
   bool empty() const { return requests_.empty(); }
 
+  // Switches this (enabled, still-empty) graph into streaming mode: each
+  // EndRequest retires the request's record to `sink` and frees it. The
+  // accessor surface (nodes()/edges()/requests()) stays empty and
+  // Adopt()/ToJson() become invalid — a streaming run's journal lives in the
+  // sink, not the graph. `sink` must outlive the graph's last mutation.
+  void AttachSink(CausalSink* sink);
+  bool streaming() const { return sink_ != nullptr; }
+
+  // Streaming only: retires every still-open request (completion -1) to the
+  // sink in request-id order, so an interrupted or tail-truncated run still
+  // journals deterministically. Call once after the simulation drains.
+  void FlushOpenRequests();
+
   // Merges `other` into this graph, remapping its processes, requests, and
   // node ids past the ones already present (stitches per-task graphs from a
   // parallel sweep, in deterministic task order).
@@ -153,12 +205,36 @@ class CausalGraph {
   static bool FromJson(const std::string& text, CausalGraph* out,
                        std::string* error);
 
+  // Reassembles a graph from complete, id-ordered parts — the binary journal
+  // reader's materialization path (src/obs/journal_stream.h). Requests and
+  // nodes must already be dense and sorted by id; cross-references are
+  // validated the same way FromJson validates them.
+  static bool Assemble(std::vector<std::string> processes,
+                       std::vector<CpRequest> requests,
+                       std::vector<CpNode> nodes,
+                       std::vector<std::pair<CpNodeId, CpNodeId>> edges,
+                       CausalGraph* out, std::string* error);
+
  private:
+  CpNode* LiveNode(CpNodeId node);
+  void RetireLive(std::map<int, CpRequestRecord>::iterator it);
+
   bool enabled_ = true;
   std::vector<std::string> process_names_;
   std::vector<CpRequest> requests_;
   std::vector<CpNode> nodes_;
   std::vector<std::pair<CpNodeId, CpNodeId>> edges_;
+
+  // Streaming mode (sink_ != nullptr): open requests keyed by id (ordered,
+  // so FlushOpenRequests retires deterministically) plus a live-node index
+  // for the node-addressed mutators. Both shrink as requests retire — this
+  // is the bounded-memory state.
+  CausalSink* sink_ = nullptr;
+  std::int64_t stream_next_request_ = 0;
+  std::int64_t stream_next_node_ = 0;
+  std::int64_t stream_next_edge_ = 0;
+  std::map<int, CpRequestRecord> live_;
+  std::unordered_map<CpNodeId, int> live_node_owner_;
 };
 
 }  // namespace deepplan

@@ -28,9 +28,20 @@
 // bit-exactly (asserted by tests/whatif_test.cc), which is what licenses the
 // perturbed predictions; the validation harness further re-simulates each
 // experiment on correspondingly modified hardware and bounds the error.
+// Windowed mode: WindowedJournal replays a *binary* journal
+// (src/obs/journal_stream.h) chunk-by-chunk. A first pass builds an
+// O(requests) metadata index (arrival/completion/terminal resource + the
+// owning chunk's file offset); during replay, a request's nodes and edges are
+// loaded lazily when its chunk is first touched and freed as soon as the
+// request has fully replayed, so resident node/edge state is bounded by the
+// replay's in-flight window — not journal length — while the event sequence,
+// and therefore every prediction, stays bit-identical to the in-memory
+// engine (enforced by tests/journal_test.cc differentials).
 #ifndef SRC_OBS_WHATIF_WHATIF_H_
 #define SRC_OBS_WHATIF_WHATIF_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,6 +95,37 @@ struct WhatIfReplay {
 };
 
 WhatIfReplay ReplayWhatIf(const CausalGraph& graph, const WhatIfExperiment& exp);
+
+// Bounded-memory replay over a binary journal file. Open() makes one
+// validating sequential pass to index request metadata and chunk offsets;
+// each Replay() then streams node/edge state in and out per chunk window.
+// One WindowedJournal can run any number of experiments.
+class WindowedJournal {
+ public:
+  WindowedJournal();
+  ~WindowedJournal();
+  WindowedJournal(const WindowedJournal&) = delete;
+  WindowedJournal& operator=(const WindowedJournal&) = delete;
+
+  // False (with `error` set) on unreadable, corrupt, or footer-less
+  // journals, and on journals whose request ids are not dense.
+  bool Open(const std::string& path, std::string* error);
+
+  // Metadata index from the sequential pass (valid after Open succeeds).
+  const std::vector<std::string>& processes() const;
+  const std::vector<CpRequest>& requests() const;
+
+  // Identical output to ReplayWhatIf() on the equivalent in-memory graph.
+  WhatIfReplay Replay(const WhatIfExperiment& exp);
+
+  // High-water mark of simultaneously resident request windows across all
+  // Replay() calls so far — the bounded-memory observable tests pin.
+  std::size_t max_resident_requests() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace deepplan
 

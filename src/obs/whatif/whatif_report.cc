@@ -1,6 +1,7 @@
 #include "src/obs/whatif/whatif_report.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "src/util/index.h"
@@ -56,18 +57,22 @@ std::string QuantilesJson(const WhatIfQuantiles& q) {
       .Render();
 }
 
-}  // namespace
-
-WhatIfReport BuildWhatIfReport(
-    const CausalGraph& graph,
+// Shared aggregation core: everything a report needs is the process list,
+// the request metadata, and a way to run one replay. BuildWhatIfReport feeds
+// it the in-memory engine; BuildWhatIfReportWindowed the windowed one — so a
+// given journal yields byte-identical reports either way by construction.
+WhatIfReport BuildWhatIfReportFrom(
+    const std::vector<std::string>& process_names,
+    const std::vector<CpRequest>& requests,
+    const std::function<WhatIfReplay(const WhatIfExperiment&)>& replay,
     const std::vector<WhatIfExperiment>& experiments) {
   WhatIfReport report;
-  report.processes = graph.processes();
+  report.processes = process_names;
 
   // Recorded latencies, indexed by request id (-1 for incomplete requests —
   // the same convention ReplayWhatIf uses).
-  std::vector<Nanos> recorded(graph.requests().size(), -1);
-  for (const CpRequest& r : graph.requests()) {
+  std::vector<Nanos> recorded(requests.size(), -1);
+  for (const CpRequest& r : requests) {
     if (r.completion >= 0) {
       recorded[Idx(r.id)] = r.completion - r.arrival;
       ++report.requests;
@@ -81,7 +86,7 @@ WhatIfReport BuildWhatIfReport(
   // recorded latency before its perturbed predictions mean anything.
   WhatIfExperiment identity;
   identity.name = "baseline";
-  const WhatIfReplay base = ReplayWhatIf(graph, identity);
+  const WhatIfReplay base = replay(identity);
   report.baseline_matches_journal = report.requests > 0;
   for (std::size_t i = 0; i < recorded.size(); ++i) {
     if (recorded[i] >= 0 && base.latency[i] != recorded[i]) {
@@ -90,14 +95,14 @@ WhatIfReport BuildWhatIfReport(
   }
 
   for (const WhatIfExperiment& exp : experiments) {
-    const WhatIfReplay replay = ReplayWhatIf(graph, exp);
+    const WhatIfReplay predicted = replay(exp);
     WhatIfOutcome outcome;
     outcome.experiment = exp;
-    outcome.predicted = QuantilesOf(replay.latency);
+    outcome.predicted = QuantilesOf(predicted.latency);
 
     std::vector<std::vector<Nanos>> by_process_base(report.processes.size());
     std::vector<std::vector<Nanos>> by_process_pred(report.processes.size());
-    for (const CpRequest& r : graph.requests()) {
+    for (const CpRequest& r : requests) {
       if (r.completion < 0) {
         continue;
       }
@@ -106,7 +111,7 @@ WhatIfReport BuildWhatIfReport(
       row.process = r.process;
       row.cold = r.cold;
       row.baseline_ns = recorded[Idx(r.id)];
-      row.predicted_ns = replay.latency[Idx(r.id)];
+      row.predicted_ns = predicted.latency[Idx(r.id)];
       row.delta_ns = row.predicted_ns - row.baseline_ns;
       outcome.per_request.push_back(row);
       if (r.process >= 0 && Idx(r.process) < by_process_base.size()) {
@@ -146,8 +151,8 @@ WhatIfReport BuildWhatIfReport(
     WhatIfExperiment nudged;
     nudged.*(knob.scale) = 1.01;
     nudged.name = std::string(knob.name) + "=1.01";
-    const WhatIfReplay replay = ReplayWhatIf(graph, nudged);
-    const WhatIfQuantiles q = QuantilesOf(replay.latency);
+    const WhatIfReplay perturbed = replay(nudged);
+    const WhatIfQuantiles q = QuantilesOf(perturbed.latency);
     WhatIfSensitivity s;
     s.knob = knob.name;
     s.delta_p50_ms = report.baseline.p50_ms - q.p50_ms;
@@ -155,7 +160,7 @@ WhatIfReport BuildWhatIfReport(
     s.delta_p99_ms = report.baseline.p99_ms - q.p99_ms;
     s.knob_time_mean_ms = MeanMsOf(base.*(knob.time), base.latency);
     const double saved_ms = MeanMsOf(base.*(knob.time), base.latency) -
-                            MeanMsOf(replay.*(knob.time), replay.latency);
+                            MeanMsOf(perturbed.*(knob.time), perturbed.latency);
     s.leverage_p99 = saved_ms > 0 ? s.delta_p99_ms / saved_ms : 0.0;
     report.sensitivity.push_back(std::move(s));
   }
@@ -165,6 +170,26 @@ WhatIfReport BuildWhatIfReport(
                    });
 
   return report;
+}
+
+}  // namespace
+
+WhatIfReport BuildWhatIfReport(
+    const CausalGraph& graph,
+    const std::vector<WhatIfExperiment>& experiments) {
+  return BuildWhatIfReportFrom(
+      graph.processes(), graph.requests(),
+      [&graph](const WhatIfExperiment& e) { return ReplayWhatIf(graph, e); },
+      experiments);
+}
+
+WhatIfReport BuildWhatIfReportWindowed(
+    WindowedJournal& journal,
+    const std::vector<WhatIfExperiment>& experiments) {
+  return BuildWhatIfReportFrom(
+      journal.processes(), journal.requests(),
+      [&journal](const WhatIfExperiment& e) { return journal.Replay(e); },
+      experiments);
 }
 
 void PrintWhatIfReport(const WhatIfReport& report, std::ostream& os) {

@@ -90,6 +90,13 @@ struct WhatIfReport {
 WhatIfReport BuildWhatIfReport(const CausalGraph& graph,
                                const std::vector<WhatIfExperiment>& experiments);
 
+// Same report, computed over a binary journal via the bounded-memory
+// windowed replay engine. Byte-identical JSON/text output to
+// BuildWhatIfReport on the equivalent in-memory graph (the two share the
+// aggregation core; only the replay data plane differs).
+WhatIfReport BuildWhatIfReportWindowed(
+    WindowedJournal& journal, const std::vector<WhatIfExperiment>& experiments);
+
 // Deterministic text rendering (experiment + sensitivity tables).
 void PrintWhatIfReport(const WhatIfReport& report, std::ostream& os);
 

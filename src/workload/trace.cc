@@ -1,7 +1,10 @@
 #include "src/workload/trace.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "src/util/index.h"
@@ -66,12 +69,48 @@ std::string Trace::ToCsv() const {
   return os.str();
 }
 
-std::optional<Trace> Trace::FromCsv(const std::string& text) {
-  std::istringstream is(text);
+namespace {
+
+// Strict "<time_ns>,<instance>" row parse. Returns false with a diagnosis on
+// anything else — a missing comma usually means the file was cut mid-row.
+bool ParseArrivalLine(const std::string& line, Arrival* out,
+                      std::string* why) {
+  const auto comma = line.find(',');
+  if (comma == std::string::npos) {
+    *why = "no comma (want <time_ns>,<instance> — truncated file?)";
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  out->time = std::strtoll(line.c_str(), &end, 10);
+  if (end != line.c_str() + comma || errno == ERANGE || out->time < 0) {
+    *why = "bad time_ns field (want a non-negative integer)";
+    return false;
+  }
+  errno = 0;
+  const long instance = std::strtol(line.c_str() + comma + 1, &end, 10);
+  if (end == line.c_str() + comma + 1 || *end != '\0' || errno == ERANGE ||
+      instance < 0 || instance > std::numeric_limits<int>::max()) {
+    *why = "bad instance field (want a non-negative integer)";
+    return false;
+  }
+  out->instance = static_cast<int>(instance);
+  return true;
+}
+
+// Shared line-at-a-time reader over any istream source.
+std::optional<Trace> ReadArrivalLines(std::istream& is,
+                                      const std::string& origin,
+                                      std::string* error) {
   std::string line;
   std::vector<Arrival> arrivals;
   bool first = true;
+  std::size_t line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
     if (line.empty()) {
       continue;
     }
@@ -81,16 +120,25 @@ std::optional<Trace> Trace::FromCsv(const std::string& text) {
         continue;  // header
       }
     }
-    const auto comma = line.find(',');
-    if (comma == std::string::npos) {
+    Arrival a;
+    std::string why;
+    if (!ParseArrivalLine(line, &a, &why)) {
+      if (error != nullptr) {
+        *error = origin + ":" + std::to_string(line_number) +
+                 ": malformed row \"" + line + "\": " + why;
+      }
       return std::nullopt;
     }
-    Arrival a;
-    a.time = std::strtoll(line.c_str(), nullptr, 10);
-    a.instance = static_cast<int>(std::strtol(line.c_str() + comma + 1, nullptr, 10));
     arrivals.push_back(a);
   }
   return Trace(std::move(arrivals));
+}
+
+}  // namespace
+
+std::optional<Trace> Trace::FromCsv(const std::string& text) {
+  std::istringstream is(text);
+  return ReadArrivalLines(is, "<csv>", nullptr);
 }
 
 bool Trace::SaveTo(const std::string& path) const {
@@ -103,13 +151,20 @@ bool Trace::SaveTo(const std::string& path) const {
 }
 
 std::optional<Trace> Trace::LoadFrom(const std::string& path) {
+  std::string ignored;
+  return LoadFrom(path, &ignored);
+}
+
+std::optional<Trace> Trace::LoadFrom(const std::string& path,
+                                     std::string* error) {
   std::ifstream in(path);
   if (!in) {
+    if (error != nullptr) {
+      *error = path + ": cannot open file";
+    }
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return FromCsv(buffer.str());
+  return ReadArrivalLines(in, path, error);
 }
 
 }  // namespace deepplan

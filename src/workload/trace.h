@@ -42,11 +42,19 @@ class Trace {
   // `target_rate_per_sec` (same arrival pattern, different intensity).
   Trace ScaledToRate(double target_rate_per_sec) const;
 
-  // CSV round-trip: one "<time_ns>,<instance>" line per arrival.
+  // CSV round-trip: one "<time_ns>,<instance>" line per arrival. Parsing is
+  // strict: every row needs two integer fields and a non-negative time, so a
+  // truncated or garbled file fails loudly instead of yielding a silently
+  // short trace.
   std::string ToCsv() const;
   static std::optional<Trace> FromCsv(const std::string& text);
   bool SaveTo(const std::string& path) const;
+  // Streams the file line-at-a-time (no whole-file buffer — MAF-scale traces
+  // are larger than the arrivals they decode to). On failure the two-arg
+  // overload reports the offending line: "path:LINE: malformed row ...".
   static std::optional<Trace> LoadFrom(const std::string& path);
+  static std::optional<Trace> LoadFrom(const std::string& path,
+                                       std::string* error);
 
  private:
   std::vector<Arrival> arrivals_;  // sorted by time

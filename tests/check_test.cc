@@ -3,11 +3,15 @@
 // silent on a healthy run) and the offline Chrome-trace linter.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/check/trace_lint.h"
 #include "src/check/validator.h"
+#include "src/obs/causal_graph.h"
+#include "src/obs/journal_stream.h"
 #include "src/serving/instance.h"
 #include "src/sim/fabric.h"
 #include "src/sim/simulator.h"
@@ -331,6 +335,81 @@ TEST(TraceLintTest, UnreadableFileIsALintError) {
   EXPECT_FALSE(r.ok());
   ASSERT_FALSE(r.errors.empty());
   EXPECT_NE(r.errors[0].find("cannot read"), std::string::npos);
+}
+
+// ------------------------------------------- binary journal lint mode
+
+// The structural corruption matrix lives in tests/journal_test.cc; here the
+// lint entry point's negative diagnoses are pinned the way trace_lint
+// --journal surfaces them.
+TEST(JournalLintTest, UnreadableFileIsALintError) {
+  const TraceLintResult r =
+      LintJournalFile("/nonexistent/deepplan-journal.dpj");
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("cannot open"), std::string::npos)
+      << r.errors[0];
+}
+
+TEST(JournalLintTest, NonJournalBytesNameTheMagic) {
+  const std::string path = ::testing::TempDir() + "/not_a_journal.dpj";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ELF\x7f definitely not a journal";
+  }
+  const TraceLintResult r = LintJournalFile(path);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("DPJL"), std::string::npos) << r.errors[0];
+  std::remove(path.c_str());
+}
+
+TEST(JournalLintTest, JsonJournalIsRedirectedToTheRightTool) {
+  const std::string path = ::testing::TempDir() + "/json_journal.dpj";
+  {
+    std::ofstream out(path);
+    out << CausalGraph(/*enabled=*/true).ToJson();
+  }
+  const TraceLintResult r = LintJournalFile(path);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("journal_convert"), std::string::npos)
+      << r.errors[0];
+  std::remove(path.c_str());
+}
+
+// Streaming-mode misuse aborts via DP_CHECK before it can corrupt a journal.
+TEST(JournalDeathTest, AttachSinkToDisabledGraphAborts) {
+  EXPECT_DEATH(
+      {
+        JournalWriter writer;
+        CausalGraph graph(/*enabled=*/false);
+        graph.AttachSink(&writer);
+      },
+      "enabled_");
+}
+
+TEST(JournalDeathTest, AttachSinkToNonEmptyGraphAborts) {
+  EXPECT_DEATH(
+      {
+        JournalWriter writer;
+        CausalGraph graph(/*enabled=*/true);
+        const int req = graph.BeginRequest(graph.RegisterProcess("p"), 0, 0);
+        graph.EndRequest(req, 1, graph.arrival_node(req));
+        graph.AttachSink(&writer);
+      },
+      "empty");
+}
+
+TEST(JournalDeathTest, ToJsonOnStreamingGraphAborts) {
+  EXPECT_DEATH(
+      {
+        JournalWriter writer;
+        CausalGraph graph(/*enabled=*/true);
+        graph.AttachSink(&writer);
+        graph.ToJson();
+      },
+      "sink_ == nullptr");
 }
 
 }  // namespace

@@ -1,0 +1,543 @@
+// Tests for the streaming binary causal journal (src/obs/journal_stream.h)
+// and its windowed what-if consumer: encoding primitives, byte-exact
+// binary<->JSON round trips on engine- and server-recorded journals,
+// streaming-writer equivalence with the batch dump, corruption and
+// version-mismatch rejection with actionable messages, dangling-edge
+// diagnosis, and the headline differential — windowed chunk-at-a-time
+// replay must be bit-identical to in-memory replay while keeping fewer
+// requests resident than the journal holds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/model/zoo.h"
+#include "src/obs/causal_graph.h"
+#include "src/obs/journal_stream.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/whatif/whatif.h"
+#include "src/obs/whatif/whatif_report.h"
+#include "src/serving/server.h"
+#include "src/workload/azure_trace.h"
+#include "src/workload/poisson.h"
+
+namespace deepplan {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------ encoding primitives
+
+TEST(JournalEncodingTest, VarintRoundTrips) {
+  const std::vector<std::uint64_t> values = {
+      0,   1,        127,        128,        300,       16383, 16384,
+      1u << 20, (1ull << 32) - 1, 1ull << 32, 1ull << 63, ~0ull};
+  std::string buf;
+  for (const std::uint64_t v : values) {
+    AppendVarint(&buf, v);
+  }
+  std::size_t pos = 0;
+  for (const std::uint64_t v : values) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(ReadVarint(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(JournalEncodingTest, VarintRejectsTruncationAndOverlongForms) {
+  std::string buf;
+  AppendVarint(&buf, 1ull << 62);  // multi-byte encoding
+  std::uint64_t out = 0;
+  // Every strict prefix of a multi-byte varint is a decode error.
+  for (std::size_t len = 0; len + 1 < buf.size(); ++len) {
+    std::size_t pos = 0;
+    EXPECT_FALSE(ReadVarint(buf.substr(0, len + 1), &pos, &out)) << len;
+  }
+  // An 11-byte continuation run can never be a valid 64-bit varint.
+  std::size_t pos = 0;
+  EXPECT_FALSE(ReadVarint(std::string(11, '\x80'), &pos, &out));
+}
+
+TEST(JournalEncodingTest, ZigzagRoundTripsAndInterleavesSigns) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  const std::vector<std::int64_t> values = {
+      0, 1, -1, 63, -64, 64, 1000000, -1000000,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  std::string buf;
+  for (const std::int64_t v : values) {
+    AppendZigzag(&buf, v);
+  }
+  std::size_t pos = 0;
+  for (const std::int64_t v : values) {
+    std::int64_t got = 0;
+    ASSERT_TRUE(ReadZigzag(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(JournalEncodingTest, Crc32MatchesTheStandardCheckValue) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+// ------------------------------------------------ recorded-journal fixtures
+
+// fig15-style served workload: queueing, cold starts, evictions, warm DHA,
+// contended links. Deterministic per seed, so two runs record identical
+// graphs.
+void RunServedWorkload(CausalGraph* graph, double duration_seconds = 2.0) {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  ServerOptions options;
+  options.strategy = Strategy::kDeepPlanDha;
+  Server server(topology, perf, options);
+  const int type = server.RegisterModelType(ModelZoo::BertBase());
+  server.AddInstances(type, 120);
+  server.set_causal(graph, graph->RegisterProcess("serve"));
+  PoissonOptions w;
+  w.rate_per_sec = 150.0;
+  w.num_instances = 120;
+  w.duration = Seconds(duration_seconds);
+  w.seed = 7;
+  server.Run(GeneratePoissonTrace(w));
+}
+
+// fig02-style journal: one cold start per strategy, stitched with Adopt in
+// strategy order (the multi-process / multi-graph shape).
+CausalGraph ColdStartGraph() {
+  const Topology topology = Topology::P3_8xlarge();
+  const PerfModel perf(topology.gpu(), topology.pcie());
+  const Model model = ModelZoo::BertBase();
+  CausalGraph merged(/*enabled=*/true);
+  for (const Strategy strategy :
+       {Strategy::kBaseline, Strategy::kPipeSwitch, Strategy::kDeepPlanDha,
+        Strategy::kDeepPlanPtDha}) {
+    CausalGraph graph(/*enabled=*/true);
+    const int process = graph.RegisterProcess(StrategyName(strategy));
+    bench::RunColdWithProfile(topology, perf, model, strategy,
+                              bench::ExactProfile(perf, model),
+                              /*batch=*/1, &graph, process);
+    merged.Adopt(std::move(graph));
+  }
+  return merged;
+}
+
+// ------------------------------------------------ round trips
+
+TEST(JournalRoundTripTest, ColdStartGraphSurvivesBinaryExactly) {
+  const CausalGraph graph = ColdStartGraph();
+  const std::string json = graph.ToJson();
+  const std::string path = TempPath("journal_fig02.dpj");
+
+  std::string error;
+  ASSERT_TRUE(WriteGraphToJournal(graph, path, {}, nullptr, &error)) << error;
+  CausalGraph back(/*enabled=*/true);
+  ASSERT_TRUE(ReadJournalToGraph(path, &back, &error)) << error;
+  EXPECT_EQ(back.ToJson(), json);
+  std::remove(path.c_str());
+}
+
+TEST(JournalRoundTripTest, ServedWorkloadSurvivesBinaryExactly) {
+  CausalGraph graph(/*enabled=*/true);
+  RunServedWorkload(&graph);
+  ASSERT_GT(graph.requests().size(), 100u);
+  const std::string json = graph.ToJson();
+  const std::string path = TempPath("journal_served.dpj");
+
+  // Small chunks force the multi-chunk code paths even on a short run.
+  JournalWriterOptions small;
+  small.chunk_requests = 16;
+  std::string error;
+  ASSERT_TRUE(WriteGraphToJournal(graph, path, small, nullptr, &error))
+      << error;
+
+  CausalGraph back(/*enabled=*/true);
+  ASSERT_TRUE(ReadJournalToGraph(path, &back, &error)) << error;
+  EXPECT_EQ(back.ToJson(), json);
+
+  // JSON -> graph -> binary reproduces the first binary byte-for-byte (both
+  // are id-ordered batch dumps of the same graph).
+  CausalGraph parsed(/*enabled=*/true);
+  ASSERT_TRUE(CausalGraph::FromJson(json, &parsed, &error)) << error;
+  const std::string path2 = TempPath("journal_served2.dpj");
+  ASSERT_TRUE(WriteGraphToJournal(parsed, path2, small, nullptr, &error))
+      << error;
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(JournalRoundTripTest, StreamingWriterRecordsTheSameGraph) {
+  // Reference: the identical run recorded into an in-memory graph.
+  CausalGraph reference(/*enabled=*/true);
+  RunServedWorkload(&reference);
+
+  // Streamed: same run, retiring straight into the chunked writer. Requests
+  // retire in completion order (not id order), so the file differs from the
+  // batch dump — but it must decode to the identical graph, and repeated
+  // runs must produce identical bytes.
+  const std::string path = TempPath("journal_streamed.dpj");
+  const auto stream_once = [&] {
+    CausalGraph graph(/*enabled=*/true);
+    JournalWriter writer;
+    JournalWriterOptions small;
+    small.chunk_requests = 16;
+    EXPECT_TRUE(writer.Open(path, small));
+    graph.AttachSink(&writer);
+    EXPECT_TRUE(graph.streaming());
+    RunServedWorkload(&graph);
+    graph.FlushOpenRequests();
+    EXPECT_TRUE(writer.Finish());
+    EXPECT_EQ(writer.totals().requests,
+              reference.requests().size());
+    EXPECT_GT(writer.totals().chunks, 1u);
+    return ReadFileBytes(path);
+  };
+  const std::string first = stream_once();
+  EXPECT_EQ(stream_once(), first);
+
+  CausalGraph back(/*enabled=*/true);
+  std::string error;
+  ASSERT_TRUE(ReadJournalToGraph(path, &back, &error)) << error;
+  EXPECT_EQ(back.ToJson(), reference.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(JournalRoundTripTest, IncompleteRequestsKeepCompletionMinusOne) {
+  const std::string path = TempPath("journal_incomplete.dpj");
+  CausalGraph graph(/*enabled=*/true);
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(path));
+  graph.AttachSink(&writer);
+  const int process = graph.RegisterProcess("p");
+  const int done = graph.BeginRequest(process, 0, 10);
+  const CpNodeId exec =
+      graph.AddNode(done, CpKind::kExec, "exec", "exec/gpu0", 10, 20);
+  graph.AddEdge(graph.arrival_node(done), exec);
+  graph.EndRequest(done, 20, exec);
+  const int open = graph.BeginRequest(process, 1, 15);
+  graph.AddNode(open, CpKind::kExec, "exec", "exec/gpu0", 15, 25);
+  // `open` never ends: FlushOpenRequests retires it with completion -1.
+  graph.FlushOpenRequests();
+  ASSERT_TRUE(writer.Finish());
+  EXPECT_EQ(writer.totals().requests, 2u);
+  EXPECT_EQ(writer.totals().incomplete_requests, 1u);
+
+  CausalGraph back(/*enabled=*/true);
+  std::string error;
+  ASSERT_TRUE(ReadJournalToGraph(path, &back, &error)) << error;
+  ASSERT_EQ(back.requests().size(), 2u);
+  EXPECT_EQ(back.requests()[0].completion, 20);
+  EXPECT_EQ(back.requests()[1].completion, -1);
+  EXPECT_EQ(back.requests()[1].terminal_node, -1);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ sequential reader
+
+TEST(JournalReaderTest, IteratesChunksAndCrossChecksTheFooter) {
+  CausalGraph graph(/*enabled=*/true);
+  RunServedWorkload(&graph);
+  const std::string path = TempPath("journal_iter.dpj");
+  JournalWriterOptions small;
+  small.chunk_requests = 32;
+  std::string error;
+  ASSERT_TRUE(WriteGraphToJournal(graph, path, small, nullptr, &error))
+      << error;
+
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(path)) << reader.error();
+  std::uint64_t chunks = 0;
+  std::uint64_t requests = 0;
+  JournalChunk chunk;
+  while (reader.Next(&chunk) == JournalReadStatus::kChunk) {
+    ++chunks;
+    requests += chunk.requests.size();
+  }
+  ASSERT_TRUE(reader.footer_seen()) << reader.error();
+  EXPECT_GT(chunks, 1u);
+  EXPECT_EQ(chunks, reader.totals().chunks);
+  EXPECT_EQ(requests, reader.totals().requests);
+  EXPECT_EQ(requests, graph.requests().size());
+  EXPECT_EQ(reader.num_processes(), graph.processes().size());
+  // Past the footer the reader stays parked there.
+  EXPECT_EQ(reader.Next(&chunk), JournalReadStatus::kFooter);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ corruption rejection
+
+// One small well-formed journal per test, then one precise mutilation.
+class JournalCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("journal_corrupt.dpj");
+    CausalGraph graph(/*enabled=*/true);
+    const int process = graph.RegisterProcess("p");
+    for (int i = 0; i < 8; ++i) {
+      const int req = graph.BeginRequest(process, i, i * 100);
+      const CpNodeId exec = graph.AddNode(req, CpKind::kExec, "exec",
+                                          "exec/gpu0", i * 100, i * 100 + 50);
+      graph.AddEdge(graph.arrival_node(req), exec);
+      graph.EndRequest(req, i * 100 + 50, exec);
+    }
+    JournalWriterOptions small;
+    small.chunk_requests = 4;  // two chunks
+    std::string error;
+    ASSERT_TRUE(WriteGraphToJournal(graph, path_, small, nullptr, &error))
+        << error;
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 40u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes a mutated copy and lints it, expecting failure with `needle` in
+  // the first error.
+  void ExpectLintError(const std::string& mutated, const std::string& needle) {
+    WriteFileBytes(path_, mutated);
+    const check::TraceLintResult r = LintJournalFile(path_);
+    EXPECT_FALSE(r.ok());
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_NE(r.errors[0].find(needle), std::string::npos) << r.errors[0];
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(JournalCorruptionTest, PristineJournalLintsClean) {
+  JournalLintInfo info;
+  const check::TraceLintResult r = LintJournalFile(path_, &info);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(info.totals.requests, 8u);
+  EXPECT_EQ(info.totals.chunks, 2u);
+  EXPECT_EQ(info.processes, 1u);
+}
+
+TEST_F(JournalCorruptionTest, FlippedPayloadByteFailsItsChunkCrc) {
+  std::string mutated = bytes_;
+  // Offset 20 is inside the first chunk's payload (8 header + marker +
+  // size varint + 4 CRC bytes come first).
+  mutated[20] = static_cast<char>(mutated[20] ^ 0x5A);
+  ExpectLintError(mutated, "CRC mismatch");
+}
+
+TEST_F(JournalCorruptionTest, UnsupportedVersionIsRejected) {
+  std::string mutated = bytes_;
+  mutated[4] = 9;  // version u32le lives at bytes 4..7
+  ExpectLintError(mutated, "unsupported journal version 9");
+}
+
+TEST_F(JournalCorruptionTest, TruncationIsDiagnosedNotMisread) {
+  // Chop into the footer frame: the frame header survives but its payload
+  // does not.
+  ExpectLintError(bytes_.substr(0, bytes_.size() - 4), "truncated");
+  // Chop whole frames off: the journal just ends without a footer.
+  ExpectLintError(bytes_.substr(0, 8), "without a footer");
+  // Not even a full header.
+  ExpectLintError(bytes_.substr(0, 3), "too short");
+}
+
+TEST_F(JournalCorruptionTest, BadMagicAndJsonContentGetDistinctDiagnoses) {
+  ExpectLintError("XXXXXXXX-not-a-journal-at-all", "bad magic");
+  // A JSON journal handed to the binary path points at the converter.
+  ExpectLintError(R"({"causal_journal":{"processes":[]}})",
+                  "looks like JSON");
+}
+
+TEST_F(JournalCorruptionTest, TrailingBytesAfterTheFooterAreAnError) {
+  ExpectLintError(bytes_ + "extra", "trailing data");
+}
+
+TEST_F(JournalCorruptionTest, ReadJournalToGraphRefusesCorruptInput) {
+  std::string mutated = bytes_;
+  mutated[20] = static_cast<char>(mutated[20] ^ 0x5A);
+  WriteFileBytes(path_, mutated);
+  CausalGraph out(/*enabled=*/true);
+  std::string error;
+  EXPECT_FALSE(ReadJournalToGraph(path_, &out, &error));
+  EXPECT_NE(error.find("CRC mismatch"), std::string::npos) << error;
+}
+
+TEST(JournalLintTest, DanglingEdgeNamesTheRequestAndNode) {
+  // Hand-fed record whose edge points outside the request: the writer
+  // encodes it (it trusts the recorder), the reader must call it out.
+  const std::string path = TempPath("journal_dangling.dpj");
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(path));
+  writer.OnProcess(0, "p");
+  CpRequestRecord rec;
+  rec.request.id = 0;
+  rec.request.process = 0;
+  rec.request.instance = 0;
+  rec.request.arrival = 0;
+  rec.request.completion = 100;
+  rec.request.arrival_node = 0;
+  rec.request.terminal_node = 1;
+  CpNode arrival;
+  arrival.id = 0;
+  arrival.request = 0;
+  arrival.kind = CpKind::kArrival;
+  arrival.label = "arrival";
+  arrival.resource = "arrival";
+  CpNode exec = arrival;
+  exec.id = 1;
+  exec.kind = CpKind::kExec;
+  exec.label = "exec";
+  exec.resource = "exec/gpu0";
+  exec.end = 100;
+  rec.nodes = {arrival, exec};
+  rec.edges = {{/*seq=*/0, /*from=*/0, /*to=*/7}};  // node 7 does not exist
+  writer.OnRequestRetired(std::move(rec));
+  ASSERT_TRUE(writer.Finish());
+
+  const check::TraceLintResult r = LintJournalFile(path);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("dangling"), std::string::npos) << r.errors[0];
+  EXPECT_NE(r.errors[0].find("request 0"), std::string::npos) << r.errors[0];
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ windowed replay
+
+// The tentpole differential: chunk-windowed replay over the binary journal
+// against whole-graph in-memory replay, on a served azure-style workload —
+// every per-request vector identical, every report byte identical, and the
+// windowed engine provably holding fewer requests than the journal.
+class WindowedReplayTest : public ::testing::Test {
+ protected:
+  static CausalGraph& Graph() {
+    static CausalGraph* graph = [] {
+      auto* g = new CausalGraph(/*enabled=*/true);
+      const Topology topology = Topology::P3_8xlarge();
+      const PerfModel perf(topology.gpu(), topology.pcie());
+      ServerOptions options;
+      options.strategy = Strategy::kDeepPlanDha;
+      Server server(topology, perf, options);
+      const int type = server.RegisterModelType(ModelZoo::BertBase());
+      server.AddInstances(type, 50);
+      server.set_causal(g, g->RegisterProcess("azure"));
+      AzureTraceOptions w;
+      w.num_instances = 50;
+      w.duration = Seconds(20);
+      w.target_rate_per_sec = 100.0;
+      server.Run(GenerateAzureTrace(w));
+      return g;
+    }();
+    return *graph;
+  }
+
+  static const std::string& JournalPath() {
+    static const std::string path = [] {
+      const std::string p = TempPath("journal_windowed.dpj");
+      JournalWriterOptions small;
+      small.chunk_requests = 64;  // many windows
+      std::string error;
+      EXPECT_TRUE(WriteGraphToJournal(Graph(), p, small, nullptr, &error))
+          << error;
+      return p;
+    }();
+    return path;
+  }
+};
+
+TEST_F(WindowedReplayTest, OpenIndexesTheSameMetadata) {
+  WindowedJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Open(JournalPath(), &error)) << error;
+  const CausalGraph& graph = Graph();
+  ASSERT_GT(graph.requests().size(), 500u);
+  EXPECT_EQ(journal.processes(), graph.processes());
+  ASSERT_EQ(journal.requests().size(), graph.requests().size());
+  for (std::size_t i = 0; i < graph.requests().size(); ++i) {
+    EXPECT_EQ(journal.requests()[i].arrival, graph.requests()[i].arrival);
+    EXPECT_EQ(journal.requests()[i].completion,
+              graph.requests()[i].completion);
+  }
+}
+
+TEST_F(WindowedReplayTest, EveryExperimentReplaysBitIdentically) {
+  WindowedJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Open(JournalPath(), &error)) << error;
+  std::vector<WhatIfExperiment> experiments = DefaultWhatIfExperiments();
+  WhatIfExperiment identity;
+  identity.name = "baseline";
+  experiments.push_back(identity);
+  for (const WhatIfExperiment& exp : experiments) {
+    const WhatIfReplay in_memory = ReplayWhatIf(Graph(), exp);
+    const WhatIfReplay windowed = journal.Replay(exp);
+    EXPECT_EQ(windowed.latency, in_memory.latency) << exp.name;
+    EXPECT_EQ(windowed.pcie_time, in_memory.pcie_time) << exp.name;
+    EXPECT_EQ(windowed.nvlink_time, in_memory.nvlink_time) << exp.name;
+    EXPECT_EQ(windowed.exec_time, in_memory.exec_time) << exp.name;
+  }
+}
+
+TEST_F(WindowedReplayTest, ReportsAreByteIdenticalAcrossEngines) {
+  WindowedJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Open(JournalPath(), &error)) << error;
+  const std::vector<WhatIfExperiment> experiments = DefaultWhatIfExperiments();
+  const WhatIfReport in_memory = BuildWhatIfReport(Graph(), experiments);
+  const WhatIfReport windowed =
+      BuildWhatIfReportWindowed(journal, experiments);
+  EXPECT_TRUE(in_memory.baseline_matches_journal);
+  EXPECT_TRUE(windowed.baseline_matches_journal);
+  EXPECT_EQ(WhatIfReportJson(windowed), WhatIfReportJson(in_memory));
+}
+
+TEST_F(WindowedReplayTest, ResidentWindowStaysBelowTheJournalSize) {
+  WindowedJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Open(JournalPath(), &error)) << error;
+  WhatIfExperiment identity;
+  identity.name = "baseline";
+  journal.Replay(identity);
+  EXPECT_GT(journal.max_resident_requests(), 0u);
+  // The bounded-memory claim: a 64-request chunk window plus in-flight
+  // requests, never the whole journal.
+  EXPECT_LT(journal.max_resident_requests(), journal.requests().size() / 2);
+}
+
+TEST(WindowedJournalTest, OpenRejectsMissingAndCorruptFiles) {
+  WindowedJournal journal;
+  std::string error;
+  EXPECT_FALSE(journal.Open("/nonexistent/journal.dpj", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace deepplan

@@ -54,10 +54,10 @@ TEST(ParserFuzzTest, ModelSpecParserNeverCrashesOnGarbage) {
 
 TEST(ParserFuzzTest, TraceCsvWithWeirdLines) {
   EXPECT_TRUE(Trace::FromCsv("time_ns,instance\n\n\n").has_value());
-  const auto t = Trace::FromCsv("100,1\nnot-a-number,2\n300,0\n");
-  // strtoll-based parsing treats junk as 0 — trace still loads, sorted.
-  ASSERT_TRUE(t.has_value());
-  EXPECT_EQ(t->size(), 3u);
+  // Strict row parsing: junk fields are a hard error, not silently zero —
+  // a mangled multi-GB Azure CSV should fail loudly at the offending line.
+  EXPECT_FALSE(Trace::FromCsv("100,1\nnot-a-number,2\n300,0\n").has_value());
+  EXPECT_TRUE(Trace::FromCsv("100,1\n300,0\n").has_value());
   EXPECT_FALSE(Trace::FromCsv("justonecolumn\n").has_value());
 }
 

@@ -10,12 +10,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "bench/scaling_common.h"
+#include "src/obs/whatif/whatif.h"
 #include "src/workload/synthetic.h"
 
 namespace deepplan {
@@ -75,13 +79,22 @@ TEST(SyntheticTraceTest, ZipfSkewsTowardLowRanks) {
 }
 
 // The scale run proper: 200k requests through a 135-instance BERT-Base
-// server. One run shared by the assertions below (it is the expensive part).
+// server, streaming a binary journal as it runs — so the RSS pin below
+// covers bounded-memory journal recording, not just the sim core. One run
+// shared by the assertions below (it is the expensive part).
 class ScalingReplayTest : public ::testing::Test {
  protected:
+  static const std::string& JournalPath() {
+    static const std::string path =
+        ::testing::TempDir() + "/scaling_200k.dpj";
+    return path;
+  }
+
   static bench::ScalingPointResult& Result() {
     static bench::ScalingPointResult r = [] {
       bench::ScalingPointOptions options;
       options.num_requests = 200000;
+      options.journal_out = JournalPath();
       return bench::RunScalingPoint(options);
     }();
     return r;
@@ -127,25 +140,82 @@ TEST_F(ScalingReplayTest, PeakRssBounded) {
   EXPECT_LT(usage.ru_maxrss, limit_kib) << "peak RSS (KiB)";
 }
 
+TEST_F(ScalingReplayTest, JournalTotalsCoverTheWholeRun) {
+  const bench::ScalingPointResult& r = Result();
+  ASSERT_TRUE(r.journaled);
+  EXPECT_EQ(r.journal.requests, 200000u);
+  EXPECT_EQ(r.journal.incomplete_requests, 0u);
+  EXPECT_GT(r.journal.nodes, r.journal.requests);  // >= arrival + work
+  EXPECT_GT(r.journal.chunks, 10u);
+  std::ifstream in(JournalPath(), std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in.is_open());
+  EXPECT_EQ(static_cast<std::uint64_t>(in.tellg()), r.journal_bytes);
+}
+
+TEST_F(ScalingReplayTest, WindowedIdentityReplayMatchesRecordedLatencies) {
+  // The streamed 200k journal replays bit-exactly under the windowed engine:
+  // every request's identity-predicted completion equals the recorded one,
+  // with only a bounded window of requests resident.
+  const bench::ScalingPointResult& r = Result();
+  ASSERT_TRUE(r.journaled);
+  WindowedJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Open(JournalPath(), &error)) << error;
+  ASSERT_EQ(journal.requests().size(), 200000u);
+  WhatIfExperiment identity;
+  identity.name = "baseline";
+  const WhatIfReplay replay = journal.Replay(identity);
+  ASSERT_EQ(replay.latency.size(), 200000u);
+  for (std::size_t i = 0; i < journal.requests().size(); ++i) {
+    const CpRequest& req = journal.requests()[i];
+    ASSERT_EQ(replay.latency[i], req.completion - req.arrival)
+        << "request " << i;
+  }
+  EXPECT_LT(journal.max_resident_requests(), 200000u / 10);
+}
+
 TEST(ScalingDeterminismTest, ByteIdenticalAcrossJobCounts) {
   // The bench surface: the same three-point sweep must render the same
-  // deterministic JSON for any thread count. Small points keep this fast;
-  // identical code paths (SweepRunner + RunScalingPoint) to bench_scaling.
+  // deterministic JSON — and record byte-identical journals — for any
+  // thread count. Small points keep this fast; identical code paths
+  // (SweepRunner + RunScalingPoint) to bench_scaling --journal_out.
   std::vector<std::size_t> sizes = {2000, 4000, 8000};
   std::string baseline;
+  std::vector<std::string> baseline_journals;
   for (const int jobs : {1, 2, 8}) {
     const SweepRunner runner(jobs);
     const std::vector<bench::ScalingPointResult> results =
         runner.Map(static_cast<int>(sizes.size()), [&](int i) {
           bench::ScalingPointOptions options;
           options.num_requests = sizes[static_cast<std::size_t>(i)];
+          options.journal_out = ::testing::TempDir() + "/scaling_jobs" +
+                                std::to_string(jobs) + "." +
+                                std::to_string(options.num_requests);
           return bench::RunScalingPoint(options);
         });
     const std::string json = bench::DeterministicPointsJson(results);
+    std::vector<std::string> journals;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::string path = ::testing::TempDir() + "/scaling_jobs" +
+                               std::to_string(jobs) + "." +
+                               std::to_string(sizes[i]);
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.is_open()) << path;
+      journals.emplace_back(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+      in.close();
+      std::remove(path.c_str());
+      ASSERT_FALSE(journals.back().empty());
+    }
     if (jobs == 1) {
       baseline = json;
+      baseline_journals = journals;
     } else {
       EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(journals[i], baseline_journals[i])
+            << "jobs=" << jobs << " size=" << sizes[i];
+      }
     }
   }
   EXPECT_FALSE(baseline.empty());

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <string>
 
 #include "src/workload/azure_trace.h"
 #include "src/workload/poisson.h"
@@ -64,6 +66,51 @@ TEST(TraceTest, FileRoundTrip) {
 
 TEST(TraceTest, LoadFromMissingFileFails) {
   EXPECT_FALSE(Trace::LoadFrom("/nonexistent/definitely/missing.csv").has_value());
+}
+
+// The streaming line-at-a-time loader fails fast with the file, the line
+// number, and the offending text — a mangled multi-GB Azure CSV must not
+// load short or silently zero-fill.
+TEST(TraceTest, MalformedRowReportsFileLineAndReason) {
+  const std::string path = ::testing::TempDir() + "/trace_malformed.csv";
+  {
+    std::ofstream out(path);
+    out << "time_ns,instance\n100,1\n200,banana\n300,0\n";
+  }
+  std::string error;
+  const auto loaded = Trace::LoadFrom(path, &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;  // header is line 1
+  EXPECT_NE(error.find("banana"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TruncatedRowWithoutCommaIsDiagnosed) {
+  const std::string path = ::testing::TempDir() + "/trace_truncated.csv";
+  {
+    std::ofstream out(path);
+    out << "100,1\n200,2\n30";  // file cut mid-row
+  }
+  std::string error;
+  EXPECT_FALSE(Trace::LoadFrom(path, &error).has_value());
+  EXPECT_NE(error.find("no comma"), std::string::npos) << error;
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RejectsNegativeAndOverflowingFields) {
+  std::string error;
+  EXPECT_FALSE(Trace::LoadFrom("/nonexistent/x.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+  EXPECT_FALSE(Trace::FromCsv("-5,0\n").has_value());
+  EXPECT_FALSE(Trace::FromCsv("100,-1\n").has_value());
+  EXPECT_FALSE(Trace::FromCsv("999999999999999999999999,0\n").has_value());
+  EXPECT_FALSE(Trace::FromCsv("100,999999999999\n").has_value());
+  // Windows line endings and a trailing blank line stay acceptable.
+  const auto ok = Trace::FromCsv("time_ns,instance\r\n100,1\r\n\r\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->size(), 1u);
 }
 
 TEST(TraceTest, PerMinuteCounts) {
@@ -190,6 +237,25 @@ TEST(AzureTest, DeterministicPerSeed) {
   const Trace b = GenerateAzureTrace(opts);
   ASSERT_EQ(a.size(), b.size());
   EXPECT_EQ(a.arrivals()[10].time, b.arrivals()[10].time);
+}
+
+TEST(AzureTest, CsvLoaderStreamsAndReportsErrors) {
+  const std::string path = ::testing::TempDir() + "/azure_maf.csv";
+  {
+    std::ofstream out(path);
+    out << "time_ns,instance\n1000,3\n2000,1\n";
+  }
+  std::string error;
+  const auto loaded = LoadAzureTraceCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+  {
+    std::ofstream out(path);
+    out << "1000,3\nbroken line\n";
+  }
+  EXPECT_FALSE(LoadAzureTraceCsv(path, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  std::remove(path.c_str());
 }
 
 TEST(AzureTest, AllInstancesInRange) {

@@ -5,7 +5,11 @@
 // {"profile_report":...} document for tools (lint with `trace_lint
 // --profile`).
 //
+// Accepts either journal representation: {"causal_journal":...} JSON or the
+// binary DPJL format (--journal_out) — the file header decides.
+//
 //   profile_report results/profile_fig15.json [--json=results/report.json]
+//   profile_report results/journal_fig15.dpj
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -13,6 +17,7 @@
 #include <string>
 
 #include "src/obs/causal_graph.h"
+#include "src/obs/journal_stream.h"
 #include "src/obs/profile_report.h"
 
 namespace {
@@ -48,17 +53,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string text;
-  if (!ReadFile(journal_path, &text)) {
-    std::fprintf(stderr, "cannot read %s\n", journal_path.c_str());
-    return 2;
-  }
   deepplan::CausalGraph graph;
   std::string error;
-  if (!deepplan::CausalGraph::FromJson(text, &graph, &error)) {
-    std::fprintf(stderr, "bad journal %s: %s\n", journal_path.c_str(),
-                 error.c_str());
-    return 1;
+  if (deepplan::IsBinaryJournalFile(journal_path)) {
+    if (!deepplan::ReadJournalToGraph(journal_path, &graph, &error)) {
+      std::fprintf(stderr, "bad journal: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    std::string text;
+    if (!ReadFile(journal_path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", journal_path.c_str());
+      return 2;
+    }
+    if (!deepplan::CausalGraph::FromJson(text, &graph, &error)) {
+      std::fprintf(stderr, "bad journal %s: %s\n", journal_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
   }
 
   const deepplan::ProfileReport report = deepplan::BuildProfileReport(graph);

@@ -4,19 +4,23 @@
 // cumulative-counter monotonicity); --profile switches to the
 // {"profile_report":...} schema check (attribution sums, utilization
 // bounds); --whatif switches to the {"whatif_report":...} schema check
-// (scales, quantile monotonicity, per-request deltas, baseline self-check).
-// Exit 0 when every file is clean.
+// (scales, quantile monotonicity, per-request deltas, baseline self-check);
+// --journal switches to the binary causal-journal check (DPJL header and
+// version, per-chunk CRC32, string-table/process references, dangling-edge
+// and truncation diagnosis). Exit 0 when every file is clean.
 //
 //   trace_lint results/trace_fig15.json [more.json ...]
 //   trace_lint --profile results/profile_report.json
 //   trace_lint --whatif results/whatif_report.json
+//   trace_lint --journal results/journal_fig15.dpj
 #include <cstdio>
 #include <cstring>
 
 #include "src/check/trace_lint.h"
+#include "src/obs/journal_stream.h"
 
 int main(int argc, char** argv) {
-  enum class Mode { kTrace, kProfile, kWhatIf };
+  enum class Mode { kTrace, kProfile, kWhatIf, kJournal };
   Mode mode = Mode::kTrace;
   int first_file = 1;
   if (argc > 1 && std::strcmp(argv[1], "--profile") == 0) {
@@ -25,24 +29,40 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "--whatif") == 0) {
     mode = Mode::kWhatIf;
     first_file = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "--journal") == 0) {
+    mode = Mode::kJournal;
+    first_file = 2;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr,
-                 "usage: %s [--profile|--whatif] <file.json> [more.json ...]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--profile|--whatif|--journal] <file> [more files ...]\n",
+        argv[0]);
     return 2;
   }
   int failures = 0;
   for (int i = first_file; i < argc; ++i) {
+    deepplan::JournalLintInfo info;
     const deepplan::check::TraceLintResult result =
         mode == Mode::kProfile ? deepplan::check::LintProfileReportFile(argv[i])
         : mode == Mode::kWhatIf ? deepplan::check::LintWhatIfReportFile(argv[i])
-                                : deepplan::check::LintChromeTraceFile(argv[i]);
+        : mode == Mode::kJournal ? deepplan::LintJournalFile(argv[i], &info)
+                                 : deepplan::check::LintChromeTraceFile(argv[i]);
     if (result.ok()) {
       if (mode == Mode::kProfile) {
         std::printf("OK %s: profile report schema clean\n", argv[i]);
       } else if (mode == Mode::kWhatIf) {
         std::printf("OK %s: what-if report schema clean\n", argv[i]);
+      } else if (mode == Mode::kJournal) {
+        std::printf(
+            "OK %s: %llu requests (%llu incomplete), %llu nodes, %llu edges "
+            "in %llu chunks across %llu process(es)\n",
+            argv[i], static_cast<unsigned long long>(info.totals.requests),
+            static_cast<unsigned long long>(info.totals.incomplete_requests),
+            static_cast<unsigned long long>(info.totals.nodes),
+            static_cast<unsigned long long>(info.totals.edges),
+            static_cast<unsigned long long>(info.totals.chunks),
+            static_cast<unsigned long long>(info.processes));
       } else {
         std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu async) on %zu tracks\n",
                     argv[i], result.num_events, result.num_spans,

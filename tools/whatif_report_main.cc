@@ -6,7 +6,13 @@
 // --json=<path> additionally writes the {"whatif_report":...} document for
 // tools (lint with `trace_lint --whatif`).
 //
+// Accepts either journal representation: {"causal_journal":...} JSON is
+// replayed by the in-memory engine; a binary DPJL journal (--journal_out) is
+// replayed by the bounded-memory windowed engine. Both produce byte-identical
+// reports for the same journal.
+//
 //   whatif_report results/profile_fig15.json
+//   whatif_report results/journal_fig15.dpj
 //   whatif_report results/profile_fig15.json --exp=pcie=1.92 --exp=noevict
 //       --json=results/whatif.json
 #include <cstdio>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "src/obs/causal_graph.h"
+#include "src/obs/journal_stream.h"
 #include "src/obs/whatif/whatif.h"
 #include "src/obs/whatif/whatif_report.h"
 
@@ -69,21 +76,29 @@ int main(int argc, char** argv) {
     experiments = deepplan::DefaultWhatIfExperiments();
   }
 
-  std::string text;
-  if (!ReadFile(journal_path, &text)) {
-    std::fprintf(stderr, "cannot read %s\n", journal_path.c_str());
-    return 2;
-  }
-  deepplan::CausalGraph graph;
+  deepplan::WhatIfReport report;
   std::string error;
-  if (!deepplan::CausalGraph::FromJson(text, &graph, &error)) {
-    std::fprintf(stderr, "bad journal %s: %s\n", journal_path.c_str(),
-                 error.c_str());
-    return 1;
+  if (deepplan::IsBinaryJournalFile(journal_path)) {
+    deepplan::WindowedJournal journal;
+    if (!journal.Open(journal_path, &error)) {
+      std::fprintf(stderr, "bad journal: %s\n", error.c_str());
+      return 1;
+    }
+    report = deepplan::BuildWhatIfReportWindowed(journal, experiments);
+  } else {
+    std::string text;
+    if (!ReadFile(journal_path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", journal_path.c_str());
+      return 2;
+    }
+    deepplan::CausalGraph graph;
+    if (!deepplan::CausalGraph::FromJson(text, &graph, &error)) {
+      std::fprintf(stderr, "bad journal %s: %s\n", journal_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    report = deepplan::BuildWhatIfReport(graph, experiments);
   }
-
-  const deepplan::WhatIfReport report =
-      deepplan::BuildWhatIfReport(graph, experiments);
   deepplan::PrintWhatIfReport(report, std::cout);
 
   if (!json_path.empty()) {
