@@ -152,6 +152,7 @@ class BenchReport {
   explicit BenchReport(std::string name, int jobs = DefaultSweepJobs())
       : name_(std::move(name)),
         jobs_(jobs),
+        // deepplan-lint: allow(raw-entropy, wall-clock bench timing; only feeds wall_clock_ms, which the golden gate ignores)
         start_(std::chrono::steady_clock::now()) {}
 
   JsonObject& config() { return config_; }
@@ -164,6 +165,7 @@ class BenchReport {
 
   std::string ToJson() const {
     const double wall_ms =
+        // deepplan-lint: allow(raw-entropy, wall-clock bench timing; only feeds wall_clock_ms, which the golden gate ignores)
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                   start_)
             .count();
@@ -206,6 +208,7 @@ class BenchReport {
  private:
   std::string name_;
   int jobs_;
+  // deepplan-lint: allow(raw-entropy, wall-clock bench timing; only feeds wall_clock_ms, which the golden gate ignores)
   std::chrono::steady_clock::time_point start_;
   JsonObject config_;
   std::deque<JsonObject> points_;  // deque: AddPoint() references stay valid

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
             << " strategies x " << runs << " runs on " << runner.jobs()
             << " worker thread(s)\n\n";
 
+  // deepplan-lint: allow(raw-entropy, example prints wall-clock speedup; stdout demo only, no golden)
   const auto wall_start = std::chrono::steady_clock::now();
 
   // One task per (model, strategy) cell; each cell internally sweeps its
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
   });
 
   const double wall_ms = std::chrono::duration<double, std::milli>(
+                             // deepplan-lint: allow(raw-entropy, example prints wall-clock speedup; stdout demo only, no golden)
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
 

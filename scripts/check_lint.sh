@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Determinism & concurrency lint gate, two prongs:
+#
+#   1. deepplan_lint over src/ bench/ tools/ examples/ — always runs (the
+#      linter is built from this repo, so a gcc-only container can enforce
+#      the determinism rules; see src/check/determinism_lint.h for the rule
+#      catalog and DESIGN.md §14 for rationale).
+#   2. clang -Wthread-safety, syntax-only, over every src/ translation unit —
+#      runs when a clang++ is available (DEEPPLAN_CLANGXX overrides the PATH
+#      lookup), skips with a notice otherwise: gcc parses the annotation
+#      macros away, so only clang can check lock discipline.
+#
+# Usage: scripts/check_lint.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+LINT="$BUILD_DIR/tools/deepplan_lint"
+if [ ! -x "$LINT" ]; then
+  echo "check_lint: building deepplan_lint into $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target deepplan_lint -j >/dev/null
+fi
+
+echo "check_lint: deepplan_lint over src/ bench/ tools/ examples/"
+"$LINT" src bench tools examples
+
+CLANGXX="${DEEPPLAN_CLANGXX:-}"
+if [ -z "$CLANGXX" ]; then
+  CLANGXX="$(command -v clang++ || true)"
+fi
+if [ -z "$CLANGXX" ]; then
+  echo "check_lint: no clang++ found; skipping -Wthread-safety sweep" \
+       "(set DEEPPLAN_CLANGXX to enable)"
+  exit 0
+fi
+
+mapfile -t units < <(git ls-files -- 'src/*.cc')
+echo "check_lint: $("$CLANGXX" --version | head -1)," \
+     "-Wthread-safety over ${#units[@]} src/ units"
+status=0
+for unit in "${units[@]}"; do
+  # Syntax-only is enough: thread-safety analysis runs in the frontend, and
+  # skipping codegen keeps the sweep fast. -Werror is scoped to the
+  # thread-safety group so clang/gcc disagreements on other warnings cannot
+  # fail this gate.
+  if ! "$CLANGXX" -std=c++20 -fsyntax-only -I. \
+       -Wthread-safety -Werror=thread-safety "$unit"; then
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  echo "check_lint: thread-safety violations above" >&2
+  exit 1
+fi
+echo "check_lint: OK"

@@ -17,6 +17,10 @@
 #   DEEPPLAN_TIDY=1  configure <build-dir>-tidy with -DDEEPPLAN_TIDY=ON and
 #                    compile src/ under clang-tidy --warnings-as-errors=*
 #                    (skipped with a notice when clang-tidy is not installed).
+#   DEEPPLAN_CLANGXX=path
+#                    clang++ for check_lint.sh's -Wthread-safety sweep and
+#                    the static_analysis negative-compile tests (default:
+#                    `clang++` on PATH; both skip with a notice when absent).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -65,6 +69,10 @@ fi
 # Formatting gate: check-only, skips with a notice when clang-format is
 # absent.
 scripts/check_format.sh
+
+# Determinism/concurrency lint gate: deepplan_lint always, clang
+# -Wthread-safety when a clang++ is available (see scripts/check_lint.sh).
+scripts/check_lint.sh "$BUILD_DIR"
 
 mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"

@@ -1,0 +1,726 @@
+#include "src/check/determinism_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace deepplan {
+namespace check {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces the contents of comments and string/char literals with spaces,
+// preserving every newline, so later passes scan code only but line numbers
+// (and column structure) stay intact. Handles //, /* */, "...", '...', raw
+// strings R"delim(...)delim", escapes, and digit separators (1'000'000 never
+// opens a char literal).
+std::string ScrubCommentsAndStrings(const std::string& src) {
+  std::string out(src.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      out[i] = '\n';
+      if (state == State::kLine) {
+        state = State::kCode;
+      }
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+          state = State::kLine;
+          i += 2;
+          break;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+          state = State::kBlock;
+          i += 2;
+          break;
+        }
+        if (c == '"') {
+          // Raw string? (R immediately before the quote, at an identifier
+          // boundary.)
+          if (i > 0 && src[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(src[i - 2]))) {
+            std::size_t d = i + 1;
+            while (d < n && src[d] != '(') {
+              ++d;
+            }
+            const std::string close =
+                ")" + src.substr(i + 1, d - (i + 1)) + "\"";
+            const std::size_t end = src.find(close, d);
+            const std::size_t stop =
+                end == std::string::npos ? n : end + close.size();
+            for (std::size_t k = i; k < stop; ++k) {
+              if (src[k] == '\n') {
+                out[k] = '\n';
+              }
+            }
+            i = stop;
+            break;
+          }
+          state = State::kString;
+          ++i;
+          break;
+        }
+        if (c == '\'' && (i == 0 || !IsIdentChar(src[i - 1]))) {
+          state = State::kChar;
+          ++i;
+          break;
+        }
+        out[i] = c;
+        ++i;
+        break;
+      }
+      case State::kLine:
+        ++i;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+          state = State::kCode;
+          i += 2;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          i += 2;
+        } else if (c == quote) {
+          state = State::kCode;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// 1-based line number of byte offset `pos`, via the sorted line-start table.
+std::size_t LineOf(const std::vector<std::size_t>& line_starts,
+                   std::size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> LineStarts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      starts.push_back(i + 1);
+    }
+  }
+  return starts;
+}
+
+// True when text[pos..] starts the standalone token `word`.
+bool TokenAt(const std::string& text, std::size_t pos,
+             const std::string& word) {
+  if (pos + word.size() > text.size() ||
+      text.compare(pos, word.size(), word) != 0) {
+    return false;
+  }
+  if (pos > 0 && IsIdentChar(text[pos - 1])) {
+    return false;
+  }
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !IsIdentChar(text[end]);
+}
+
+std::size_t SkipWs(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+// With text[pos] == '<', returns the offset just past the matching '>', or
+// npos if unbalanced.
+std::size_t MatchAngle(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      --depth;
+      if (depth == 0) {
+        return i + 1;
+      }
+    } else if (c == ';' || c == '{') {
+      return std::string::npos;  // statement ended: comparison, not template
+    }
+  }
+  return std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// First top-level template argument of the list starting at text[pos] == '<'.
+std::string FirstTemplateArg(const std::string& text, std::size_t pos) {
+  int angle = 0;
+  int paren = 0;
+  std::string arg;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++angle;
+      if (angle == 1) {
+        continue;
+      }
+    } else if (c == '>') {
+      --angle;
+      if (angle == 0) {
+        return Trim(arg);
+      }
+    } else if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      --paren;
+    } else if (c == ',' && angle == 1 && paren == 0) {
+      return Trim(arg);
+    } else if (c == ';' || c == '{') {
+      return "";
+    }
+    arg.push_back(c);
+  }
+  return "";
+}
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  bool used = false;
+  bool malformed = false;
+  std::string problem;  // set when malformed
+};
+
+// Parses `// deepplan-lint: allow(<rule>, <reason>)` comments from the raw
+// (unscrubbed) lines. Keyed by 1-based line.
+std::map<std::size_t, Suppression> ParseSuppressions(
+    const std::vector<std::string>& raw_lines) {
+  std::map<std::size_t, Suppression> out;
+  const std::string tag = "deepplan-lint:";
+  for (std::size_t ln = 0; ln < raw_lines.size(); ++ln) {
+    const std::string& line = raw_lines[ln];
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos) {
+      continue;
+    }
+    Suppression sup;
+    const std::string rest = Trim(line.substr(at + tag.size()));
+    const std::string allow = "allow(";
+    if (rest.compare(0, allow.size(), allow) != 0 ||
+        rest.find(')') == std::string::npos) {
+      // The tag without an allow(...) clause is prose *about* the linter
+      // (docs, help strings), not a suppression attempt; ignoring it is safe
+      // because whatever finding it failed to suppress still fires.
+      continue;
+    }
+    const std::size_t close = rest.rfind(')');
+    const std::string inner = rest.substr(allow.size(), close - allow.size());
+    if (inner.find('<') != std::string::npos ||
+        inner.find('>') != std::string::npos) {
+      continue;  // allow(<rule>, <reason>) placeholder in documentation
+    }
+    const std::size_t comma = inner.find(',');
+    if (comma == std::string::npos) {
+      sup.malformed = true;
+      sup.problem = "suppression is missing the mandatory reason";
+      out.emplace(ln + 1, std::move(sup));
+      continue;
+    }
+    sup.rule = Trim(inner.substr(0, comma));
+    sup.reason = Trim(inner.substr(comma + 1));
+    const auto& rules = DeterminismLintRules();
+    if (std::find(rules.begin(), rules.end(), sup.rule) == rules.end()) {
+      sup.malformed = true;
+      sup.problem = "unknown rule '" + sup.rule + "'";
+    } else if (sup.reason.empty()) {
+      sup.malformed = true;
+      sup.problem = "suppression is missing the mandatory reason";
+    }
+    out.emplace(ln + 1, std::move(sup));
+  }
+  return out;
+}
+
+bool IsCommentOnlyLine(const std::string& raw_line) {
+  const std::string t = Trim(raw_line);
+  return t.size() >= 2 && t[0] == '/' && (t[1] == '/' || t[1] == '*');
+}
+
+const char* const kUnorderedTypes[] = {
+    "unordered_map", "unordered_multimap", "unordered_set",
+    "unordered_multiset"};
+
+// Names declared with an unordered container type (directly or wrapped, e.g.
+// std::vector<std::unordered_map<...>> links_). Maps name -> declaration
+// line for messages.
+std::map<std::string, std::size_t> CollectUnorderedNames(
+    const std::string& code, const std::vector<std::size_t>& line_starts) {
+  std::map<std::string, std::size_t> names;
+  for (const char* type : kUnorderedTypes) {
+    const std::string t(type);
+    std::size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      if (!TokenAt(code, pos, t)) {
+        pos += t.size();
+        continue;
+      }
+      std::size_t p = SkipWs(code, pos + t.size());
+      if (p >= code.size() || code[p] != '<') {
+        pos += t.size();
+        continue;
+      }
+      p = MatchAngle(code, p);
+      if (p == std::string::npos) {
+        pos += t.size();
+        continue;
+      }
+      // Skip wrapper closers (vector<unordered_map<...>> name) and
+      // ref/pointer declarators, then take the declared identifier if any.
+      while (p < code.size() &&
+             (code[p] == '>' || code[p] == '*' || code[p] == '&' ||
+              std::isspace(static_cast<unsigned char>(code[p])) != 0)) {
+        ++p;
+      }
+      if (p < code.size() && IsIdentStart(code[p])) {
+        std::size_t e = p;
+        while (e < code.size() && IsIdentChar(code[e])) {
+          ++e;
+        }
+        names.emplace(code.substr(p, e - p), LineOf(line_starts, pos));
+      }
+      pos += t.size();
+    }
+  }
+  return names;
+}
+
+bool ExprMentions(const std::string& expr,
+                  const std::map<std::string, std::size_t>& names,
+                  std::string* which) {
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    if (IsIdentStart(expr[i]) && (i == 0 || !IsIdentChar(expr[i - 1]))) {
+      std::size_t e = i;
+      while (e < expr.size() && IsIdentChar(expr[e])) {
+        ++e;
+      }
+      const std::string ident = expr.substr(i, e - i);
+      if (names.count(ident) != 0) {
+        *which = ident;
+        return true;
+      }
+      i = e;
+    } else {
+      ++i;
+    }
+  }
+  return false;
+}
+
+void AddFinding(std::vector<LintFinding>* findings, const std::string& path,
+                std::size_t line, const char* rule, std::string message) {
+  LintFinding f;
+  f.file = path;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(message);
+  findings->push_back(std::move(f));
+}
+
+void ScanUnorderedIteration(const std::string& code,
+                            const std::vector<std::size_t>& line_starts,
+                            const std::map<std::string, std::size_t>& names,
+                            const std::string& path,
+                            std::vector<LintFinding>* findings) {
+  // Range-for whose range expression is (or contains) an unordered
+  // container.
+  std::size_t pos = 0;
+  while ((pos = code.find("for", pos)) != std::string::npos) {
+    if (!TokenAt(code, pos, "for")) {
+      pos += 3;
+      continue;
+    }
+    std::size_t p = SkipWs(code, pos + 3);
+    if (p >= code.size() || code[p] != '(') {
+      pos += 3;
+      continue;
+    }
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = p; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      } else if (c == ':' && depth == 1 && colon == std::string::npos &&
+                 (i == 0 || code[i - 1] != ':') &&
+                 (i + 1 >= code.size() || code[i + 1] != ':')) {
+        colon = i;
+      }
+    }
+    if (colon != std::string::npos && close != std::string::npos) {
+      const std::string expr = code.substr(colon + 1, close - colon - 1);
+      std::string which;
+      if (ExprMentions(expr, names, &which)) {
+        AddFinding(findings, path, LineOf(line_starts, pos),
+                   kLintRuleUnorderedIteration,
+                   "range-for over unordered container '" + which +
+                       "' (declared at line " +
+                       std::to_string(names.at(which)) +
+                       "): bucket order is not deterministic — iterate a "
+                       "sorted view or an ordered container instead");
+      } else if (expr.find("unordered_") != std::string::npos) {
+        AddFinding(findings, path, LineOf(line_starts, pos),
+                   kLintRuleUnorderedIteration,
+                   "range-for over an unordered container expression: bucket "
+                   "order is not deterministic");
+      }
+    }
+    pos += 3;
+  }
+  // begin() family on a declared unordered name (feeds algorithms or manual
+  // loops). end()/cend() alone are deliberately NOT flagged: `it !=
+  // m.end()` is the find()-failure sentinel, the idiomatic *lookup* pattern
+  // — and every real iteration needs a begin() anyway.
+  static const char* const kIter[] = {"begin", "cbegin", "rbegin", "crbegin"};
+  for (const auto& [name, decl_line] : names) {
+    std::size_t at = 0;
+    while ((at = code.find(name, at)) != std::string::npos) {
+      if (!TokenAt(code, at, name)) {
+        at += name.size();
+        continue;
+      }
+      std::size_t p = at + name.size();
+      if (p < code.size() && code[p] == '.') {
+        ++p;
+      } else if (p + 1 < code.size() && code[p] == '-' && code[p + 1] == '>') {
+        p += 2;
+      } else {
+        at += name.size();
+        continue;
+      }
+      for (const char* fn : kIter) {
+        if (TokenAt(code, p, fn)) {
+          const std::size_t after = SkipWs(code, p + std::string(fn).size());
+          if (after < code.size() && code[after] == '(') {
+            AddFinding(findings, path, LineOf(line_starts, at),
+                       kLintRuleUnorderedIteration,
+                       "iterator over unordered container '" + name +
+                           "' (declared at line " + std::to_string(decl_line) +
+                           "): bucket order is not deterministic");
+          }
+          break;
+        }
+      }
+      at += name.size();
+    }
+  }
+}
+
+void ScanPointerKeys(const std::string& code,
+                     const std::vector<std::size_t>& line_starts,
+                     const std::string& path,
+                     std::vector<LintFinding>* findings) {
+  static const char* const kKeyed[] = {
+      "map", "multimap", "set", "multiset", "unordered_map",
+      "unordered_multimap", "unordered_set", "unordered_multiset"};
+  for (const char* type : kKeyed) {
+    const std::string t(type);
+    std::size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      if (!TokenAt(code, pos, t)) {
+        pos += t.size();
+        continue;
+      }
+      const std::size_t p = SkipWs(code, pos + t.size());
+      if (p < code.size() && code[p] == '<') {
+        const std::string key = FirstTemplateArg(code, p);
+        if (!key.empty() && key.back() == '*') {
+          AddFinding(findings, path, LineOf(line_starts, pos),
+                     kLintRulePointerKeyedContainer,
+                     "container keyed by pointer type '" + key +
+                         "': ordering/hashing by address is run-dependent "
+                         "(ASLR, allocation history) — key by a stable id");
+        }
+      }
+      pos += t.size();
+    }
+  }
+}
+
+void ScanRawEntropy(const std::string& code,
+                    const std::vector<std::size_t>& line_starts,
+                    const std::string& path,
+                    std::vector<LintFinding>* findings) {
+  struct Pattern {
+    const char* token;
+    const char* what;
+    bool call_only;  // only flag when followed by '('
+  };
+  static const Pattern kPatterns[] = {
+      {"rand", "rand()", true},
+      {"srand", "srand()", true},
+      {"rand_r", "rand_r()", true},
+      {"drand48", "drand48()", true},
+      {"random_device", "std::random_device", false},
+      {"system_clock", "std::chrono::system_clock", false},
+      {"steady_clock", "std::chrono::steady_clock", false},
+      {"high_resolution_clock", "std::chrono::high_resolution_clock", false},
+      {"gettimeofday", "gettimeofday()", true},
+      {"clock_gettime", "clock_gettime()", true},
+      {"time", "time()", true},
+  };
+  for (const Pattern& pat : kPatterns) {
+    const std::string t(pat.token);
+    std::size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      if (!TokenAt(code, pos, t)) {
+        pos += t.size();
+        continue;
+      }
+      // Member access (x.time(), obj->rand()) is some other API, not the
+      // libc symbol; a std:: / global :: qualifier still is.
+      bool member = false;
+      if (pos > 0) {
+        std::size_t b = pos;
+        while (b > 0 &&
+               std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) {
+          --b;
+        }
+        if (b > 0 && (code[b - 1] == '.' ||
+                      (b > 1 && code[b - 2] == '-' && code[b - 1] == '>'))) {
+          member = true;
+        }
+        if (b > 1 && code[b - 1] == ':' && code[b - 2] == ':') {
+          // Qualified: only std::/:: count as the real symbol; anything else
+          // (my_ns::time) is unrelated.
+          std::size_t q = b - 2;
+          while (q > 0 &&
+                 std::isspace(static_cast<unsigned char>(code[q - 1])) != 0) {
+            --q;
+          }
+          std::size_t e = q;
+          while (q > 0 && IsIdentChar(code[q - 1])) {
+            --q;
+          }
+          const std::string qual = code.substr(q, e - q);
+          if (!qual.empty() && qual != "std" && qual != "chrono") {
+            member = true;
+          }
+        }
+      }
+      if (member) {
+        pos += t.size();
+        continue;
+      }
+      if (pat.call_only) {
+        const std::size_t after = SkipWs(code, pos + t.size());
+        if (after >= code.size() || code[after] != '(') {
+          pos += t.size();
+          continue;
+        }
+      }
+      AddFinding(findings, path, LineOf(line_starts, pos),
+                 kLintRuleRawEntropy,
+                 std::string(pat.what) +
+                     ": unseeded entropy / wall-clock time is not "
+                     "reproducible — use a generator seeded from the task "
+                     "index, or suppress with a reason if the value never "
+                     "reaches golden output");
+      pos += t.size();
+    }
+  }
+}
+
+void ScanNondetReduction(const std::string& code,
+                         const std::vector<std::size_t>& line_starts,
+                         const std::string& path,
+                         std::vector<LintFinding>* findings) {
+  struct Pattern {
+    const char* needle;
+    const char* what;
+  };
+  static const Pattern kPatterns[] = {
+      {"std::reduce", "std::reduce"},
+      {"std::transform_reduce", "std::transform_reduce"},
+      {"execution::par", "a parallel execution policy"},
+      {"std::atomic<double>", "std::atomic<double>"},
+      {"std::atomic<float>", "std::atomic<float>"},
+  };
+  for (const Pattern& pat : kPatterns) {
+    const std::string t(pat.needle);
+    std::size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      // Prefix matches are intentional: execution::par also catches
+      // execution::par_unseq, and the atomic patterns are exact.
+      AddFinding(findings, path, LineOf(line_starts, pos),
+                 kLintRuleNondeterministicReduction,
+                 std::string(pat.what) +
+                     ": unordered floating-point reduction is not "
+                     "bit-reproducible — accumulate in task-index order "
+                     "(SweepRunner slots + a sequential fold)");
+      pos += t.size();
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& DeterminismLintRules() {
+  static const std::vector<std::string> rules = {
+      kLintRuleUnorderedIteration, kLintRulePointerKeyedContainer,
+      kLintRuleRawEntropy, kLintRuleNondeterministicReduction};
+  return rules;
+}
+
+DeterminismLintResult LintDeterminismSource(const std::string& path,
+                                            const std::string& content) {
+  DeterminismLintResult result;
+  result.files = 1;
+
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+      raw_lines.push_back(line);
+    }
+  }
+  result.lines = raw_lines.size();
+
+  const std::string code = ScrubCommentsAndStrings(content);
+  const std::vector<std::size_t> line_starts = LineStarts(code);
+  const std::map<std::string, std::size_t> unordered_names =
+      CollectUnorderedNames(code, line_starts);
+
+  std::vector<LintFinding> findings;
+  ScanUnorderedIteration(code, line_starts, unordered_names, path, &findings);
+  ScanPointerKeys(code, line_starts, path, &findings);
+  ScanRawEntropy(code, line_starts, path, &findings);
+  ScanNondetReduction(code, line_starts, path, &findings);
+
+  std::map<std::size_t, Suppression> sups = ParseSuppressions(raw_lines);
+
+  for (LintFinding& f : findings) {
+    // A suppression applies on the finding's own line, or on a comment-only
+    // line directly above it.
+    for (const std::size_t line : {f.line, f.line - 1}) {
+      if (line == 0) {
+        continue;
+      }
+      if (line != f.line &&
+          (line > raw_lines.size() || !IsCommentOnlyLine(raw_lines[line - 1]))) {
+        continue;
+      }
+      const auto it = sups.find(line);
+      if (it != sups.end() && !it->second.malformed &&
+          it->second.rule == f.rule) {
+        it->second.used = true;
+        f.suppressed = true;
+        f.suppression_reason = it->second.reason;
+        break;
+      }
+    }
+    if (f.suppressed) {
+      ++result.suppressions;
+    } else {
+      ++result.violations;
+    }
+  }
+
+  for (const auto& [line, sup] : sups) {
+    if (sup.malformed) {
+      ++result.unused_suppressions;
+      result.errors.push_back(path + ":" + std::to_string(line) +
+                              ": malformed suppression: " + sup.problem);
+    } else if (!sup.used) {
+      ++result.unused_suppressions;
+      result.errors.push_back(
+          path + ":" + std::to_string(line) + ": stale suppression for rule '" +
+          sup.rule + "' matches no finding — remove it");
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.line != b.line) {
+                       return a.line < b.line;
+                     }
+                     return a.rule < b.rule;
+                   });
+  result.findings = std::move(findings);
+  return result;
+}
+
+DeterminismLintResult LintDeterminismFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    DeterminismLintResult result;
+    result.errors.push_back(path + ": cannot read file");
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LintDeterminismSource(path, buf.str());
+}
+
+void MergeDeterminismLint(DeterminismLintResult&& part,
+                          DeterminismLintResult* total) {
+  total->violations += part.violations;
+  total->suppressions += part.suppressions;
+  total->unused_suppressions += part.unused_suppressions;
+  total->files += part.files;
+  total->lines += part.lines;
+  for (LintFinding& f : part.findings) {
+    total->findings.push_back(std::move(f));
+  }
+  for (std::string& e : part.errors) {
+    total->errors.push_back(std::move(e));
+  }
+}
+
+}  // namespace check
+}  // namespace deepplan

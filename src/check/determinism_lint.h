@@ -1,0 +1,111 @@
+// Custom determinism linter: repo-specific source rules that no stock tool
+// enforces, run by `tools/deepplan_lint` over src/, bench/, and tools/ (and
+// by scripts/check_lint.sh in CI). The repo's signature invariant is
+// byte-identical output for any DEEPPLAN_JOBS; these rules catch the code
+// patterns that silently break it:
+//
+//   unordered-iteration        Iterating a std::unordered_map/unordered_set
+//                              (range-for, or begin()/end() on a variable
+//                              declared with an unordered type). Bucket order
+//                              depends on libstdc++ version, SSO layout, and
+//                              insertion history — anything derived from the
+//                              iteration order is not reproducible. Lookups
+//                              (find/at/count/erase-by-key) are fine.
+//   pointer-keyed-container    A map/set keyed by pointer type. Ordered
+//                              containers then order by allocation address
+//                              (ASLR-dependent); unordered ones hash it.
+//                              Key by a stable id instead.
+//   raw-entropy                rand()/srand()/time()/std::random_device/
+//                              wall-clock reads (steady_clock & friends).
+//                              Randomness must come from generators seeded
+//                              with an explicit, recorded seed (see
+//                              src/workload/synthetic); wall-clock time may
+//                              only feed fields the golden gate ignores
+//                              (wall_clock_ms) and needs a suppression
+//                              saying so.
+//   nondeterministic-reduction std::reduce/std::transform_reduce, parallel
+//                              execution policies, and atomic<float/double>
+//                              accumulators: floating-point addition is not
+//                              associative, so unordered reduction produces
+//                              run-to-run different bits. Accumulate in a
+//                              fixed order (std::accumulate, or SweepRunner's
+//                              task-index slots then a sequential fold).
+//
+// Suppressions: a finding is allowed by a comment on the same line or on a
+// comment-only line directly above it:
+//
+//   // deepplan-lint: allow(<rule>, <reason>)
+//
+// The reason is mandatory and the tool counts every suppression; a
+// suppression that matches no finding (stale) or names an unknown rule is
+// itself a violation, so the allowlist can never rot silently.
+//
+// Scanning is token-lite in the style of trace_lint: comments and string
+// literals are scrubbed first (suppressions are read from the raw text), so
+// rules fire on code only, with no compiler dependency — the tool runs in
+// gcc-only containers where the clang thread-safety prong cannot.
+#ifndef SRC_CHECK_DETERMINISM_LINT_H_
+#define SRC_CHECK_DETERMINISM_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace deepplan {
+namespace check {
+
+// Canonical rule ids, in documentation order.
+inline constexpr const char* kLintRuleUnorderedIteration =
+    "unordered-iteration";
+inline constexpr const char* kLintRulePointerKeyedContainer =
+    "pointer-keyed-container";
+inline constexpr const char* kLintRuleRawEntropy = "raw-entropy";
+inline constexpr const char* kLintRuleNondeterministicReduction =
+    "nondeterministic-reduction";
+
+// All known rule ids (for --help output and suppression validation).
+const std::vector<std::string>& DeterminismLintRules();
+
+struct LintFinding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string suppression_reason;  // set when suppressed
+};
+
+struct DeterminismLintResult {
+  // Clean: no unsuppressed findings, no stale/malformed suppressions, and
+  // every file was readable.
+  bool ok() const {
+    return violations == 0 && unused_suppressions == 0 && errors.empty();
+  }
+
+  std::size_t violations = 0;           // unsuppressed findings
+  std::size_t suppressions = 0;         // findings allowed with a reason
+  std::size_t unused_suppressions = 0;  // stale or malformed allow() comments
+  std::size_t files = 0;
+  std::size_t lines = 0;
+
+  std::vector<LintFinding> findings;  // all findings, suppressed included,
+                                      // sorted by (file, line, rule)
+  std::vector<std::string> errors;    // IO failures, stale/malformed
+                                      // suppressions — with file:line context
+};
+
+// Lints one translation unit's text. `path` is used only for messages.
+DeterminismLintResult LintDeterminismSource(const std::string& path,
+                                            const std::string& content);
+
+// Reads and lints `path`; an unreadable file is an error (ok() false).
+DeterminismLintResult LintDeterminismFile(const std::string& path);
+
+// Folds `part` into `total` (the tool aggregates per-file results with this).
+void MergeDeterminismLint(DeterminismLintResult&& part,
+                          DeterminismLintResult* total);
+
+}  // namespace check
+}  // namespace deepplan
+
+#endif  // SRC_CHECK_DETERMINISM_LINT_H_

@@ -45,10 +45,12 @@ int CausalGraph::RegisterProcess(std::string_view name) {
   if (!enabled_) {
     return 0;
   }
+  // process_names_ stays confined to the recording thread even when
+  // streaming; the sink is internally synchronized, so no graph lock here.
   process_names_.emplace_back(name);
   const int id = static_cast<int>(process_names_.size() - 1);
-  if (sink_ != nullptr) {
-    sink_->OnProcess(id, process_names_.back());
+  if (stream_ != nullptr) {
+    stream_->sink->OnProcess(id, process_names_.back());
   }
   return id;
 }
@@ -60,13 +62,13 @@ void CausalGraph::AttachSink(CausalSink* sink) {
   // would never retire, and already-registered processes would never reach
   // the sink.
   DP_CHECK(requests_.empty() && nodes_.empty() && process_names_.empty());
-  sink_ = sink;
+  stream_ = std::make_unique<StreamState>(sink);
 }
 
 CpNode* CausalGraph::LiveNode(CpNodeId node) {
-  const auto owner = live_node_owner_.find(node);
-  DP_CHECK(owner != live_node_owner_.end());
-  CpRequestRecord& rec = live_.find(owner->second)->second;
+  const auto owner = stream_->live_node_owner.find(node);
+  DP_CHECK(owner != stream_->live_node_owner.end());
+  CpRequestRecord& rec = stream_->live.find(owner->second)->second;
   // Node ids within a request are strictly increasing (global append order).
   const auto it = std::lower_bound(
       rec.nodes.begin(), rec.nodes.end(), node,
@@ -78,16 +80,17 @@ CpNode* CausalGraph::LiveNode(CpNodeId node) {
 void CausalGraph::RetireLive(std::map<int, CpRequestRecord>::iterator it) {
   CpRequestRecord record = std::move(it->second);
   for (const CpNode& node : record.nodes) {
-    live_node_owner_.erase(node.id);
+    stream_->live_node_owner.erase(node.id);
   }
-  live_.erase(it);
-  sink_->OnRequestRetired(std::move(record));
+  stream_->live.erase(it);
+  stream_->sink->OnRequestRetired(std::move(record));
 }
 
 void CausalGraph::FlushOpenRequests() {
-  DP_CHECK(sink_ != nullptr);
-  while (!live_.empty()) {
-    RetireLive(live_.begin());
+  DP_CHECK(stream_ != nullptr);
+  MutexLock lock(stream_->mu);
+  while (!stream_->live.empty()) {
+    RetireLive(stream_->live.begin());
   }
 }
 
@@ -99,14 +102,16 @@ int CausalGraph::BeginRequest(int process, int instance, Nanos arrival) {
   req.process = process;
   req.instance = instance;
   req.arrival = arrival;
-  if (sink_ != nullptr) {
-    req.id = static_cast<int>(stream_next_request_++);
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    req.id = static_cast<int>(stream_->next_request++);
     CpRequestRecord rec;
     rec.request = req;
-    live_.emplace(req.id, std::move(rec));
-    const CpNodeId root = AddNode(req.id, CpKind::kArrival, "arrival", "",
-                                  arrival, arrival);
-    live_.find(req.id)->second.request.arrival_node = root;
+    stream_->live.emplace(req.id, std::move(rec));
+    const CpNodeId root = AddNodeLocked(req.id, CpKind::kArrival, "arrival",
+                                        "", arrival, arrival,
+                                        /*bytes=*/0, /*solo=*/-1);
+    stream_->live.find(req.id)->second.request.arrival_node = root;
     return req.id;
   }
   req.id = static_cast<int>(requests_.size());
@@ -123,6 +128,11 @@ CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
   if (!enabled_ || request < 0) {
     return -1;
   }
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    return AddNodeLocked(request, kind, std::move(label), std::move(resource),
+                         start, end, bytes, solo);
+  }
   CpNode node;
   node.request = request;
   node.kind = kind;
@@ -132,25 +142,39 @@ CpNodeId CausalGraph::AddNode(int request, CpKind kind, std::string label,
   node.end = end;
   node.bytes = bytes;
   node.solo = solo;
-  if (sink_ != nullptr) {
-    const auto it = live_.find(request);
-    DP_CHECK(it != live_.end());
-    node.id = static_cast<CpNodeId>(stream_next_node_++);
-    live_node_owner_.emplace(node.id, request);
-    it->second.nodes.push_back(std::move(node));
-    return it->second.nodes.back().id;
-  }
   DP_CHECK(request < static_cast<int>(requests_.size()));
   node.id = static_cast<CpNodeId>(nodes_.size());
   nodes_.push_back(std::move(node));
   return nodes_.back().id;
 }
 
+CpNodeId CausalGraph::AddNodeLocked(int request, CpKind kind,
+                                    std::string label, std::string resource,
+                                    Nanos start, Nanos end, std::int64_t bytes,
+                                    Nanos solo) {
+  CpNode node;
+  node.request = request;
+  node.kind = kind;
+  node.label = std::move(label);
+  node.resource = std::move(resource);
+  node.start = start;
+  node.end = end;
+  node.bytes = bytes;
+  node.solo = solo;
+  const auto it = stream_->live.find(request);
+  DP_CHECK(it != stream_->live.end());
+  node.id = static_cast<CpNodeId>(stream_->next_node++);
+  stream_->live_node_owner.emplace(node.id, request);
+  it->second.nodes.push_back(std::move(node));
+  return it->second.nodes.back().id;
+}
+
 void CausalGraph::SetNodePath(CpNodeId node, std::vector<CpHop> path) {
   if (!enabled_ || node < 0) {
     return;
   }
-  if (sink_ != nullptr) {
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
     LiveNode(node)->path = std::move(path);
     return;
   }
@@ -163,7 +187,8 @@ void CausalGraph::SetNodeDhaPcie(CpNodeId node, Nanos dha_pcie) {
     return;
   }
   DP_CHECK(dha_pcie >= 0);
-  if (sink_ != nullptr) {
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
     LiveNode(node)->dha_pcie = dha_pcie;
     return;
   }
@@ -175,16 +200,17 @@ void CausalGraph::AddEdge(CpNodeId from, CpNodeId to) {
   if (!enabled_ || from < 0 || to < 0) {
     return;
   }
-  if (sink_ != nullptr) {
-    const auto from_owner = live_node_owner_.find(from);
-    const auto to_owner = live_node_owner_.find(to);
-    DP_CHECK(from_owner != live_node_owner_.end());
-    DP_CHECK(to_owner != live_node_owner_.end());
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    const auto from_owner = stream_->live_node_owner.find(from);
+    const auto to_owner = stream_->live_node_owner.find(to);
+    DP_CHECK(from_owner != stream_->live_node_owner.end());
+    DP_CHECK(to_owner != stream_->live_node_owner.end());
     // The chunked journal's self-containment invariant: edges never cross
     // requests (every recorder chains a request's own nodes).
     DP_CHECK(from_owner->second == to_owner->second);
-    live_.find(to_owner->second)
-        ->second.edges.push_back(CpEdgeRec{stream_next_edge_++, from, to});
+    stream_->live.find(to_owner->second)
+        ->second.edges.push_back(CpEdgeRec{stream_->next_edge++, from, to});
     return;
   }
   DP_CHECK(from < static_cast<CpNodeId>(nodes_.size()));
@@ -196,9 +222,10 @@ void CausalGraph::MarkCold(int request) {
   if (!enabled_ || request < 0) {
     return;
   }
-  if (sink_ != nullptr) {
-    const auto it = live_.find(request);
-    DP_CHECK(it != live_.end());
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    const auto it = stream_->live.find(request);
+    DP_CHECK(it != stream_->live.end());
     it->second.request.cold = true;
     return;
   }
@@ -210,9 +237,10 @@ void CausalGraph::EndRequest(int request, Nanos completion, CpNodeId terminal) {
   if (!enabled_ || request < 0) {
     return;
   }
-  if (sink_ != nullptr) {
-    const auto it = live_.find(request);
-    DP_CHECK(it != live_.end());
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    const auto it = stream_->live.find(request);
+    DP_CHECK(it != stream_->live.end());
     CpRequest& req = it->second.request;
     req.completion = completion;
     req.terminal_node = terminal >= 0 ? terminal : req.arrival_node;
@@ -229,9 +257,10 @@ CpNodeId CausalGraph::arrival_node(int request) const {
   if (!enabled_ || request < 0) {
     return -1;
   }
-  if (sink_ != nullptr) {
-    const auto it = live_.find(request);
-    DP_CHECK(it != live_.end());
+  if (stream_ != nullptr) {
+    MutexLock lock(stream_->mu);
+    const auto it = stream_->live.find(request);
+    DP_CHECK(it != stream_->live.end());
     return it->second.request.arrival_node;
   }
   DP_CHECK(request < static_cast<int>(requests_.size()));
@@ -242,7 +271,7 @@ void CausalGraph::Adopt(CausalGraph&& other) {
   if (!enabled_) {
     return;
   }
-  DP_CHECK(sink_ == nullptr && other.sink_ == nullptr);
+  DP_CHECK(stream_ == nullptr && other.stream_ == nullptr);
   const int process_base = static_cast<int>(process_names_.size());
   const int request_base = static_cast<int>(requests_.size());
   const CpNodeId node_base = static_cast<CpNodeId>(nodes_.size());
@@ -274,7 +303,7 @@ void CausalGraph::Adopt(CausalGraph&& other) {
 std::string CausalGraph::ToJson() const {
   // A streaming graph's journal lives in its sink; there is nothing here to
   // serialize (materialize it back with ReadJournalToGraph instead).
-  DP_CHECK(sink_ == nullptr);
+  DP_CHECK(stream_ == nullptr);
   JsonArray processes;
   for (const std::string& name : process_names_) {
     processes.Add(name);

@@ -35,12 +35,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
 #include "src/util/time.h"
 
 namespace deepplan {
@@ -183,7 +185,7 @@ class CausalGraph {
   // Adopt()/ToJson() become invalid — a streaming run's journal lives in the
   // sink, not the graph. `sink` must outlive the graph's last mutation.
   void AttachSink(CausalSink* sink);
-  bool streaming() const { return sink_ != nullptr; }
+  bool streaming() const { return stream_ != nullptr; }
 
   // Streaming only: retires every still-open request (completion -1) to the
   // sink in request-id order, so an interrupted or tail-truncated run still
@@ -216,25 +218,47 @@ class CausalGraph {
                        CausalGraph* out, std::string* error);
 
  private:
-  CpNode* LiveNode(CpNodeId node);
-  void RetireLive(std::map<int, CpRequestRecord>::iterator it);
+  // Streaming mode: open requests keyed by id (ordered, so FlushOpenRequests
+  // retires deterministically) plus a live-node index for the node-addressed
+  // mutators. Both shrink as requests retire — this is the bounded-memory
+  // state, and it is the one part of the graph that is internally
+  // synchronized: retirement is the PDES hand-off point, so every field is
+  // GUARDED_BY the state's own mutex and helpers that expect it held are
+  // REQUIRES-annotated. The state lives behind a unique_ptr so the graph
+  // stays implicitly movable (Adopt, FromJson, Assemble all move-assign)
+  // despite owning a Mutex. Lock order: stream_->mu before the sink's
+  // internal lock (RetireLive calls the sink while holding mu), never the
+  // reverse — the sink never calls back into the graph.
+  struct StreamState {
+    explicit StreamState(CausalSink* s) : sink(s) {}
+
+    CausalSink* const sink;
+    Mutex mu;
+    std::int64_t next_request GUARDED_BY(mu) = 0;
+    std::int64_t next_node GUARDED_BY(mu) = 0;
+    std::int64_t next_edge GUARDED_BY(mu) = 0;
+    std::map<int, CpRequestRecord> live GUARDED_BY(mu);
+    std::unordered_map<CpNodeId, int> live_node_owner GUARDED_BY(mu);
+  };
+
+  CpNodeId AddNodeLocked(int request, CpKind kind, std::string label,
+                         std::string resource, Nanos start, Nanos end,
+                         std::int64_t bytes, Nanos solo)
+      REQUIRES(stream_->mu);
+  CpNode* LiveNode(CpNodeId node) REQUIRES(stream_->mu);
+  void RetireLive(std::map<int, CpRequestRecord>::iterator it)
+      REQUIRES(stream_->mu);
 
   bool enabled_ = true;
+  // Accumulation surface: thread-confined (one graph per sweep task, stitched
+  // deterministically with Adopt in task order) — deliberately NOT locked,
+  // because append order here is part of the byte-identical-output contract.
   std::vector<std::string> process_names_;
   std::vector<CpRequest> requests_;
   std::vector<CpNode> nodes_;
   std::vector<std::pair<CpNodeId, CpNodeId>> edges_;
 
-  // Streaming mode (sink_ != nullptr): open requests keyed by id (ordered,
-  // so FlushOpenRequests retires deterministically) plus a live-node index
-  // for the node-addressed mutators. Both shrink as requests retire — this
-  // is the bounded-memory state.
-  CausalSink* sink_ = nullptr;
-  std::int64_t stream_next_request_ = 0;
-  std::int64_t stream_next_node_ = 0;
-  std::int64_t stream_next_edge_ = 0;
-  std::map<int, CpRequestRecord> live_;
-  std::unordered_map<CpNodeId, int> live_node_owner_;
+  std::unique_ptr<StreamState> stream_;  // non-null iff streaming()
 };
 
 }  // namespace deepplan

@@ -120,14 +120,13 @@ std::uint32_t Crc32(std::string_view data) {
 // ------------------------------------------------------------- JournalWriter
 
 JournalWriter::~JournalWriter() {
-  if (open_ && !finished_) {
-    Finish();
-  }
+  Finish();  // no-op when never opened or already finished
 }
 
 bool JournalWriter::Open(const std::string& path,
                          const JournalWriterOptions& options,
                          MetricsRegistry* metrics) {
+  MutexLock lock(mu_);
   DP_CHECK(!open_);
   DP_CHECK(options.chunk_requests > 0 && options.chunk_bytes > 0);
   out_.open(path, std::ios::binary | std::ios::trunc);
@@ -151,6 +150,7 @@ bool JournalWriter::Open(const std::string& path,
 }
 
 void JournalWriter::OnProcess(int id, const std::string& name) {
+  MutexLock lock(mu_);
   DP_CHECK(open_ && !finished_);
   // Process ids are sequential registration order; the format stores only
   // names and reconstructs ids by position.
@@ -238,6 +238,7 @@ void JournalWriter::EncodeRecord(const CpRequestRecord& record) {
 }
 
 void JournalWriter::OnRequestRetired(CpRequestRecord&& record) {
+  MutexLock lock(mu_);
   DP_CHECK(open_ && !finished_);
   if (!ok_) {
     return;
@@ -317,6 +318,7 @@ void JournalWriter::FlushChunk() {
 }
 
 bool JournalWriter::Finish() {
+  MutexLock lock(mu_);
   if (!open_ || finished_) {
     return ok_;
   }

@@ -45,6 +45,7 @@
 #include "src/check/trace_lint.h"
 #include "src/obs/causal_graph.h"
 #include "src/obs/metrics_registry.h"
+#include "src/util/thread_annotations.h"
 
 namespace deepplan {
 
@@ -91,6 +92,17 @@ struct JournalWriterOptions {
 // journal.edges / journal.chunks / journal.bytes counters; with no registry
 // (and on the disabled-graph path, which never calls the sink) the writer
 // touches no metrics at all.
+//
+// Internally synchronized: the writer is the retirement hand-off point, so
+// every mutable field sits behind mu_ (GUARDED_BY, compile-checked). What the
+// lock does NOT provide is retirement *order* — under PDES the caller must
+// still hand requests over in a deterministic order for the journal bytes to
+// be reproducible; today that order comes from the single-threaded recorder
+// (or FlushOpenRequests' id-ordered sweep). The status accessors return by
+// value for the same reason: a reference into guarded state would escape the
+// lock. Lock order: this is a leaf for the graph (graph's stream mutex is
+// held across OnRequestRetired) but acquires the registry's internal lock via
+// the journal.* counters — so registry < writer < graph, never cyclic.
 class JournalWriter : public CausalSink {
  public:
   JournalWriter() = default;
@@ -99,44 +111,58 @@ class JournalWriter : public CausalSink {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   bool Open(const std::string& path, const JournalWriterOptions& options = {},
-            MetricsRegistry* metrics = nullptr);
+            MetricsRegistry* metrics = nullptr) EXCLUDES(mu_);
 
-  void OnProcess(int id, const std::string& name) override;
-  void OnRequestRetired(CpRequestRecord&& record) override;
+  void OnProcess(int id, const std::string& name) override EXCLUDES(mu_);
+  void OnRequestRetired(CpRequestRecord&& record) override EXCLUDES(mu_);
 
   // Flushes the tail chunk, writes the footer, and closes. Returns false if
   // any write failed. Safe to call once; the destructor calls it if needed.
-  bool Finish();
+  bool Finish() EXCLUDES(mu_);
 
-  bool ok() const { return ok_; }
-  const std::string& error() const { return error_; }
-  const JournalTotals& totals() const { return totals_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+  bool ok() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return ok_;
+  }
+  std::string error() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return error_;
+  }
+  JournalTotals totals() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return totals_;
+  }
+  std::uint64_t bytes_written() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return bytes_written_;
+  }
 
  private:
-  std::uint64_t Intern(const std::string& s);
-  void EncodeRecord(const CpRequestRecord& record);
-  void FlushChunk();
-  void WriteFrame(std::uint8_t marker, const std::string& payload);
+  std::uint64_t Intern(const std::string& s) REQUIRES(mu_);
+  void EncodeRecord(const CpRequestRecord& record) REQUIRES(mu_);
+  void FlushChunk() REQUIRES(mu_);
+  void WriteFrame(std::uint8_t marker, const std::string& payload)
+      REQUIRES(mu_);
 
-  std::ofstream out_;
-  bool open_ = false;
-  bool finished_ = false;
-  bool ok_ = true;
-  std::string error_;
-  JournalWriterOptions options_;
-  MetricsRegistry* metrics_ = nullptr;
-  JournalTotals totals_;
-  std::uint64_t bytes_written_ = 0;
+  mutable Mutex mu_;
+  std::ofstream out_ GUARDED_BY(mu_);
+  bool open_ GUARDED_BY(mu_) = false;
+  bool finished_ GUARDED_BY(mu_) = false;
+  bool ok_ GUARDED_BY(mu_) = true;
+  std::string error_ GUARDED_BY(mu_);
+  JournalWriterOptions options_ GUARDED_BY(mu_);
+  MetricsRegistry* metrics_ GUARDED_BY(mu_) = nullptr;
+  JournalTotals totals_ GUARDED_BY(mu_);
+  std::uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
   // Current-chunk state, reset at every flush.
-  std::vector<std::string> pending_processes_;
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, std::uint64_t> string_ids_;
-  std::string body_;
-  std::uint64_t chunk_requests_ = 0;
-  std::uint64_t chunk_incomplete_ = 0;
-  std::uint64_t chunk_nodes_ = 0;
-  std::uint64_t chunk_edges_ = 0;
+  std::vector<std::string> pending_processes_ GUARDED_BY(mu_);
+  std::vector<std::string> strings_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint64_t> string_ids_ GUARDED_BY(mu_);
+  std::string body_ GUARDED_BY(mu_);
+  std::uint64_t chunk_requests_ GUARDED_BY(mu_) = 0;
+  std::uint64_t chunk_incomplete_ GUARDED_BY(mu_) = 0;
+  std::uint64_t chunk_nodes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t chunk_edges_ GUARDED_BY(mu_) = 0;
 };
 
 // One decoded chunk: process names registered in it (ids continue the

@@ -1,36 +1,55 @@
 #include "src/obs/metrics_registry.h"
 
+#include <utility>
+
 namespace deepplan {
 
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept
+    : counters_(std::move(other.counters_)),
+      gauges_(std::move(other.gauges_)),
+      histograms_(std::move(other.histograms_)) {}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+  if (this != &other) {
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+  }
+  return *this;
+}
+
 void MetricsRegistry::AddCounter(const std::string& name, std::int64_t delta) {
+  MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double sample) {
+  MutexLock lock(mu_);
   histograms_[name].Add(sample);
 }
 
-HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
+HistogramSummary MetricsRegistry::SummaryOf(Percentiles pct) {
   HistogramSummary summary;
-  const auto it = histograms_.find(name);
-  if (it == histograms_.end() || it->second.empty()) {
+  if (pct.empty()) {
     return summary;
   }
-  Percentiles pct = it->second;  // Percentile() sorts lazily; keep ours const
   summary.count = pct.count();
   summary.mean = pct.Mean();
   summary.min = pct.Min();
@@ -41,7 +60,17 @@ HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
   return summary;
 }
 
+HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
+  MutexLock lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return HistogramSummary{};
+  }
+  return SummaryOf(it->second);
+}
+
 JsonObject MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
   JsonObject doc;
   if (!counters_.empty()) {
     JsonObject counters;
@@ -60,7 +89,7 @@ JsonObject MetricsRegistry::Snapshot() const {
   if (!histograms_.empty()) {
     JsonObject histograms;
     for (const auto& entry : histograms_) {
-      const HistogramSummary s = histogram(entry.first);
+      const HistogramSummary s = SummaryOf(entry.second);
       histograms.SetRaw(entry.first, JsonObject()
                                        .Set("count", static_cast<std::int64_t>(s.count))
                                        .Set("mean", s.mean)

@@ -12,6 +12,14 @@
 //
 // Export order is the sorted metric name, so identical runs render to
 // identical bytes regardless of the order metrics were first touched.
+//
+// Internally synchronized (GUARDED_BY mu_): the registry can be shared across
+// threads — e.g. a JournalWriter bumping journal.* counters from whichever
+// thread retires a request — *without* breaking determinism, because every
+// mutation is commutative (counter adds, gauge last-write per distinct name,
+// histogram sample multiset) and the export is sorted. The one caveat is
+// gauges: concurrent SetGauge on the *same* name is last-write-wins and so
+// timing-dependent; writers of a given gauge name must stay single-threaded.
 #ifndef SRC_OBS_METRICS_REGISTRY_H_
 #define SRC_OBS_METRICS_REGISTRY_H_
 
@@ -22,35 +30,57 @@
 #include "src/util/histogram.h"
 #include "src/util/json.h"
 #include "src/util/stats.h"
+#include "src/util/thread_annotations.h"
 
 namespace deepplan {
 
 class MetricsRegistry {
  public:
-  void AddCounter(const std::string& name, std::int64_t delta = 1);
+  MetricsRegistry() = default;
+  // Movable so sweep tasks can return a registry inside their result struct
+  // (SweepRunner task-index slots). Moves run under the standard exclusive-
+  // access contract — no other thread may touch either object during the
+  // move, which is exactly the hand-off situation they exist for — so they
+  // deliberately bypass the lock; each object keeps its own (non-movable)
+  // mutex.
+  MetricsRegistry(MetricsRegistry&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void AddCounter(const std::string& name, std::int64_t delta = 1)
+      EXCLUDES(mu_);
   // 0 when the counter was never touched.
-  std::int64_t counter(const std::string& name) const;
+  std::int64_t counter(const std::string& name) const EXCLUDES(mu_);
 
-  void SetGauge(const std::string& name, double value);
-  double gauge(const std::string& name) const;
+  void SetGauge(const std::string& name, double value) EXCLUDES(mu_);
+  double gauge(const std::string& name) const EXCLUDES(mu_);
 
-  void Observe(const std::string& name, double sample);
-  HistogramSummary histogram(const std::string& name) const;
+  void Observe(const std::string& name, double sample) EXCLUDES(mu_);
+  HistogramSummary histogram(const std::string& name) const EXCLUDES(mu_);
 
-  bool empty() const {
+  bool empty() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,max,
   // p50,p95,p99}}} with sorted keys; empty sections are omitted.
-  JsonObject Snapshot() const;
+  JsonObject Snapshot() const EXCLUDES(mu_);
   JsonObject ToJsonObject() const { return Snapshot(); }  // legacy name
   std::string ToJson() const { return Snapshot().Render(); }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Percentiles> histograms_;
+  // Summarizes a by-value copy so Snapshot() can render histograms without
+  // re-entering the (non-recursive) lock via histogram(). The copy is load-
+  // bearing either way: Percentile() sorts lazily, mutating the instance.
+  static HistogramSummary SummaryOf(Percentiles pct);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::int64_t> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Percentiles> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace deepplan

@@ -14,6 +14,16 @@
 // Determinism: events append in simulation order (the simulator is
 // single-threaded) and the writer sorts with deterministic tie-breaking, so
 // a given run always renders to identical bytes.
+//
+// Concurrency contract: deliberately NOT internally synchronized. The event
+// buffer is order-sensitive — its append order is part of the byte-identical
+// output guarantee — so a mutex would not make a shared recorder correct; it
+// would only replace a data race with timing-dependent event order. Instead
+// a recorder is thread-confined: each parallel sweep task records into its
+// own instance and the aggregator stitches them with Adopt() in task-index
+// order (ThreadPool::Wait is the happens-before edge for the hand-off). The
+// reference-returning accessor surface (document()) exists precisely because
+// single ownership makes it safe. See DESIGN.md §14.
 #ifndef SRC_OBS_TRACE_RECORDER_H_
 #define SRC_OBS_TRACE_RECORDER_H_
 

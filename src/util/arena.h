@@ -17,8 +17,13 @@
 //                vector/string capacity, which is the point: a cold run's
 //                bookkeeping keeps its buffers across runs).
 //
-// None of these are thread-safe; every simulator owns its own instances,
-// matching the one-simulator-per-thread architecture of SweepRunner.
+// Concurrency contract: none of these are thread-safe, by design rather than
+// omission — every simulator owns its own instances, matching the
+// one-simulator-per-thread architecture of SweepRunner, and slot/handle
+// recycling order feeds deterministic event ids, so a shared locked pool
+// would trade a data race for timing-dependent allocation order. Keep pools
+// thread-confined; hand results across threads via SweepRunner's task-index
+// slots (see src/util/thread_annotations.h for the regime split).
 #ifndef SRC_UTIL_ARENA_H_
 #define SRC_UTIL_ARENA_H_
 

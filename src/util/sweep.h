@@ -12,6 +12,7 @@
 #define SRC_UTIL_SWEEP_H_
 
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -35,9 +36,20 @@ class SweepRunner {
   // DEEPPLAN_JOBS=1 removes threading from the picture entirely. fn must be
   // safe to invoke concurrently from multiple threads (i.e. tasks share no
   // mutable state) and must not throw.
+  // Concurrency contract: `results` is not locked. Each task writes only its
+  // own slot results[i], and distinct vector elements are distinct memory
+  // locations, so disjoint-index writes race-free by construction; Wait() is
+  // the happens-before edge that publishes every slot to the caller. This is
+  // exactly why R = bool is rejected below: std::vector<bool> packs elements
+  // into shared words, which would turn the disjoint-slot writes into a real
+  // data race (and nondeterministic output) under any jobs() > 1.
   template <typename Fn>
   auto Map(int n, Fn&& fn) const -> std::vector<decltype(fn(0))> {
     using R = decltype(fn(0));
+    static_assert(!std::is_same_v<R, bool>,
+                  "SweepRunner::Map cannot return std::vector<bool>: its "
+                  "bit-packed elements share words, so concurrent per-index "
+                  "writes race. Return char/int (or a struct) instead.");
     std::vector<R> results(n > 0 ? static_cast<std::size_t>(n) : 0);
     if (n <= 0) {
       return results;

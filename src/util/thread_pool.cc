@@ -1,5 +1,7 @@
 #include "src/util/thread_pool.h"
 
+#include <utility>
+
 namespace deepplan {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -14,10 +16,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     w.join();
   }
@@ -25,23 +27,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this] {
+    mu_.AssertHeld();
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this] {
+        mu_.AssertHeld();
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) {  // stop_ set and nothing left to run
         return;
       }
@@ -50,12 +58,14 @@ void ThreadPool::WorkerLoop() {
       ++active_;
     }
     task();
+    bool drained = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) {
-        idle_cv_.notify_all();
-      }
+      drained = queue_.empty() && active_ == 0;
+    }
+    if (drained) {
+      idle_cv_.NotifyAll();
     }
   }
 }

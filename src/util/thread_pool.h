@@ -3,15 +3,20 @@
 // the pool only ever runs *independent* tasks — each task builds its own
 // Simulator/ServerFabric/Engine — so no simulated state is shared across
 // threads.
+//
+// Internally synchronized: every shared field is GUARDED_BY(mu_), checked at
+// compile time by clang's thread-safety analysis (src/util/thread_annotations.h).
+// Wait() returning is the happens-before edge callers rely on to read results
+// produced by tasks (SweepRunner's task-index slots).
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace deepplan {
 
@@ -30,22 +35,22 @@ class ThreadPool {
 
   // Enqueues a task. Tasks must not throw (an escaping exception terminates
   // the process) and must not Submit to or Wait on their own pool.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every task submitted so far has finished. The pool is
   // reusable afterwards.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signalled when work arrives or stop_ set
-  std::condition_variable idle_cv_;  // signalled when the pool may have drained
-  std::size_t active_ = 0;           // tasks currently executing
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // set in ctor, read-only afterwards
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_cv_;  // signalled when work arrives or stop_ set
+  CondVar idle_cv_;  // signalled when the pool may have drained
+  std::size_t active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace deepplan

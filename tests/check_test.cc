@@ -409,7 +409,7 @@ TEST(JournalDeathTest, ToJsonOnStreamingGraphAborts) {
         graph.AttachSink(&writer);
         graph.ToJson();
       },
-      "sink_ == nullptr");
+      "stream_ == nullptr");
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Unit tests for the determinism linter (src/check/determinism_lint.h):
+// per-rule fixtures (positive hit, allowlisted hit, clean file), suppression
+// accounting (used / stale / malformed), and the result-state semantics the
+// deepplan_lint tool maps to exit codes (ok() -> 0, violations or stale
+// suppressions -> 1, IO errors -> 2).
+#include "src/check/determinism_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace deepplan {
+namespace check {
+namespace {
+
+DeterminismLintResult Lint(const std::string& code) {
+  return LintDeterminismSource("test.cc", code);
+}
+
+bool HasRule(const DeterminismLintResult& r, const std::string& rule) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&rule](const LintFinding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------- unordered
+
+TEST(UnorderedIterationTest, FlagsRangeForOverDeclaredName) {
+  const auto r = Lint(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> counts;\n"
+      "void Dump() {\n"
+      "  for (const auto& [k, v] : counts) Emit(k, v);\n"
+      "}\n");
+  EXPECT_EQ(r.violations, 1u);
+  ASSERT_TRUE(HasRule(r, kLintRuleUnorderedIteration));
+  EXPECT_EQ(r.findings[0].line, 4u);
+}
+
+TEST(UnorderedIterationTest, FlagsRangeForOverWrappedDeclaration) {
+  // The declared name sits after the *outer* template's closing brackets.
+  const auto r = Lint(
+      "std::vector<std::unordered_map<std::string, int>> links_;\n"
+      "void Walk() {\n"
+      "  for (const auto& m : links_) Use(m);\n"
+      "}\n");
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_TRUE(HasRule(r, kLintRuleUnorderedIteration));
+}
+
+TEST(UnorderedIterationTest, FlagsBeginOnUnorderedName) {
+  const auto r = Lint(
+      "std::unordered_set<int> seen_;\n"
+      "int First() { return *seen_.begin(); }\n");
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_TRUE(HasRule(r, kLintRuleUnorderedIteration));
+}
+
+TEST(UnorderedIterationTest, LookupsAreClean) {
+  // find/at/erase-by-key and the `!= end()` sentinel are the supported
+  // lookup idiom — none of them depend on bucket order.
+  const auto r = Lint(
+      "std::unordered_map<int, int> m_;\n"
+      "bool Has(int k) { return m_.find(k) != m_.end(); }\n"
+      "int Get(int k) { return m_.at(k); }\n"
+      "void Drop(int k) { m_.erase(k); }\n");
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(UnorderedIterationTest, OrderedContainersAreClean) {
+  const auto r = Lint(
+      "std::map<std::string, int> sorted_;\n"
+      "void Dump() {\n"
+      "  for (const auto& [k, v] : sorted_) Emit(k, v);\n"
+      "  for (auto it = sorted_.begin(); it != sorted_.end(); ++it) Use(*it);\n"
+      "}\n");
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// ------------------------------------------------------------- pointer keys
+
+TEST(PointerKeyTest, FlagsPointerKeyedMapAndSet) {
+  const auto r = Lint(
+      "std::map<Node*, int> by_addr_;\n"
+      "std::unordered_set<const Request*> live_;\n");
+  EXPECT_EQ(r.violations, 2u);
+  EXPECT_TRUE(HasRule(r, kLintRulePointerKeyedContainer));
+}
+
+TEST(PointerKeyTest, ValueSidePointersAreClean) {
+  const auto r = Lint(
+      "std::map<int, Node*> by_id_;\n"
+      "std::unordered_map<std::string, const Link*> links_;\n");
+  // unordered_map by-name lookup table: no pointer key, no iteration.
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// -------------------------------------------------------------- raw entropy
+
+TEST(RawEntropyTest, FlagsRandTimeAndRandomDevice) {
+  const auto r = Lint(
+      "int A() { return rand(); }\n"
+      "void B() { srand(42); }\n"
+      "long C() { return time(nullptr); }\n"
+      "unsigned D() { return std::random_device{}(); }\n");
+  EXPECT_EQ(r.violations, 4u);
+  EXPECT_TRUE(HasRule(r, kLintRuleRawEntropy));
+}
+
+TEST(RawEntropyTest, FlagsWallClocks) {
+  const auto r = Lint(
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto u = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(r.violations, 2u);
+}
+
+TEST(RawEntropyTest, MemberAndForeignNamespaceAreClean) {
+  // x.time() / sim::time() are other APIs, not libc time(); `time` without a
+  // call is just an identifier; a seeded mt19937 is the supported pattern.
+  const auto r = Lint(
+      "Nanos t = sim.time();\n"
+      "Nanos u = clock_->time();\n"
+      "Nanos v = mysim::time(x);\n"
+      "int time = 3; Use(time);\n"
+      "std::mt19937 rng(seed);\n");
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(RawEntropyTest, CommentsAndStringsAreScrubbed) {
+  const auto r = Lint(
+      "// rand() in a comment is fine\n"
+      "/* so is time(nullptr) here */\n"
+      "const char* s = \"rand() time() random_device\";\n"
+      "const char* raw = R\"(std::random_device)\";\n");
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// ---------------------------------------------------------------- reduction
+
+TEST(NondetReductionTest, FlagsUnorderedReductions) {
+  const auto r = Lint(
+      "double a = std::reduce(v.begin(), v.end());\n"
+      "double b = std::transform_reduce(v.begin(), v.end(), 0.0, f, g);\n"
+      "std::sort(std::execution::par_unseq, v.begin(), v.end());\n"
+      "std::atomic<double> sum_;\n");
+  EXPECT_EQ(r.violations, 4u);
+  EXPECT_TRUE(HasRule(r, kLintRuleNondeterministicReduction));
+}
+
+TEST(NondetReductionTest, OrderedAccumulateIsClean) {
+  const auto r = Lint(
+      "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"
+      "std::atomic<int> counter_;\n");
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// ------------------------------------------------------------- suppressions
+
+TEST(SuppressionTest, SameLineSuppressionCountsAndClears) {
+  const auto r = Lint(
+      "int x = rand();  // deepplan-lint: allow(raw-entropy, test fixture)\n");
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.suppressions, 1u);
+  EXPECT_EQ(r.unused_suppressions, 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+  EXPECT_EQ(r.findings[0].suppression_reason, "test fixture");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SuppressionTest, PrecedingCommentLineSuppresses) {
+  const auto r = Lint(
+      "// deepplan-lint: allow(raw-entropy, wall-clock only)\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.suppressions, 1u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SuppressionTest, NonAdjacentSuppressionDoesNotReach) {
+  // A blank line between the comment and the finding breaks adjacency: the
+  // finding stays a violation AND the suppression is reported stale.
+  const auto r = Lint(
+      "// deepplan-lint: allow(raw-entropy, too far away)\n"
+      "\n"
+      "int x = rand();\n");
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_EQ(r.suppressions, 0u);
+  EXPECT_EQ(r.unused_suppressions, 1u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SuppressionTest, WrongRuleDoesNotSuppress) {
+  const auto r = Lint(
+      "// deepplan-lint: allow(unordered-iteration, wrong rule)\n"
+      "int x = rand();\n");
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_EQ(r.unused_suppressions, 1u);  // and the allow() is stale
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SuppressionTest, StaleSuppressionIsAViolation) {
+  const auto r = Lint(
+      "// deepplan-lint: allow(raw-entropy, nothing here anymore)\n"
+      "int x = 3;\n");
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.unused_suppressions, 1u);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("stale suppression"), std::string::npos);
+}
+
+TEST(SuppressionTest, UnknownRuleAndMissingReasonAreMalformed) {
+  const auto unknown = Lint(
+      "int x = rand();  // deepplan-lint: allow(no-such-rule, reason)\n");
+  EXPECT_EQ(unknown.violations, 1u);  // finding not suppressed
+  EXPECT_EQ(unknown.unused_suppressions, 1u);
+  const auto no_reason =
+      Lint("int x = rand();  // deepplan-lint: allow(raw-entropy)\n");
+  EXPECT_EQ(no_reason.violations, 1u);
+  EXPECT_EQ(no_reason.unused_suppressions, 1u);
+  EXPECT_FALSE(no_reason.ok());
+}
+
+TEST(SuppressionTest, OneSuppressionCoversAllSameRuleFindingsOnItsLine) {
+  const auto r = Lint(
+      "int x = rand() + rand();  "
+      "// deepplan-lint: allow(raw-entropy, fixture)\n");
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_EQ(r.suppressions, 2u);
+  EXPECT_TRUE(r.ok());
+}
+
+// -------------------------------------------------- result/exit-code mapping
+
+TEST(ResultSemanticsTest, CleanFileIsOk) {
+  const auto r = Lint("int main() { return 0; }\n");
+  EXPECT_TRUE(r.ok());  // tool exit 0
+  EXPECT_EQ(r.files, 1u);
+  EXPECT_EQ(r.lines, 1u);
+}
+
+TEST(ResultSemanticsTest, UnreadableFileIsErrorNotOk) {
+  const auto r = LintDeterminismFile("/nonexistent/deepplan/x.cc");
+  EXPECT_FALSE(r.ok());  // tool exit 2: errors only, no violations
+  EXPECT_EQ(r.violations, 0u);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("cannot read"), std::string::npos);
+}
+
+TEST(ResultSemanticsTest, MergeAggregatesEverything) {
+  DeterminismLintResult total;
+  MergeDeterminismLint(Lint("int x = rand();\n"), &total);
+  MergeDeterminismLint(
+      Lint("int y = rand();  // deepplan-lint: allow(raw-entropy, fixture)\n"),
+      &total);
+  EXPECT_EQ(total.files, 2u);
+  EXPECT_EQ(total.violations, 1u);
+  EXPECT_EQ(total.suppressions, 1u);
+  EXPECT_EQ(total.findings.size(), 2u);
+  EXPECT_FALSE(total.ok());  // tool exit 1
+}
+
+TEST(ResultSemanticsTest, FindingsAreSortedByLine) {
+  const auto r = Lint(
+      "std::unordered_map<int, int> m_;\n"
+      "void A() { for (auto& kv : m_) Use(kv); }\n"
+      "int B() { return rand(); }\n"
+      "std::map<Node*, int> addr_;\n");
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_LE(r.findings[0].line, r.findings[1].line);
+  EXPECT_LE(r.findings[1].line, r.findings[2].line);
+}
+
+TEST(ResultSemanticsTest, RuleCatalogIsStable) {
+  const auto& rules = DeterminismLintRules();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0], kLintRuleUnorderedIteration);
+  EXPECT_EQ(rules[1], kLintRulePointerKeyedContainer);
+  EXPECT_EQ(rules[2], kLintRuleRawEntropy);
+  EXPECT_EQ(rules[3], kLintRuleNondeterministicReduction);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace deepplan

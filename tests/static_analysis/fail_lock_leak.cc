@@ -1,0 +1,22 @@
+// Negative-compile case: a path that returns with the mutex still held
+// (no Unlock on the early-return branch) must fail under clang
+// -Wthread-safety -Werror.
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+deepplan::Mutex mu;
+int value GUARDED_BY(mu) = 0;
+
+// BUG: locks mu and never unlocks it.
+void Leak() {
+  mu.Lock();
+  value = 1;
+}
+
+}  // namespace
+
+int main() {
+  Leak();
+  return value;
+}

@@ -1,0 +1,25 @@
+// Negative-compile case: calling a REQUIRES(mu_) helper without holding the
+// mutex must fail under clang -Wthread-safety -Werror.
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  // BUG: PushLocked demands mu_, but nothing acquires it first.
+  void Push() EXCLUDES(mu_) { PushLocked(); }
+
+ private:
+  void PushLocked() REQUIRES(mu_) { ++size_; }
+
+  deepplan::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Negative-compile case: writing a GUARDED_BY field without holding its
+// mutex must fail under clang -Wthread-safety -Werror.
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG: touches value_ with mu_ not held.
+  void Increment() { ++value_; }
+
+ private:
+  deepplan::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Negative-compile case that needs no clang: SweepRunner::Map must reject a
+// bool-returning task at compile time (std::vector<bool> bit-packs elements
+// into shared words, so the disjoint-slot write contract would become a data
+// race). The static_assert in src/util/sweep.h fires under any compiler.
+#include "src/util/sweep.h"
+
+int main() {
+  deepplan::SweepRunner runner(2);
+  // BUG: R = bool -> std::vector<bool> result slots share words.
+  auto flags = runner.Map(4, [](int i) { return i % 2 == 0; });
+  return flags.empty() ? 1 : 0;
+}

@@ -1,0 +1,52 @@
+// Positive control for the negative-compile harness: the full annotated
+// vocabulary used correctly — MutexLock scopes, a REQUIRES helper called
+// under the lock, a CondVar wait whose predicate starts with AssertHeld —
+// must compile *clean* under clang -Wthread-safety -Werror. If this file
+// ever warns, the harness is miscalibrated and the fail_* results mean
+// nothing.
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Box {
+ public:
+  void Put(int v) EXCLUDES(mu_) {
+    deepplan::MutexLock lock(mu_);
+    StoreLocked(v);
+    cv_.NotifyAll();
+  }
+
+  int TakeWhenReady() EXCLUDES(mu_) {
+    deepplan::MutexLock lock(mu_);
+    cv_.Wait(mu_, [this] {
+      mu_.AssertHeld();
+      return ready_;
+    });
+    ready_ = false;
+    return value_;
+  }
+
+  bool ready() const EXCLUDES(mu_) {
+    deepplan::MutexLock lock(mu_);
+    return ready_;
+  }
+
+ private:
+  void StoreLocked(int v) REQUIRES(mu_) {
+    value_ = v;
+    ready_ = true;
+  }
+
+  mutable deepplan::Mutex mu_;
+  deepplan::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+  bool ready_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Box box;
+  box.Put(7);
+  return box.TakeWhenReady() == 7 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Negative-compile harness: proves the compile-time enforcement actually
+# enforces. Two modes, registered as two ctest entries:
+#
+#   sweep-static-assert  Compiles fail_vector_bool_sweep.cc with the
+#                        configured compiler and requires the SweepRunner
+#                        vector<bool> static_assert to fire. Runs anywhere.
+#
+#   thread-safety        Compiles pass_annotated.cc (must succeed) and each
+#                        fail_*.cc snippet (must fail, and fail *because of*
+#                        a -Wthread-safety diagnostic) under clang. Skips
+#                        with exit 77 (ctest SKIP_RETURN_CODE) when no
+#                        clang++ is available; set DEEPPLAN_CLANGXX to point
+#                        at one explicitly.
+#
+# usage: run_negative_compile.sh <mode> <repo_root> <configured_cxx>
+set -u
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 {sweep-static-assert|thread-safety} <repo_root> <cxx>" >&2
+  exit 2
+fi
+mode="$1"
+repo_root="$2"
+cxx="$3"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+# Compile one snippet to syntax-check only; returns the compiler's status and
+# leaves diagnostics in $err_file.
+err_file="$(mktemp)"
+trap 'rm -f "$err_file"' EXIT
+
+compile() {  # compile <compiler> <extra flags...> -- <file>
+  local compiler="$1"
+  shift
+  "$compiler" -std=c++20 -fsyntax-only -I"$repo_root" "$@" 2>"$err_file"
+}
+
+fail() {
+  echo "FAIL: $1" >&2
+  sed 's/^/  | /' "$err_file" >&2
+  exit 1
+}
+
+case "$mode" in
+  sweep-static-assert)
+    if compile "$cxx" "$here/fail_vector_bool_sweep.cc"; then
+      fail "fail_vector_bool_sweep.cc compiled, but SweepRunner::Map must reject bool results"
+    fi
+    if ! grep -qi "vector<bool>" "$err_file"; then
+      fail "fail_vector_bool_sweep.cc failed, but not via the vector<bool> static_assert"
+    fi
+    echo "PASS: SweepRunner::Map rejects vector<bool> result slots at compile time"
+    ;;
+
+  thread-safety)
+    clangxx="${DEEPPLAN_CLANGXX:-}"
+    if [ -z "$clangxx" ]; then
+      clangxx="$(command -v clang++ || true)"
+    fi
+    if [ -z "$clangxx" ]; then
+      echo "SKIP: no clang++ on PATH (thread-safety analysis is clang-only);" \
+           "set DEEPPLAN_CLANGXX to run this prong" >&2
+      exit 77
+    fi
+
+    # Positive control first: correct annotations must be warning-free, or
+    # the failures below prove nothing.
+    if ! compile "$clangxx" -Wall -Wthread-safety -Werror -- \
+         "$here/pass_annotated.cc"; then
+      fail "pass_annotated.cc must compile clean under -Wthread-safety -Werror"
+    fi
+    echo "PASS: pass_annotated.cc clean under -Wthread-safety -Werror"
+
+    for case_file in fail_unguarded_field.cc fail_missing_requires.cc \
+                     fail_lock_leak.cc; do
+      if compile "$clangxx" -Wthread-safety -Werror -- "$here/$case_file"; then
+        fail "$case_file compiled, but its lock-discipline bug must be rejected"
+      fi
+      if ! grep -q "thread-safety" "$err_file"; then
+        fail "$case_file failed, but not with a -Wthread-safety diagnostic"
+      fi
+      echo "PASS: $case_file rejected by thread-safety analysis"
+    done
+    ;;
+
+  *)
+    echo "unknown mode: $mode" >&2
+    exit 2
+    ;;
+esac

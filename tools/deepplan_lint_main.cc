@@ -1,0 +1,166 @@
+// deepplan_lint: the repo's determinism linter (rule catalog and rationale in
+// src/check/determinism_lint.h and DESIGN.md §14).
+//
+// Usage:
+//   deepplan_lint [--compdb=build/compile_commands.json] [path...]
+//
+// Each path is a source file or a directory (recursed for *.h, *.cc, *.cpp).
+// --compdb lints every file listed in a CMake compile_commands.json instead
+// of / in addition to explicit paths. Prints one line per finding
+// (file:line: [rule] message), suppressed findings with their recorded
+// reason, and a summary. Exit 0 when clean, 1 on violations or stale
+// suppressions, 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/determinism_lint.h"
+#include "src/util/json_parse.h"
+
+namespace {
+
+using deepplan::check::DeterminismLintResult;
+using deepplan::check::LintFinding;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: deepplan_lint [--compdb=FILE] [--list-rules] [path...]\n"
+      "  path       source file, or directory recursed for *.h *.cc *.cpp\n"
+      "  --compdb   lint every file listed in a compile_commands.json\n"
+      "  --list-rules  print the rule ids and exit\n"
+      "suppress a finding with: // deepplan-lint: allow(<rule>, <reason>)\n");
+  return 2;
+}
+
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Collects source files from a file-or-directory path into `files`.
+bool CollectPath(const std::string& arg, std::set<std::string>* files) {
+  std::error_code ec;
+  const std::filesystem::path p(arg);
+  if (std::filesystem::is_regular_file(p, ec)) {
+    files->insert(p.lexically_normal().string());
+    return true;
+  }
+  if (std::filesystem::is_directory(p, ec)) {
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(p, ec)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files->insert(entry.path().lexically_normal().string());
+      }
+    }
+    return !ec;
+  }
+  std::fprintf(stderr, "deepplan_lint: no such file or directory: %s\n",
+               arg.c_str());
+  return false;
+}
+
+// Extracts the "file" entry of every translation unit in a CMake
+// compile_commands.json.
+bool CollectCompdb(const std::string& path, std::set<std::string>* files) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "deepplan_lint: cannot read compdb: %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const deepplan::JsonParseResult parsed = deepplan::ParseJson(buf.str());
+  if (!parsed.ok || !parsed.value.is_array()) {
+    std::fprintf(stderr,
+                 "deepplan_lint: %s is not a compile_commands.json array%s%s\n",
+                 path.c_str(), parsed.ok ? "" : ": ",
+                 parsed.ok ? "" : parsed.error.c_str());
+    return false;
+  }
+  for (const deepplan::JsonValue& entry : parsed.value.items()) {
+    if (!entry.is_object()) {
+      continue;
+    }
+    const deepplan::JsonValue* file = entry.Find("file");
+    if (file != nullptr && file->is_string()) {
+      files->insert(
+          std::filesystem::path(file->AsString()).lexically_normal().string());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> files;  // sorted + deduped -> deterministic output
+  bool any_input = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const std::string& rule :
+           deepplan::check::DeterminismLintRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--compdb=", 0) == 0) {
+      any_input = true;
+      if (!CollectCompdb(arg.substr(9), &files)) {
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "deepplan_lint: unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+    any_input = true;
+    if (!CollectPath(arg, &files)) {
+      return 2;
+    }
+  }
+  if (!any_input) {
+    return Usage();
+  }
+
+  DeterminismLintResult total;
+  for (const std::string& file : files) {
+    deepplan::check::MergeDeterminismLint(
+        deepplan::check::LintDeterminismFile(file), &total);
+  }
+
+  for (const LintFinding& f : total.findings) {
+    if (f.suppressed) {
+      std::printf("%s:%zu: [%s] suppressed: %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.suppression_reason.c_str());
+    } else {
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  for (const std::string& e : total.errors) {
+    std::printf("%s\n", e.c_str());
+  }
+  std::printf(
+      "deepplan_lint: %zu file(s), %zu line(s): %zu violation(s), "
+      "%zu suppression(s), %zu stale/malformed suppression(s)\n",
+      total.files, total.lines, total.violations, total.suppressions,
+      total.unused_suppressions);
+  if (!total.errors.empty() &&
+      total.violations == 0 && total.unused_suppressions == 0) {
+    return 2;  // IO errors only
+  }
+  return total.ok() ? 0 : 1;
+}
