@@ -13,6 +13,7 @@
 // trace length (id-indexed bookkeeping never shrank), so this curve is where
 // the calendar queue + arena work shows up — and the 1M point completing in
 // bounded memory is itself part of the claim (tests/scaling_test.cc).
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ int main(int argc, char** argv) {
       "journal_out", "",
       "stream a binary causal journal per point to <journal_out>.<requests> "
       "(bounded-memory recording; adds a \"journal\" block to each point)");
+  const char* selfprof_env = std::getenv("DEEPPLAN_SELFPROF");
+  flags.DefineString(
+      "selfprof_out", selfprof_env != nullptr ? selfprof_env : "",
+      "write a host self-profiling report (per-point wall-clock attribution "
+      "lanes + aggregate) to this path; profiling is enabled iff non-empty "
+      "(default: $DEEPPLAN_SELFPROF)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate");
   const int instances = static_cast<int>(flags.GetInt("instances"));
   const std::string journal_out = flags.GetString("journal_out");
+  const std::string selfprof_out = flags.GetString("selfprof_out");
 
   std::vector<std::size_t> sizes;
   for (const std::size_t n : {std::size_t{44000}, std::size_t{200000},
@@ -70,32 +78,58 @@ int main(int argc, char** argv) {
           options.journal_out =
               journal_out + "." + std::to_string(options.num_requests);
         }
+        options.selfprof = !selfprof_out.empty();
         return bench::RunScalingPoint(options);
       });
 
-  std::cout << "Sim-core scaling: BERT-Base serving, " << rate
-            << " rps synthetic zipf(0.9) trace, 4x V100, " << instances
-            << " instances\n\n";
-  Table table({"requests", "sim time (s)", "cold", "goodput", "p99 (ms)",
-               "events", "event slots"});
-  for (const bench::ScalingPointResult& r : results) {
-    table.AddRow({std::to_string(r.requests), Table::Num(r.sim_seconds, 0),
-                  std::to_string(r.cold_starts), Table::Pct(r.goodput),
-                  Table::Num(r.p99_ms, 1), std::to_string(r.events_scheduled),
-                  std::to_string(r.event_slot_peak)});
-    JsonObject& point = report.AddPoint();
-    bench::FillScalingPoint(point, r);
-  }
-  table.Print(std::cout);
+  // The main thread gets its own lane so report rendering shows up in the
+  // selfprof output alongside the per-point lanes.
+  selfprof::SelfProfiler main_lane;
+  {
+    selfprof::InstallLane profile(!selfprof_out.empty() ? &main_lane : nullptr);
+    std::cout << "Sim-core scaling: BERT-Base serving, " << rate
+              << " rps synthetic zipf(0.9) trace, 4x V100, " << instances
+              << " instances\n\n";
+    Table table({"requests", "sim time (s)", "cold", "goodput", "p99 (ms)",
+                 "events", "event slots"});
+    for (const bench::ScalingPointResult& r : results) {
+      table.AddRow({std::to_string(r.requests), Table::Num(r.sim_seconds, 0),
+                    std::to_string(r.cold_starts), Table::Pct(r.goodput),
+                    Table::Num(r.p99_ms, 1), std::to_string(r.events_scheduled),
+                    std::to_string(r.event_slot_peak)});
+      JsonObject& point = report.AddPoint();
+      bench::FillScalingPoint(point, r);
+    }
+    table.Print(std::cout);
 
-  // Throughput is wall-dependent: stderr only, so stdout and the JSON's
-  // deterministic surface stay byte-identical across hosts and thread counts.
-  for (const bench::ScalingPointResult& r : results) {
-    std::cerr << r.requests << " requests: " << r.wall_ms << " ms wall, "
-              << static_cast<std::uint64_t>(
-                     static_cast<double>(r.requests) / (r.wall_ms / 1000.0))
-              << " simulated requests/sec\n";
+    // Throughput is wall-dependent: stderr only, so stdout and the JSON's
+    // deterministic surface stay byte-identical across hosts and thread
+    // counts.
+    for (const bench::ScalingPointResult& r : results) {
+      std::cerr << r.requests << " requests: " << r.wall_ms << " ms wall, "
+                << static_cast<std::uint64_t>(
+                       static_cast<double>(r.requests) / (r.wall_ms / 1000.0))
+                << " simulated requests/sec\n";
+    }
+    report.Write(&std::cerr);
   }
-  report.Write(&std::cerr);
+
+  if (!selfprof_out.empty()) {
+    // Lanes in point order (the sweep aggregates results in task-index
+    // order), then the main thread's render lane.
+    std::vector<selfprof::LaneView> lanes;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      lanes.push_back({std::to_string(results[i].requests) + " requests",
+                       &results[i].selfprof});
+    }
+    lanes.push_back({"main", &main_lane});
+    if (!selfprof::WriteReport(selfprof_out,
+                               selfprof::ReportJson("scaling", lanes))) {
+      std::cerr << "error: cannot write selfprof report to " << selfprof_out
+                << "\n";
+      return 1;
+    }
+    std::cerr << "selfprof report: " << selfprof_out << "\n";
+  }
   return 0;
 }

@@ -164,6 +164,7 @@ class BenchReport {
   }
 
   std::string ToJson() const {
+    DP_SELFPROF_SCOPE(kReportRender);
     const double wall_ms =
         // deepplan-lint: allow(raw-entropy, wall-clock bench timing; only feeds wall_clock_ms, which the golden gate ignores)
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -

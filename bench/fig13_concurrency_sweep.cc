@@ -15,7 +15,10 @@
 // trace and their metrics snapshots land in the matching BENCH points. With
 // --profile_out=<path> (default: $DEEPPLAN_PROFILE) the same knee points
 // record causal journals; the stitched journal is written to <path> and the
-// critical-path attribution report prints after the tables.
+// critical-path attribution report prints after the tables. With
+// --selfprof_out=<path> (default: $DEEPPLAN_SELFPROF) every point carries a
+// host self-profiling lane (src/obs/selfprof.h) and the per-point wall-clock
+// attribution report lands at <path> (inspect with tools/selfprof_report).
 #include <cstdlib>
 #include <iostream>
 #include <utility>
@@ -35,45 +38,54 @@ struct Point {
   TraceRecorder recorder{false};
   MetricsRegistry registry;
   CausalGraph causal{false};
+  // Host wall-clock attribution for this point; merged into the
+  // --selfprof_out report in spec order (never feeds the BENCH point).
+  selfprof::SelfProfiler selfprof;
 };
 
 Point RunPoint(Strategy strategy, int concurrency, int requests, double rate,
-               std::uint64_t seed, bool tracing, bool profiling) {
-  const Topology topology = Topology::P3_8xlarge();
-  const PerfModel perf(topology.gpu(), topology.pcie());
-  ServerOptions options;
-  options.strategy = strategy;
-  options.slo = Millis(100);
-  Server server(topology, perf, options);
-  const int type = server.RegisterModelType(ModelZoo::BertBase());
-  server.AddInstances(type, concurrency);
-
+               std::uint64_t seed, bool tracing, bool profiling,
+               bool profiling_host) {
   Point p;
-  if (tracing) {
-    p.recorder = TraceRecorder(/*enabled=*/true);
-    server.set_telemetry(&p.recorder, &p.registry,
-                         p.recorder.RegisterProcess(
-                             std::string(StrategyName(strategy)) + " c" +
-                             std::to_string(concurrency)));
-  }
-  if (profiling) {
-    p.causal = CausalGraph(/*enabled=*/true);
-    server.set_causal(&p.causal, p.causal.RegisterProcess(
-                                     std::string(StrategyName(strategy)) + " c" +
-                                     std::to_string(concurrency)));
-  }
+  {
+    // Scope: the lane's root "total" closes when this block exits, before
+    // the point is returned (reports require closed lanes).
+    selfprof::InstallLane profile(profiling_host ? &p.selfprof : nullptr);
+    const Topology topology = Topology::P3_8xlarge();
+    const PerfModel perf(topology.gpu(), topology.pcie());
+    ServerOptions options;
+    options.strategy = strategy;
+    options.slo = Millis(100);
+    Server server(topology, perf, options);
+    const int type = server.RegisterModelType(ModelZoo::BertBase());
+    server.AddInstances(type, concurrency);
 
-  PoissonOptions w;
-  w.rate_per_sec = rate;
-  w.num_instances = concurrency;
-  w.duration = Seconds(static_cast<double>(requests) / rate);
-  w.seed = seed;
-  const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
-  p.p99_ms = m.LatencyPercentileMs(99);
-  p.goodput = m.Goodput(Millis(100));
-  p.goodput_tight = m.Goodput(Millis(50));
-  p.cold_rate = m.ColdStartRate();
-  p.capacity = server.WarmCapacity();
+    if (tracing) {
+      p.recorder = TraceRecorder(/*enabled=*/true);
+      server.set_telemetry(&p.recorder, &p.registry,
+                           p.recorder.RegisterProcess(
+                               std::string(StrategyName(strategy)) + " c" +
+                               std::to_string(concurrency)));
+    }
+    if (profiling) {
+      p.causal = CausalGraph(/*enabled=*/true);
+      server.set_causal(&p.causal, p.causal.RegisterProcess(
+                                       std::string(StrategyName(strategy)) +
+                                       " c" + std::to_string(concurrency)));
+    }
+
+    PoissonOptions w;
+    w.rate_per_sec = rate;
+    w.num_instances = concurrency;
+    w.duration = Seconds(static_cast<double>(requests) / rate);
+    w.seed = seed;
+    const ServingMetrics m = server.Run(GeneratePoissonTrace(w));
+    p.p99_ms = m.LatencyPercentileMs(99);
+    p.goodput = m.Goodput(Millis(100));
+    p.goodput_tight = m.Goodput(Millis(50));
+    p.cold_rate = m.ColdStartRate();
+    p.capacity = server.WarmCapacity();
+  }
   return p;
 }
 
@@ -100,6 +112,11 @@ int main(int argc, char** argv) {
   flags.DefineString("profile_out", profile_env != nullptr ? profile_env : "",
                      "write the causal journal JSON here (default: "
                      "$DEEPPLAN_PROFILE; empty disables profiling)");
+  const char* selfprof_env = std::getenv("DEEPPLAN_SELFPROF");
+  flags.DefineString("selfprof_out", selfprof_env != nullptr ? selfprof_env : "",
+                     "write a host self-profiling report (one wall-clock "
+                     "attribution lane per point) here (default: "
+                     "$DEEPPLAN_SELFPROF; empty disables)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -109,6 +126,7 @@ int main(int argc, char** argv) {
   const bool tracing = !trace_out.empty();
   const std::string profile_out = flags.GetString("profile_out");
   const bool profiling = !profile_out.empty();
+  const std::string selfprof_out = flags.GetString("selfprof_out");
 
   // Enumerate every independent point up front, then sweep them in parallel.
   std::vector<PointSpec> specs;
@@ -138,7 +156,8 @@ int main(int argc, char** argv) {
       runner.Map(static_cast<int>(specs.size()), [&](int i) {
         const PointSpec& s = specs[static_cast<std::size_t>(i)];
         return RunPoint(s.strategy, s.concurrency, requests, rate, 42,
-                        tracing && s.Traced(), profiling && s.Traced());
+                        tracing && s.Traced(), profiling && s.Traced(),
+                        !selfprof_out.empty());
       });
 
   std::cout << "Figure 13: BERT-Base serving, " << rate
@@ -220,6 +239,23 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write trace " << trace_out << "\n";
       return 1;
     }
+  }
+  if (!selfprof_out.empty()) {
+    // Lanes in spec order (the sweep aggregates in task-index order).
+    std::vector<selfprof::LaneView> lanes;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      lanes.push_back({std::string(StrategyName(specs[i].strategy)) + " c" +
+                           std::to_string(specs[i].concurrency) +
+                           (specs[i].tight ? " tight" : ""),
+                       &points[i].selfprof});
+    }
+    if (!selfprof::WriteReport(
+            selfprof_out,
+            selfprof::ReportJson("fig13_concurrency_sweep", lanes))) {
+      std::cerr << "cannot write selfprof report " << selfprof_out << "\n";
+      return 1;
+    }
+    std::cerr << "selfprof report: " << selfprof_out << "\n";
   }
   return 0;
 }

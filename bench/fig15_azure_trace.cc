@@ -24,7 +24,10 @@
 // without --profile_out. With --journal_out=<path> the stitched journal is
 // additionally written in the chunked binary DPJL format
 // (src/obs/journal_stream.h) — the same graph, exactly convertible to/from
-// the JSON journal with tools/journal_convert.
+// the JSON journal with tools/journal_convert. With --selfprof_out=<path>
+// (default: $DEEPPLAN_SELFPROF) each replay carries a host self-profiling
+// lane (src/obs/selfprof.h) and the per-strategy wall-clock attribution
+// report lands at <path> (inspect with tools/selfprof_report).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -43,37 +46,45 @@ struct Outcome {
   TraceRecorder recorder{false};
   MetricsRegistry registry;
   CausalGraph causal{false};
+  // Host wall-clock attribution for this strategy's replay; merged into the
+  // --selfprof_out report in strategy order (never feeds the BENCH point).
+  selfprof::SelfProfiler selfprof;
 };
 
 Outcome Replay(Strategy strategy, const Trace& trace, int instances, bool tracing,
-               bool journaling) {
-  const Topology topology = Topology::P3_8xlarge();
-  const PerfModel perf(topology.gpu(), topology.pcie());
-  ServerOptions options;
-  options.strategy = strategy;
-  options.slo = Millis(100);
-  Server server(topology, perf, options);
-  const int bert = server.RegisterModelType(ModelZoo::BertBase());
-  const int roberta = server.RegisterModelType(ModelZoo::RobertaBase());
-  const int gpt2 = server.RegisterModelType(ModelZoo::Gpt2());
-  // 4:4:1 instance mix (Section 5.3.2).
-  const int unit = instances / 9;
-  server.AddInstances(bert, 4 * unit);
-  server.AddInstances(roberta, 4 * unit);
-  server.AddInstances(gpt2, instances - 8 * unit);
+               bool journaling, bool profiling_host) {
   Outcome out;
-  if (tracing) {
-    out.recorder = TraceRecorder(/*enabled=*/true);
-    server.set_telemetry(&out.recorder, &out.registry,
-                         out.recorder.RegisterProcess(StrategyName(strategy)));
+  {
+    // Scope: the lane's root "total" closes when this block exits, before
+    // the outcome is returned (reports require closed lanes).
+    selfprof::InstallLane profile(profiling_host ? &out.selfprof : nullptr);
+    const Topology topology = Topology::P3_8xlarge();
+    const PerfModel perf(topology.gpu(), topology.pcie());
+    ServerOptions options;
+    options.strategy = strategy;
+    options.slo = Millis(100);
+    Server server(topology, perf, options);
+    const int bert = server.RegisterModelType(ModelZoo::BertBase());
+    const int roberta = server.RegisterModelType(ModelZoo::RobertaBase());
+    const int gpt2 = server.RegisterModelType(ModelZoo::Gpt2());
+    // 4:4:1 instance mix (Section 5.3.2).
+    const int unit = instances / 9;
+    server.AddInstances(bert, 4 * unit);
+    server.AddInstances(roberta, 4 * unit);
+    server.AddInstances(gpt2, instances - 8 * unit);
+    if (tracing) {
+      out.recorder = TraceRecorder(/*enabled=*/true);
+      server.set_telemetry(&out.recorder, &out.registry,
+                           out.recorder.RegisterProcess(StrategyName(strategy)));
+    }
+    if (journaling) {
+      out.causal = CausalGraph(/*enabled=*/true);
+      server.set_causal(&out.causal,
+                        out.causal.RegisterProcess(StrategyName(strategy)));
+    }
+    out.metrics = server.Run(trace);
+    out.series = out.metrics.PerMinute(Millis(100));
   }
-  if (journaling) {
-    out.causal = CausalGraph(/*enabled=*/true);
-    server.set_causal(&out.causal,
-                      out.causal.RegisterProcess(StrategyName(strategy)));
-  }
-  out.metrics = server.Run(trace);
-  out.series = out.metrics.PerMinute(Millis(100));
   return out;
 }
 
@@ -106,6 +117,11 @@ int main(int argc, char** argv) {
   flags.DefineString("journal_out", "",
                      "additionally write the stitched causal journal in the "
                      "binary DPJL format here (empty disables)");
+  const char* selfprof_env = std::getenv("DEEPPLAN_SELFPROF");
+  flags.DefineString("selfprof_out", selfprof_env != nullptr ? selfprof_env : "",
+                     "write a host self-profiling report (one wall-clock "
+                     "attribution lane per strategy) here (default: "
+                     "$DEEPPLAN_SELFPROF; empty disables)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -118,6 +134,7 @@ int main(int argc, char** argv) {
   const std::string journal_out = flags.GetString("journal_out");
   const bool journaling =
       profiling || !whatif_out.empty() || !journal_out.empty();
+  const std::string selfprof_out = flags.GetString("selfprof_out");
 
   Trace trace;
   if (!flags.GetString("trace").empty()) {
@@ -168,7 +185,7 @@ int main(int argc, char** argv) {
   std::vector<Outcome> outcomes =
       runner.Map(static_cast<int>(strategies.size()), [&](int i) {
         return Replay(strategies[static_cast<std::size_t>(i)], trace, instances,
-                      tracing, journaling);
+                      tracing, journaling, !selfprof_out.empty());
       });
 
   for (std::size_t s = 0; s < strategies.size(); ++s) {
@@ -284,6 +301,20 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write trace " << trace_out << "\n";
       return 1;
     }
+  }
+  if (!selfprof_out.empty()) {
+    // Lanes in strategy order (the sweep aggregates in task-index order).
+    std::vector<selfprof::LaneView> lanes;
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      lanes.push_back({StrategyName(strategies[s]), &outcomes[s].selfprof});
+    }
+    if (!selfprof::WriteReport(selfprof_out,
+                               selfprof::ReportJson("fig15_azure_trace",
+                                                    lanes))) {
+      std::cerr << "cannot write selfprof report " << selfprof_out << "\n";
+      return 1;
+    }
+    std::cerr << "selfprof report: " << selfprof_out << "\n";
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ struct ScalingPointOptions {
   // Recording is bounded-memory (in-flight requests, not journal length), so
   // the 1M point stays within the same RSS pin as the unjournaled run.
   std::string journal_out;
+  // Profile the point's own host wall-clock into result.selfprof (the lane is
+  // installed for the duration of the replay; see src/obs/selfprof.h).
+  bool selfprof = false;
 };
 
 struct ScalingPointResult {
@@ -54,6 +58,11 @@ struct ScalingPointResult {
   bool journaled = false;
   JournalTotals journal;
   std::uint64_t journal_bytes = 0;
+  // Self-profiling lane for this point (selfprof option only). Never feeds
+  // FillScalingPoint — the BENCH point schema and its golden are untouched;
+  // benches render it into a separate --selfprof_out report. Phase counts in
+  // here are deterministic; durations are wall-dependent.
+  selfprof::SelfProfiler selfprof;
   // Wall-dependent (reported only under "wall_clock_ms" keys / stdout).
   double wall_ms = 0.0;
 };
@@ -66,77 +75,91 @@ inline ScalingPointResult RunScalingPoint(const ScalingPointOptions& options) {
   // deepplan-lint: allow(raw-entropy, wall-clock measurement; only feeds wall_ms, which the golden gate ignores)
   const auto wall_start = std::chrono::steady_clock::now();
 
-  SyntheticScaleOptions w;
-  w.num_requests = options.num_requests;
-  w.rate_per_sec = options.rate_per_sec;
-  w.num_instances = options.num_instances;
-  w.zipf_exponent = options.zipf_exponent;
-  w.seed = options.seed;
-  const Trace trace = GenerateSyntheticScaleTrace(w);
-
-  const Topology topology = Topology::P3_8xlarge();
-  const PerfModel perf(topology.gpu(), topology.pcie());
-  ServerOptions server_options;
-  server_options.strategy = options.strategy;
-  server_options.slo = options.slo;
-  Simulator sim;
-  Server server(&sim, topology, perf, server_options);
-  const int type = server.RegisterModelType(ModelZoo::BertBase());
-  server.AddInstances(type, options.num_instances);
-
-  // Streaming journal: the graph retires each request into the chunked
-  // binary writer as it completes, so resident recorder state tracks
-  // in-flight requests while the journal itself goes to disk.
-  const bool journal = !options.journal_out.empty();
-  CausalGraph causal(journal);
-  JournalWriter writer;
-  MetricsRegistry journal_metrics;
-  if (journal) {
-    const bool opened = writer.Open(options.journal_out, {}, &journal_metrics);
-    DP_CHECK(opened);
-    causal.AttachSink(&writer);
-    server.set_causal(&causal, causal.RegisterProcess("scaling"));
-  }
-  server.Warmup();
-
-  struct Feeder {
-    const std::vector<Arrival>* arrivals;
-    Simulator* sim;
-    Server* server;
-    std::size_t next = 0;
-    void ScheduleNext() {
-      if (next >= arrivals->size()) {
-        return;
-      }
-      const Arrival& a = (*arrivals)[next++];
-      sim->ScheduleAt(a.time, [this, instance = a.instance] {
-        server->Submit(instance);
-        ScheduleNext();
-      });
-    }
-  };
-  Feeder feeder{&trace.arrivals(), &sim, &server};
-  feeder.ScheduleNext();
-  sim.Run();
-
-  const ServingMetrics& m = server.metrics();
   ScalingPointResult r;
-  r.requests = trace.size();
-  r.completed = m.count();
-  r.cold_starts = m.ColdStartCount();
-  r.goodput = m.Goodput(options.slo);
-  r.p99_ms = m.LatencyPercentileMs(99);
-  r.mean_ms = m.MeanLatencyMs();
-  r.sim_seconds = ToSeconds(trace.duration());
-  r.events_scheduled = sim.event_queue().total_scheduled();
-  r.event_slot_peak = sim.event_queue().slot_capacity();
-  if (journal) {
-    causal.FlushOpenRequests();
-    const bool finished = writer.Finish();
-    DP_CHECK(finished);
-    r.journaled = true;
-    r.journal = writer.totals();
-    r.journal_bytes = writer.bytes_written();
+  {
+    // Lane for this point's host-side wall-clock attribution; the scoped
+    // phases inside the components (workload gen, dispatch, fair-share, ...)
+    // accumulate here. No-op unless options.selfprof.
+    selfprof::InstallLane profile(options.selfprof ? &r.selfprof : nullptr);
+
+    SyntheticScaleOptions w;
+    w.num_requests = options.num_requests;
+    w.rate_per_sec = options.rate_per_sec;
+    w.num_instances = options.num_instances;
+    w.zipf_exponent = options.zipf_exponent;
+    w.seed = options.seed;
+    const Trace trace = GenerateSyntheticScaleTrace(w);
+
+    // Setup scope held in an optional: the objects it times must outlive it.
+    std::optional<selfprof::ScopedPhase> setup(std::in_place,
+                                               selfprof::Phase::kSetup);
+    const Topology topology = Topology::P3_8xlarge();
+    const PerfModel perf(topology.gpu(), topology.pcie());
+    ServerOptions server_options;
+    server_options.strategy = options.strategy;
+    server_options.slo = options.slo;
+    Simulator sim;
+    Server server(&sim, topology, perf, server_options);
+    const int type = server.RegisterModelType(ModelZoo::BertBase());
+    server.AddInstances(type, options.num_instances);
+
+    // Streaming journal: the graph retires each request into the chunked
+    // binary writer as it completes, so resident recorder state tracks
+    // in-flight requests while the journal itself goes to disk.
+    const bool journal = !options.journal_out.empty();
+    CausalGraph causal(journal);
+    JournalWriter writer;
+    MetricsRegistry journal_metrics;
+    if (journal) {
+      const bool opened = writer.Open(options.journal_out, {}, &journal_metrics);
+      DP_CHECK(opened);
+      causal.AttachSink(&writer);
+      server.set_causal(&causal, causal.RegisterProcess("scaling"));
+    }
+    setup.reset();
+    server.Warmup();
+
+    struct Feeder {
+      const std::vector<Arrival>* arrivals;
+      Simulator* sim;
+      Server* server;
+      std::size_t next = 0;
+      void ScheduleNext() {
+        if (next >= arrivals->size()) {
+          return;
+        }
+        const Arrival& a = (*arrivals)[next++];
+        sim->ScheduleAt(a.time, [this, instance = a.instance] {
+          server->Submit(instance);
+          ScheduleNext();
+        });
+      }
+    };
+    Feeder feeder{&trace.arrivals(), &sim, &server};
+    feeder.ScheduleNext();
+    sim.Run();
+
+    {
+      DP_SELFPROF_SCOPE(kMetricsSnapshot);
+      const ServingMetrics& m = server.metrics();
+      r.requests = trace.size();
+      r.completed = m.count();
+      r.cold_starts = m.ColdStartCount();
+      r.goodput = m.Goodput(options.slo);
+      r.p99_ms = m.LatencyPercentileMs(99);
+      r.mean_ms = m.MeanLatencyMs();
+      r.sim_seconds = ToSeconds(trace.duration());
+      r.events_scheduled = sim.event_queue().total_scheduled();
+      r.event_slot_peak = sim.event_queue().slot_capacity();
+    }
+    if (journal) {
+      causal.FlushOpenRequests();
+      const bool finished = writer.Finish();
+      DP_CHECK(finished);
+      r.journaled = true;
+      r.journal = writer.totals();
+      r.journal_bytes = writer.bytes_written();
+    }
   }
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   // deepplan-lint: allow(raw-entropy, wall-clock measurement; only feeds wall_ms, which the golden gate ignores)

@@ -78,10 +78,13 @@ mkdir -p "$RESULTS_DIR"
 export DEEPPLAN_BENCH_DIR="$RESULTS_DIR"
 # Keep the main sweep untraced and unprofiled (byte-stable baseline outputs)
 # even when the caller has a global DEEPPLAN_TRACE/DEEPPLAN_PROFILE/
-# DEEPPLAN_WHATIF; the dedicated steps below capture each artifact.
+# DEEPPLAN_WHATIF/DEEPPLAN_SELFPROF/DEEPPLAN_PROGRESS; the dedicated steps
+# below capture each artifact.
 unset DEEPPLAN_TRACE
 unset DEEPPLAN_PROFILE
 unset DEEPPLAN_WHATIF
+unset DEEPPLAN_SELFPROF
+unset DEEPPLAN_PROGRESS
 for bench in "$BUILD_DIR"/bench/*; do
   if [ -x "$bench" ] && [ -f "$bench" ]; then
     name="$(basename "$bench")"
@@ -274,5 +277,92 @@ DEEPPLAN_BENCH_DIR="$RESULTS_DIR/journaled" \
 "$BUILD_DIR/tools/trace_lint" --journal \
   "$RESULTS_DIR/journaled/scaling.dpj.44000" \
   "$RESULTS_DIR/journaled/scaling.dpj.200000"
+
+# Host self-profiling leg. A profiled scaling run must (a) produce a report
+# that passes the schema lint, (b) attribute >=90% of its wall clock to
+# top-level phases, (c) leave the simulated surface byte-identical to the
+# unprofiled jobs=1 run above, and (d) project to the same deterministic
+# phase/counter surface for any DEEPPLAN_JOBS.
+echo "== selfprof leg (bench_scaling --selfprof_out)"
+mkdir -p "$RESULTS_DIR/selfprof" "$RESULTS_DIR/selfprof_jobs2"
+SELFPROF_JSON="$RESULTS_DIR/selfprof/selfprof_scaling.json"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/selfprof" DEEPPLAN_JOBS=1 \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=200000 \
+  --selfprof_out="$SELFPROF_JSON" \
+  >"$RESULTS_DIR/selfprof/bench_scaling.txt" 2>/dev/null
+"$BUILD_DIR/tools/trace_lint" --selfprof "$SELFPROF_JSON"
+"$BUILD_DIR/tools/selfprof_report" --min_coverage=0.9 "$SELFPROF_JSON" \
+  >"$RESULTS_DIR/selfprof/selfprof_report.txt"
+"$BUILD_DIR/tools/bench_diff" --tol=0 \
+  "$RESULTS_DIR/scaling_jobs1/BENCH_scaling.json" \
+  "$RESULTS_DIR/selfprof/BENCH_scaling.json"
+cmp "$RESULTS_DIR/scaling_jobs1/bench_scaling.txt" \
+  "$RESULTS_DIR/selfprof/bench_scaling.txt"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/selfprof_jobs2" DEEPPLAN_JOBS=2 \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=200000 \
+  --selfprof_out="$RESULTS_DIR/selfprof_jobs2/selfprof_scaling.json" \
+  >"$RESULTS_DIR/selfprof_jobs2/bench_scaling.txt" 2>/dev/null
+"$BUILD_DIR/tools/selfprof_report" --deterministic "$SELFPROF_JSON" \
+  >"$RESULTS_DIR/selfprof/deterministic.json"
+"$BUILD_DIR/tools/selfprof_report" --deterministic \
+  "$RESULTS_DIR/selfprof_jobs2/selfprof_scaling.json" \
+  >"$RESULTS_DIR/selfprof_jobs2/deterministic.json"
+cmp "$RESULTS_DIR/selfprof/deterministic.json" \
+  "$RESULTS_DIR/selfprof_jobs2/deterministic.json"
+
+# Overhead gate: self-profiling must stay under 3% wall-clock slowdown at
+# the full 1M-request curve, best-of-5 vs best-of-5 (the minimum absorbs
+# scheduler noise; single short runs are too jittery to gate on — tab05
+# prints one for orientation only). The profiled runs double as the
+# full-scale report: the first one's 1M lane must lint clean and attribute
+# >=90% of its wall clock, answering ROADMAP item 1's open question.
+echo "== selfprof overhead gate (1M curve, best-of-5, max 3% slowdown)"
+OVH_BASE_DIRS=()
+OVH_CAND_ARGS=()
+for i in 1 2 3 4 5; do
+  mkdir -p "$RESULTS_DIR/ovh_base$i" "$RESULTS_DIR/ovh_self$i"
+  DEEPPLAN_BENCH_DIR="$RESULTS_DIR/ovh_base$i" \
+    "$BUILD_DIR/bench/bench_scaling" --max_requests=1000000 \
+    >"$RESULTS_DIR/ovh_base$i/bench_scaling.txt" 2>/dev/null
+  DEEPPLAN_BENCH_DIR="$RESULTS_DIR/ovh_self$i" \
+    "$BUILD_DIR/bench/bench_scaling" --max_requests=1000000 \
+    --selfprof_out="$RESULTS_DIR/ovh_self$i/selfprof.json" \
+    >"$RESULTS_DIR/ovh_self$i/bench_scaling.txt" 2>/dev/null
+  OVH_BASE_DIRS+=("$RESULTS_DIR/ovh_base$i")
+  OVH_CAND_ARGS+=("--candidate=$RESULTS_DIR/ovh_self$i")
+done
+"$BUILD_DIR/tools/bench_history" --max_slowdown=1.03 \
+  "${OVH_BASE_DIRS[@]}" "${OVH_CAND_ARGS[@]}" \
+  >"$RESULTS_DIR/selfprof_overhead_gate.txt"
+"$BUILD_DIR/tools/trace_lint" --selfprof "$RESULTS_DIR/ovh_self1/selfprof.json"
+"$BUILD_DIR/tools/selfprof_report" --min_coverage=0.9 \
+  "$RESULTS_DIR/ovh_self1/selfprof.json" \
+  >"$RESULTS_DIR/selfprof_1m_report.txt"
+
+# Heartbeat smoke: DEEPPLAN_PROGRESS emits liveness lines on stderr and may
+# not touch stdout or the BENCH output (byte-compared against a silent run).
+echo "== heartbeat smoke (DEEPPLAN_PROGRESS)"
+mkdir -p "$RESULTS_DIR/heartbeat_on" "$RESULTS_DIR/heartbeat_off"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/heartbeat_on" DEEPPLAN_PROGRESS=0.02 \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=44000 \
+  >"$RESULTS_DIR/heartbeat_on/bench_scaling.txt" \
+  2>"$RESULTS_DIR/heartbeat_on/stderr.txt"
+grep -q "deepplan-progress:" "$RESULTS_DIR/heartbeat_on/stderr.txt"
+DEEPPLAN_BENCH_DIR="$RESULTS_DIR/heartbeat_off" \
+  "$BUILD_DIR/bench/bench_scaling" --max_requests=44000 \
+  >"$RESULTS_DIR/heartbeat_off/bench_scaling.txt" 2>/dev/null
+cmp "$RESULTS_DIR/heartbeat_on/bench_scaling.txt" \
+  "$RESULTS_DIR/heartbeat_off/bench_scaling.txt"
+"$BUILD_DIR/tools/bench_diff" --tol=0 \
+  "$RESULTS_DIR/heartbeat_off/BENCH_scaling.json" \
+  "$RESULTS_DIR/heartbeat_on/BENCH_scaling.json"
+
+# Wall-clock trajectory, report only: where this host's bench times stand
+# across every snapshot taken above (gating happens in the leg before).
+echo "== bench trajectory (report only)"
+"$BUILD_DIR/tools/bench_history" \
+  "${OVH_BASE_DIRS[@]}" \
+  "$RESULTS_DIR/ovh_self1" "$RESULTS_DIR/ovh_self2" "$RESULTS_DIR/ovh_self3" \
+  >"$RESULTS_DIR/bench_history.txt"
 
 echo "results written to $RESULTS_DIR/"

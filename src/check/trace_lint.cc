@@ -779,5 +779,288 @@ TraceLintResult LintWhatIfReportFile(const std::string& path,
   return LintWhatIfReport(buffer.str(), options);
 }
 
+namespace {
+
+// Schema-checking helper for LintSelfprofReport. A report node's tally,
+// keyed by its phase path ("total/sim.dispatch/exec.stream"), for the
+// aggregate-equals-sum-of-lanes check.
+struct PhaseTally {
+  double count = 0;
+  double sampled = 0;
+};
+
+class SelfprofLinter {
+ public:
+  SelfprofLinter(const TraceLintOptions& options, TraceLintResult* result)
+      : options_(options), result_(result) {}
+
+  void Error(const std::string& what) {
+    ++result_->num_errors;
+    if (result_->errors.size() < options_.max_reported_errors) {
+      result_->errors.push_back(what);
+    }
+  }
+
+  // Returns the value of a required non-negative numeric field, or -1.
+  double Count(const JsonValue& obj, const std::string& ctx, const char* key) {
+    const JsonValue* v = obj.Find(key);
+    if (v == nullptr || !v->is_number()) {
+      Error(ctx + ": missing numeric \"" + key + "\"");
+      return -1.0;
+    }
+    if (v->AsNumber() < 0.0) {
+      Error(ctx + ": negative \"" + key + "\"");
+      return -1.0;
+    }
+    return v->AsNumber();
+  }
+
+  // Walks one phase node; `tally` (when non-null) accumulates counts by
+  // phase path for the aggregate cross-check.
+  void LintNode(const JsonValue& node, const std::string& ctx,
+                const std::string& parent_path, bool is_root, double parent_count,
+                std::map<std::string, PhaseTally>* tally) {
+    if (!node.is_object()) {
+      Error(ctx + ": node is not an object");
+      return;
+    }
+    const JsonValue* phase = node.Find("phase");
+    if (phase == nullptr || !phase->is_string() || phase->AsString().empty()) {
+      Error(ctx + ": missing non-empty string \"phase\"");
+      return;
+    }
+    const std::string& name = phase->AsString();
+    if (is_root && name != "total") {
+      Error(ctx + ": root phase is \"" + name + "\", expected \"total\"");
+    }
+    const std::string path =
+        parent_path.empty() ? name : parent_path + "/" + name;
+    const std::string node_ctx = ctx + " (" + path + ")";
+
+    const double count = Count(node, node_ctx, "count");
+    const double sampled = Count(node, node_ctx, "sampled");
+    if (count >= 0.0 && sampled >= 0.0) {
+      if (sampled > count) {
+        Error(node_ctx + ": sampled exceeds count");
+      }
+      if (!is_root && count > 0.0 && parent_count == 0.0) {
+        Error(node_ctx + ": counted child under a never-entered parent");
+      }
+      if (tally != nullptr) {
+        (*tally)[path].count += count;
+        (*tally)[path].sampled += sampled;
+      }
+    }
+
+    // Duration fields travel together: the full report has all three, the
+    // deterministic projection none.
+    const JsonValue* inclusive = node.Find("inclusive_ns");
+    const JsonValue* exclusive = node.Find("exclusive_ns");
+    const JsonValue* estimated = node.Find("estimated_ns");
+    const int present = (inclusive != nullptr ? 1 : 0) +
+                        (exclusive != nullptr ? 1 : 0) +
+                        (estimated != nullptr ? 1 : 0);
+    if (present != 0 && present != 3) {
+      Error(node_ctx +
+            ": inclusive_ns/exclusive_ns/estimated_ns must appear together");
+    }
+    double inclusive_ns = 0.0;
+    const bool timed = present == 3;
+    if (timed) {
+      inclusive_ns = Count(node, node_ctx, "inclusive_ns");
+      const double exclusive_ns = Count(node, node_ctx, "exclusive_ns");
+      const double estimated_ns = Count(node, node_ctx, "estimated_ns");
+      if (inclusive_ns >= 0.0 && exclusive_ns > inclusive_ns) {
+        Error(node_ctx + ": exclusive_ns exceeds inclusive_ns");
+      }
+      if (inclusive_ns >= 0.0 && estimated_ns >= 0.0 &&
+          estimated_ns < inclusive_ns) {
+        Error(node_ctx + ": estimated_ns below measured inclusive_ns");
+      }
+      if (sampled == 0.0 && inclusive_ns > 0.0) {
+        Error(node_ctx + ": inclusive_ns without any sampled entries");
+      }
+    }
+
+    double children_inclusive = 0.0;
+    const JsonValue* children = node.Find("children");
+    if (children != nullptr) {
+      if (!children->is_array()) {
+        Error(node_ctx + ": \"children\" is not an array");
+        return;
+      }
+      std::set<std::string> seen;
+      for (std::size_t i = 0; i < children->items().size(); ++i) {
+        const JsonValue& child = children->items()[i];
+        const JsonValue* child_phase = child.Find("phase");
+        if (child_phase != nullptr && child_phase->is_string()) {
+          if (!seen.insert(child_phase->AsString()).second) {
+            Error(node_ctx + ": duplicate child phase \"" +
+                  child_phase->AsString() + "\"");
+          }
+        }
+        LintNode(child, node_ctx + ".children[" + std::to_string(i) + "]",
+                 path, /*is_root=*/false, count, tally);
+        if (timed && child.is_object()) {
+          const JsonValue* child_inclusive = child.Find("inclusive_ns");
+          if (child_inclusive != nullptr && child_inclusive->is_number()) {
+            children_inclusive += child_inclusive->AsNumber();
+          }
+        }
+      }
+    }
+    if (timed && inclusive_ns >= 0.0) {
+      // Exact by construction (suppression rule): measured child time always
+      // nests inside measured parent time.
+      const JsonValue* exclusive_v = node.Find("exclusive_ns");
+      if (exclusive_v != nullptr && exclusive_v->is_number() &&
+          exclusive_v->AsNumber() + children_inclusive != inclusive_ns) {
+        Error(node_ctx +
+              ": exclusive_ns + sum(child inclusive_ns) != inclusive_ns");
+      }
+    }
+  }
+
+  // Lints one lane object; fills `tally` by phase path when requested.
+  void LintLane(const JsonValue& lane, const std::string& ctx,
+                std::map<std::string, PhaseTally>* tally,
+                std::map<std::string, double>* counters_out) {
+    if (!lane.is_object()) {
+      Error(ctx + ": lane is not an object");
+      return;
+    }
+    const JsonValue* name = lane.Find("name");
+    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+      Error(ctx + ": missing non-empty string \"name\"");
+    }
+    const JsonValue* counters = lane.Find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      Error(ctx + ": missing \"counters\" object");
+    } else {
+      for (const auto& [key, value] : counters->fields()) {
+        if (!value.is_number() || value.AsNumber() < 0.0) {
+          Error(ctx + ": counter \"" + key + "\" is not a non-negative number");
+        } else if (counters_out != nullptr) {
+          (*counters_out)[key] += value.AsNumber();
+        }
+      }
+    }
+    const JsonValue* tree = lane.Find("tree");
+    if (tree == nullptr) {
+      Error(ctx + ": missing \"tree\"");
+      return;
+    }
+    LintNode(*tree, ctx + ".tree", "", /*is_root=*/true, 0.0, tally);
+  }
+
+  void Lint(const std::string& json_text) {
+    const JsonParseResult parsed = ParseJson(json_text);
+    if (!parsed.ok) {
+      Error("JSON parse error: " + parsed.error);
+      return;
+    }
+    const JsonValue* report = parsed.value.is_object()
+                                  ? parsed.value.Find("selfprof_report")
+                                  : nullptr;
+    if (report == nullptr || !report->is_object()) {
+      Error("top level: missing \"selfprof_report\" object");
+      return;
+    }
+    const JsonValue* version = report->Find("schema_version");
+    if (version == nullptr || !version->is_number() ||
+        version->AsNumber() < 1.0) {
+      Error("selfprof_report: missing \"schema_version\" >= 1");
+    }
+    const JsonValue* label = report->Find("label");
+    if (label == nullptr || !label->is_string()) {
+      Error("selfprof_report: missing string \"label\"");
+    }
+    const JsonValue* lanes = report->Find("lanes");
+    if (lanes == nullptr || !lanes->is_array() || lanes->items().empty()) {
+      Error("selfprof_report: missing non-empty \"lanes\" array");
+      return;
+    }
+    std::set<std::string> lane_names;
+    std::map<std::string, PhaseTally> lane_sum;
+    std::map<std::string, double> counter_sum;
+    for (std::size_t i = 0; i < lanes->items().size(); ++i) {
+      const JsonValue& lane = lanes->items()[i];
+      const std::string ctx = "lanes[" + std::to_string(i) + "]";
+      const JsonValue* name = lane.Find("name");
+      if (name != nullptr && name->is_string() &&
+          !lane_names.insert(name->AsString()).second) {
+        Error(ctx + ": duplicate lane name \"" + name->AsString() + "\"");
+      }
+      LintLane(lane, ctx, &lane_sum, &counter_sum);
+    }
+    result_->num_tracks = lanes->items().size();
+
+    const JsonValue* aggregate = report->Find("aggregate");
+    if (aggregate == nullptr || !aggregate->is_object()) {
+      Error("selfprof_report: missing \"aggregate\" object");
+      return;
+    }
+    std::map<std::string, PhaseTally> agg;
+    std::map<std::string, double> agg_counters;
+    LintLane(*aggregate, "aggregate", &agg, &agg_counters);
+    for (const auto& [path, sum] : lane_sum) {
+      const auto it = agg.find(path);
+      if (it == agg.end()) {
+        Error("aggregate: phase \"" + path + "\" missing (present in lanes)");
+      } else if (it->second.count != sum.count ||
+                 it->second.sampled != sum.sampled) {
+        Error("aggregate: phase \"" + path +
+              "\" counts do not equal the sum over lanes");
+      }
+    }
+    for (const auto& [key, sum] : counter_sum) {
+      const auto it = agg_counters.find(key);
+      if (it == agg_counters.end()) {
+        Error("aggregate: counter \"" + key + "\" missing (present in lanes)");
+      } else if (it->second != sum) {
+        Error("aggregate: counter \"" + key +
+              "\" does not equal the sum over lanes");
+      }
+    }
+
+    const JsonValue* host = report->Find("host");
+    if (host != nullptr) {
+      if (!host->is_object()) {
+        Error("selfprof_report: \"host\" is not an object");
+      } else {
+        Count(*host, "host", "rss_kb");
+        Count(*host, "host", "rss_peak_kb");
+      }
+    }
+  }
+
+ private:
+  const TraceLintOptions& options_;
+  TraceLintResult* result_;
+};
+
+}  // namespace
+
+TraceLintResult LintSelfprofReport(const std::string& json_text,
+                                   const TraceLintOptions& options) {
+  TraceLintResult result;
+  SelfprofLinter(options, &result).Lint(json_text);
+  return result;
+}
+
+TraceLintResult LintSelfprofReportFile(const std::string& path,
+                                       const TraceLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceLintResult result;
+    ++result.num_errors;
+    result.errors.push_back("cannot read " + path);
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSelfprofReport(buffer.str(), options);
+}
+
 }  // namespace check
 }  // namespace deepplan

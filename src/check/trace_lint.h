@@ -35,6 +35,14 @@
 // to predicted - baseline, and the identity replay's self-check flag
 // (baseline_matches_journal false is a lint error — predictions from a
 // replay that cannot reproduce its own journal are untrustworthy).
+// LintSelfprofReport validates the {"selfprof_report":{...}} JSON emitted by
+// the bench --selfprof_out flags (src/obs/selfprof.h): schema version,
+// non-empty uniquely-named lanes, phase-tree well-formedness (root phase
+// "total", no duplicate child phases, counts and sampled counts consistent),
+// the exactness invariant exclusive_ns = inclusive_ns - sum(child inclusive)
+// with exclusive_ns >= 0 and estimated_ns >= inclusive_ns, and the aggregate
+// lane's counts/counters equalling the per-lane sums. Accepts both the full
+// report and its deterministic projection (which carries no *_ns fields).
 #ifndef SRC_CHECK_TRACE_LINT_H_
 #define SRC_CHECK_TRACE_LINT_H_
 
@@ -84,6 +92,13 @@ TraceLintResult LintWhatIfReport(const std::string& json_text,
                                  const TraceLintOptions& options = {});
 TraceLintResult LintWhatIfReportFile(const std::string& path,
                                      const TraceLintOptions& options = {});
+
+// Schema + consistency check for self-profiling report JSON (see header
+// comment). num_tracks reports the number of lanes on success.
+TraceLintResult LintSelfprofReport(const std::string& json_text,
+                                   const TraceLintOptions& options = {});
+TraceLintResult LintSelfprofReportFile(const std::string& path,
+                                       const TraceLintOptions& options = {});
 
 }  // namespace check
 }  // namespace deepplan

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/obs/selfprof.h"
+
 namespace deepplan {
 namespace check {
 
@@ -36,7 +38,10 @@ bool EnvEnabled() {
   return !(v[0] == '0' && v[1] == '\0');
 }
 
-void Count() { g_checks_run.fetch_add(1, std::memory_order_relaxed); }
+void Count() {
+  g_checks_run.fetch_add(1, std::memory_order_relaxed);
+  selfprof::AddCount(selfprof::Counter::kValidatorChecks, 1);
+}
 
 }  // namespace
 
@@ -136,6 +141,10 @@ void SimValidator::OnFabricAllocation(Nanos now,
   if (!enabled()) {
     return;
   }
+  // Heavy hooks (per-link loops, sorts, per-request accounting) carry a
+  // timed scope *after* the enabled() early-out, so validation-off runs pay
+  // nothing; cheap per-event hooks stay scope-free.
+  DP_SELFPROF_SCOPE(kValidate);
   for (const FabricLinkShare& link : links) {
     Count();
     if (link.allocated < 0.0) {
@@ -190,6 +199,7 @@ void SimValidator::OnFabricIncrementalSolve(Nanos now, std::uint64_t transfer,
   if (!enabled()) {
     return;
   }
+  DP_SELFPROF_SCOPE(kValidate);
   Count();
   // Bitwise comparison on purpose: the incremental solve claims the exact
   // same arithmetic as the full re-solve, not an approximation of it.
@@ -208,6 +218,7 @@ void SimValidator::OnArenaUpdate(std::int64_t capacity, std::int64_t used,
   if (!enabled()) {
     return;
   }
+  DP_SELFPROF_SCOPE(kValidate);
   Count();
   std::sort(spans.begin(), spans.end(),
             [](const ArenaSpan& a, const ArenaSpan& b) {
@@ -294,6 +305,7 @@ void SimValidator::OnRequestComplete(Nanos arrival, Nanos start, Nanos evict,
   if (!enabled()) {
     return;
   }
+  DP_SELFPROF_SCOPE(kValidate);
   Count();
   const auto fail = [&](const char* what) {
     std::ostringstream os;
@@ -342,6 +354,7 @@ void SimValidator::OnAttribution(int request, Nanos latency, Nanos attributed) {
   if (!enabled()) {
     return;
   }
+  DP_SELFPROF_SCOPE(kValidate);
   Count();
   if (attributed != latency) {
     std::ostringstream os;

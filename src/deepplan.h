@@ -30,6 +30,7 @@
 #include "src/obs/journal_stream.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profile_report.h"
+#include "src/obs/selfprof.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/utilization.h"
 #include "src/obs/whatif/whatif.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/obs/selfprof.h"
 #include "src/sim/stream.h"
 #include "src/util/arena.h"
 #include "src/util/index.h"
@@ -134,6 +135,9 @@ void Engine::set_telemetry(TraceRecorder* recorder, int pid) {
 void Engine::RunCold(const Model& model, const ExecutionPlan& plan, GpuId primary,
                      std::vector<GpuId> secondaries, const ColdRunOptions& options,
                      std::function<void(InferenceResult)> done) {
+  // Times the synchronous DAG construction (per-layer op enqueues); the ops
+  // themselves execute later under sim.dispatch / exec.stream.
+  DP_SELFPROF_SCOPE(kColdStart);
   const std::size_t n = model.num_layers();
   DP_CHECK(plan.num_layers() == n);
   DP_CHECK(static_cast<int>(secondaries.size()) >= plan.num_partitions() - 1);

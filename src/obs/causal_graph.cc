@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "src/obs/selfprof.h"
 #include "src/util/json.h"
 #include "src/util/json_parse.h"
 #include "src/util/logging.h"
@@ -304,6 +305,7 @@ std::string CausalGraph::ToJson() const {
   // A streaming graph's journal lives in its sink; there is nothing here to
   // serialize (materialize it back with ReadJournalToGraph instead).
   DP_CHECK(stream_ == nullptr);
+  DP_SELFPROF_SCOPE(kJournalSerialize);
   JsonArray processes;
   for (const std::string& name : process_names_) {
     processes.Add(name);

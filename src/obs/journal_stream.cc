@@ -8,6 +8,7 @@
 #include <limits>
 #include <tuple>
 
+#include "src/obs/selfprof.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -273,6 +274,7 @@ void JournalWriter::FlushChunk() {
   if (pending_processes_.empty() && chunk_requests_ == 0) {
     return;
   }
+  DP_SELFPROF_SCOPE(kJournalSerialize);
   std::string payload;
   AppendVarint(&payload, pending_processes_.size());
   for (const std::string& name : pending_processes_) {
@@ -318,6 +320,7 @@ void JournalWriter::FlushChunk() {
 }
 
 bool JournalWriter::Finish() {
+  DP_SELFPROF_SCOPE(kJournalSerialize);
   MutexLock lock(mu_);
   if (!open_ || finished_) {
     return ok_;

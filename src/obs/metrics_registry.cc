@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/selfprof.h"
+
 namespace deepplan {
 
 MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept
@@ -70,6 +72,7 @@ HistogramSummary MetricsRegistry::histogram(const std::string& name) const {
 }
 
 JsonObject MetricsRegistry::Snapshot() const {
+  DP_SELFPROF_SCOPE(kMetricsSnapshot);
   MutexLock lock(mu_);
   JsonObject doc;
   if (!counters_.empty()) {

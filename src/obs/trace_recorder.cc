@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/selfprof.h"
+
 namespace deepplan {
 
 int TraceRecorder::RegisterProcess(std::string_view name) {
@@ -76,9 +78,13 @@ void TraceRecorder::Adopt(TraceRecorder&& other) {
   other.doc_.events.clear();
 }
 
-std::string TraceRecorder::ToJson() const { return ChromeTraceWriter::ToJson(doc_); }
+std::string TraceRecorder::ToJson() const {
+  DP_SELFPROF_SCOPE(kTraceSerialize);
+  return ChromeTraceWriter::ToJson(doc_);
+}
 
 bool TraceRecorder::WriteTo(const std::string& path) const {
+  DP_SELFPROF_SCOPE(kTraceSerialize);
   return ChromeTraceWriter::WriteTo(path, doc_);
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/core/profiler.h"
 #include "src/core/transmission.h"
+#include "src/obs/selfprof.h"
 #include "src/util/index.h"
 #include "src/util/logging.h"
 
@@ -59,6 +60,9 @@ struct Server::Impl {
   CausalGraph* causal = nullptr;
   int causal_process = 0;
   std::int64_t cumulative_requests = 0;  // cum/requests counter track
+  // Requests retired so far, surfaced to the simulator's DEEPPLAN_PROGRESS
+  // heartbeat (registered below, removed in ~Impl).
+  std::uint64_t retired = 0;
 
   Impl(Simulator* external_sim, const Topology& topo, const PerfModel& perf_model,
        ServerOptions opts)
@@ -70,6 +74,13 @@ struct Server::Impl {
         topology.num_gpus(), options.usable_bytes_per_gpu, options.eviction_policy);
     queues.resize(Idx(topology.num_gpus()));
     gpu_busy.assign(Idx(topology.num_gpus()), false);
+    sim->AddProgressCounter(&retired);
+  }
+
+  ~Impl() {
+    // An external simulator outlives this server (existing contract); for the
+    // owned one, members are still alive while this body runs.
+    sim->RemoveProgressCounter(&retired);
   }
 
   void Dispatch(GpuId gpu);
@@ -166,6 +177,7 @@ void Server::Impl::FinishRequest(GpuId gpu, int instance, const PendingRequest& 
   record.load = load_done;
   record.evictions = num_evicted;
   metrics.Record(record);
+  ++retired;
   if (recorder != nullptr) {
     const Nanos done = sim->now();
     if (cold) {
@@ -309,6 +321,7 @@ void Server::Warmup() {
 }
 
 void Server::WarmupInstances(const std::vector<int>& instances) {
+  DP_SELFPROF_SCOPE(kWarmup);
   Impl& s = *impl_;
   if (s.warmed_up || !s.options.warmup) {
     s.warmed_up = true;

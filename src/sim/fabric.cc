@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/check/validator.h"
+#include "src/obs/selfprof.h"
 #include "src/util/index.h"
 #include "src/util/logging.h"
 
@@ -254,6 +255,9 @@ void Fabric::SolveSubset(const std::vector<std::size_t>& subset,
 
 void Fabric::ComputeRates(const std::vector<std::size_t>& seeds,
                           bool seeds_closed) {
+  // Both solve entry points (transfer start via Reallocate, transfer
+  // completion's direct incremental call) funnel through here.
+  DP_SELFPROF_SCOPE(kFairShare);
   const std::size_t n = active_.size();
   if (force_full_resolve_) {
     affected_.clear();

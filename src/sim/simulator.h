@@ -3,8 +3,10 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "src/sim/event_queue.h"
 #include "src/util/time.h"
@@ -14,6 +16,10 @@ namespace deepplan {
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
+
+  // Picks up the process-wide DEEPPLAN_PROGRESS heartbeat period (0 when
+  // unset/disabled).
+  Simulator();
 
   Nanos now() const { return now_; }
 
@@ -33,10 +39,35 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   // Queue introspection (slot reuse / scheduling volume) for tests + benches.
   const EventQueue& event_queue() const { return queue_; }
+  // Events popped and fired by this simulator over its lifetime.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  // Live progress heartbeat (DEEPPLAN_PROGRESS=<seconds>, fractional ok):
+  // when enabled, the dispatch loop emits a stderr line at most once per
+  // period — simulated time, events/sec, requests retired, RSS. Off by
+  // default so every bench golden (stdout *and* stderr formats) is
+  // untouched. The per-sim setter exists so tests need not mutate the
+  // process environment.
+  void set_progress_period_for_testing(Nanos period) {
+    progress_period_ns_ = period;
+  }
+  // Components expose "requests retired so far" to the heartbeat by
+  // registering a counter location (Server registers its finished-request
+  // count; the heartbeat prints the sum). The pointee must stay valid until
+  // removed; single-threaded like the rest of the simulator.
+  void AddProgressCounter(const std::uint64_t* counter);
+  void RemoveProgressCounter(const std::uint64_t* counter);
 
  private:
+  void MaybeEmitProgress();
+
   Nanos now_ = 0;
   EventQueue queue_;
+  std::uint64_t dispatched_ = 0;
+  Nanos progress_period_ns_;  // 0 = heartbeat disabled
+  std::int64_t progress_last_wall_ns_ = 0;
+  std::uint64_t progress_last_dispatched_ = 0;
+  std::vector<const std::uint64_t*> progress_counters_;
 };
 
 }  // namespace deepplan

@@ -1,6 +1,7 @@
 #include "src/sim/stream.h"
 
 #include "src/check/validator.h"
+#include "src/obs/selfprof.h"
 #include "src/util/logging.h"
 
 namespace deepplan {
@@ -78,6 +79,10 @@ void Stream::MaybeStartNext() {
   if (running_ || queue_.empty()) {
     return;
   }
+  // After the early-outs so only real op starts are attributed; ops whose
+  // done callback fires synchronously re-enter this function and collapse
+  // into the already-open scope (count bump, no nested timing).
+  DP_SELFPROF_SCOPE(kExecStream);
   running_ = true;
   check::SimValidator::OnStreamOpStart(name_, last_start_, sim_->now());
   last_start_ = sim_->now();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/obs/selfprof.h"
 #include "src/util/index.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
@@ -11,6 +12,7 @@
 namespace deepplan {
 
 Trace GenerateAzureTrace(const AzureTraceOptions& options) {
+  DP_SELFPROF_SCOPE(kWorkloadGen);
   DP_CHECK(options.num_instances > 0);
   DP_CHECK(options.duration > 0);
   DP_CHECK(options.target_rate_per_sec > 0);
@@ -103,6 +105,7 @@ Trace GenerateAzureTrace(const AzureTraceOptions& options) {
 
 std::optional<Trace> LoadAzureTraceCsv(const std::string& path,
                                        std::string* error) {
+  DP_SELFPROF_SCOPE(kWorkloadGen);
   DP_CHECK(error != nullptr);
   return Trace::LoadFrom(path, error);
 }

@@ -1,11 +1,13 @@
 #include "src/workload/poisson.h"
 
+#include "src/obs/selfprof.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace deepplan {
 
 Trace GeneratePoissonTrace(const PoissonOptions& options) {
+  DP_SELFPROF_SCOPE(kWorkloadGen);
   DP_CHECK(options.rate_per_sec > 0);
   DP_CHECK(options.num_instances > 0);
   DP_CHECK(options.duration > 0);

@@ -3,12 +3,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/selfprof.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace deepplan {
 
 Trace GenerateSyntheticScaleTrace(const SyntheticScaleOptions& options) {
+  DP_SELFPROF_SCOPE(kWorkloadGen);
   DP_CHECK(options.num_requests > 0);
   DP_CHECK(options.rate_per_sec > 0);
   DP_CHECK(options.num_instances > 0);

@@ -5,6 +5,9 @@
 // {"profile_report":...} schema check (attribution sums, utilization
 // bounds); --whatif switches to the {"whatif_report":...} schema check
 // (scales, quantile monotonicity, per-request deltas, baseline self-check);
+// --selfprof switches to the {"selfprof_report":...} schema check (lane
+// uniqueness, phase-tree exclusive/inclusive arithmetic, aggregate equal to
+// the per-lane sums — full reports and deterministic projections both pass);
 // --journal switches to the binary causal-journal check (DPJL header and
 // version, per-chunk CRC32, string-table/process references, dangling-edge
 // and truncation diagnosis). Exit 0 when every file is clean.
@@ -12,6 +15,7 @@
 //   trace_lint results/trace_fig15.json [more.json ...]
 //   trace_lint --profile results/profile_report.json
 //   trace_lint --whatif results/whatif_report.json
+//   trace_lint --selfprof results/selfprof_scaling.json
 //   trace_lint --journal results/journal_fig15.dpj
 #include <cstdio>
 #include <cstring>
@@ -20,7 +24,7 @@
 #include "src/obs/journal_stream.h"
 
 int main(int argc, char** argv) {
-  enum class Mode { kTrace, kProfile, kWhatIf, kJournal };
+  enum class Mode { kTrace, kProfile, kWhatIf, kSelfprof, kJournal };
   Mode mode = Mode::kTrace;
   int first_file = 1;
   if (argc > 1 && std::strcmp(argv[1], "--profile") == 0) {
@@ -29,15 +33,18 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "--whatif") == 0) {
     mode = Mode::kWhatIf;
     first_file = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "--selfprof") == 0) {
+    mode = Mode::kSelfprof;
+    first_file = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "--journal") == 0) {
     mode = Mode::kJournal;
     first_file = 2;
   }
   if (first_file >= argc) {
-    std::fprintf(
-        stderr,
-        "usage: %s [--profile|--whatif|--journal] <file> [more files ...]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--profile|--whatif|--selfprof|--journal] <file> "
+                 "[more files ...]\n",
+                 argv[0]);
     return 2;
   }
   int failures = 0;
@@ -46,6 +53,8 @@ int main(int argc, char** argv) {
     const deepplan::check::TraceLintResult result =
         mode == Mode::kProfile ? deepplan::check::LintProfileReportFile(argv[i])
         : mode == Mode::kWhatIf ? deepplan::check::LintWhatIfReportFile(argv[i])
+        : mode == Mode::kSelfprof
+            ? deepplan::check::LintSelfprofReportFile(argv[i])
         : mode == Mode::kJournal ? deepplan::LintJournalFile(argv[i], &info)
                                  : deepplan::check::LintChromeTraceFile(argv[i]);
     if (result.ok()) {
@@ -53,6 +62,9 @@ int main(int argc, char** argv) {
         std::printf("OK %s: profile report schema clean\n", argv[i]);
       } else if (mode == Mode::kWhatIf) {
         std::printf("OK %s: what-if report schema clean\n", argv[i]);
+      } else if (mode == Mode::kSelfprof) {
+        std::printf("OK %s: selfprof report schema clean (%zu lanes)\n",
+                    argv[i], result.num_tracks);
       } else if (mode == Mode::kJournal) {
         std::printf(
             "OK %s: %llu requests (%llu incomplete), %llu nodes, %llu edges "
